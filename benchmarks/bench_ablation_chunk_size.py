@@ -1,0 +1,33 @@
+"""Ablation — chunk size of the vectorized kernel (cache/working-set trade-off).
+
+DESIGN.md commits to chunking the ``(N, 8)`` complex intermediate; this
+ablation sweeps the chunk size on a fixed pixel batch.  The result feeds the
+default in :mod:`repro.config` (64 Ki pixels ≈ 8 MiB working set).  Labels must
+be identical across chunk sizes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.classifier import IQFTClassifier
+
+_PIXELS = 200_000
+_CHUNKS = (1_024, 16_384, 65_536, 200_000)
+
+
+@pytest.fixture(scope="module")
+def phases():
+    rng = np.random.default_rng(1)
+    return rng.uniform(0, 2 * np.pi, size=(_PIXELS, 3))
+
+
+@pytest.fixture(scope="module")
+def reference_labels(phases):
+    return IQFTClassifier(3, chunk_size=50_000).classify(phases)
+
+
+@pytest.mark.parametrize("chunk", _CHUNKS)
+def test_ablation_chunk_size(benchmark, phases, reference_labels, chunk):
+    clf = IQFTClassifier(3, chunk_size=chunk)
+    labels = benchmark(lambda: clf.classify(phases))
+    assert np.array_equal(labels, reference_labels)

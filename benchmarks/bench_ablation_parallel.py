@@ -1,0 +1,68 @@
+"""Ablation — serial vs tiled/threaded vs scheduler-driven execution.
+
+The per-image sweep of Table III is embarrassingly parallel; this ablation
+measures the executor abstraction on a fixed batch of synthetic images so the
+scaling behaviour (and the overhead of the abstraction itself on a small
+machine) is documented rather than assumed.  Results must be identical across
+execution strategies.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.rgb_segmenter import IQFTSegmenter
+from repro.datasets.synthetic_voc import SyntheticVOCDataset
+from repro.parallel.executor import SerialExecutor, ThreadExecutor
+from repro.parallel.scheduler import DynamicScheduler
+from repro.parallel.tiling import tile_map
+
+_NUM_IMAGES = 6
+
+
+@pytest.fixture(scope="module")
+def images():
+    dataset = SyntheticVOCDataset(num_samples=_NUM_IMAGES, seed=5, size=(96, 128))
+    return [dataset[i].image for i in range(_NUM_IMAGES)]
+
+
+@pytest.fixture(scope="module")
+def segmenter():
+    return IQFTSegmenter()
+
+
+@pytest.fixture(scope="module")
+def reference(images, segmenter):
+    return [segmenter.segment(img).labels for img in images]
+
+
+def _checksum(label_maps):
+    return [int(labels.sum()) for labels in label_maps]
+
+
+def test_ablation_serial_executor(benchmark, images, segmenter, reference):
+    run = lambda: SerialExecutor().map(lambda img: segmenter.segment(img).labels, images)
+    labels = benchmark(run)
+    assert _checksum(labels) == _checksum(reference)
+
+
+def test_ablation_thread_executor(benchmark, images, segmenter, reference):
+    executor = ThreadExecutor(max_workers=2)
+    run = lambda: executor.map(lambda img: segmenter.segment(img).labels, images)
+    labels = benchmark(run)
+    assert _checksum(labels) == _checksum(reference)
+
+
+def test_ablation_dynamic_scheduler(benchmark, images, segmenter, reference):
+    scheduler = DynamicScheduler(num_workers=2)
+    run = lambda: scheduler.run(lambda img: segmenter.segment(img).labels, images)
+    labels = benchmark(run)
+    assert _checksum(labels) == _checksum(reference)
+
+
+def test_ablation_tiled_single_image(benchmark, images, segmenter, reference):
+    image = images[0]
+    run = lambda: tile_map(
+        lambda block: segmenter.segment(block).labels, image, tile_shape=(48, 64)
+    )
+    labels = benchmark(run)
+    assert np.array_equal(labels, reference[0])

@@ -1,0 +1,41 @@
+"""Ablation — per-method runtime vs image size (context for Table III runtimes).
+
+The paper reports per-image runtimes on ~500×375 (VOC) and 1024×1024 (xVIEW2)
+images.  This ablation measures each method on three image sizes so the
+runtime column of the regenerated Table III can be interpreted: all methods
+scale roughly linearly in the pixel count, Otsu has the smallest constant,
+and the IQFT kernel's constant is set by one complex 8×8 matmul per pixel.
+"""
+
+import pytest
+
+from repro.baselines.kmeans import KMeansSegmenter
+from repro.baselines.otsu import OtsuSegmenter
+from repro.core.grayscale_segmenter import IQFTGrayscaleSegmenter
+from repro.core.rgb_segmenter import IQFTSegmenter
+from repro.datasets.synthetic_voc import SyntheticVOCDataset
+
+_SIZES = ((64, 64), (128, 128), (256, 256))
+_METHODS = {
+    "otsu": lambda: OtsuSegmenter(),
+    "kmeans": lambda: KMeansSegmenter(n_clusters=2, n_init=2, seed=0),
+    "iqft-gray": lambda: IQFTGrayscaleSegmenter(),
+    "iqft-rgb": lambda: IQFTSegmenter(),
+}
+
+
+@pytest.fixture(scope="module")
+def images():
+    return {
+        size: SyntheticVOCDataset(num_samples=1, seed=42, size=size)[0].image
+        for size in _SIZES
+    }
+
+
+@pytest.mark.parametrize("method_name", sorted(_METHODS))
+@pytest.mark.parametrize("size", _SIZES, ids=[f"{h}x{w}" for h, w in _SIZES])
+def test_ablation_runtime_scaling(benchmark, images, method_name, size):
+    segmenter = _METHODS[method_name]()
+    image = images[size]
+    result = benchmark(lambda: segmenter.segment(image))
+    assert result.labels.shape == size

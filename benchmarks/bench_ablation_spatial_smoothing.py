@@ -1,0 +1,69 @@
+"""Ablation — spatial post-processing of the IQFT label maps.
+
+The IQFT rule is strictly per-pixel.  This ablation measures what the optional
+mode-filter + small-segment-merging post-processing buys on the two synthetic
+datasets: change in average mIOU, change in label fragmentation, and the extra
+runtime it costs.
+"""
+
+import numpy as np
+
+from repro.core.labels import binarize_by_overlap
+from repro.core.postprocess import SmoothedSegmenter
+from repro.core.rgb_segmenter import IQFTSegmenter
+from repro.datasets.synthetic_voc import SyntheticVOCDataset
+from repro.datasets.synthetic_xview import SyntheticXView2Dataset
+from repro.experiments.figure5 import label_fragmentation
+from repro.metrics.iou import mean_iou
+from repro.metrics.report import format_table
+
+
+def _evaluate(dataset, segmenter, num_images):
+    scores, fragments = [], []
+    for index in range(min(num_images, len(dataset))):
+        sample = dataset[index]
+        labels = segmenter.segment(sample.image).labels
+        binary = binarize_by_overlap(labels, sample.mask, sample.void)
+        scores.append(mean_iou(binary, sample.mask, void_mask=sample.void))
+        fragments.append(label_fragmentation(labels))
+    return float(np.mean(scores)), float(np.mean(fragments))
+
+
+def test_ablation_spatial_smoothing(benchmark, emit_result):
+    datasets = {
+        "synthetic-voc2012": SyntheticVOCDataset(num_samples=8, seed=2012),
+        "synthetic-xview2": SyntheticXView2Dataset(num_samples=8, seed=1948),
+    }
+    raw = IQFTSegmenter()
+    smoothed = SmoothedSegmenter(IQFTSegmenter(), window=3, iterations=2, min_size=16)
+
+    def run():
+        rows = {}
+        for name, dataset in datasets.items():
+            rows[name] = {
+                "raw": _evaluate(dataset, raw, 8),
+                "smoothed": _evaluate(dataset, smoothed, 8),
+            }
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    table_rows = []
+    for dataset_name, variants in rows.items():
+        for variant, (miou, frag) in variants.items():
+            table_rows.append([dataset_name, variant, f"{miou:.4f}", f"{frag:.4f}"])
+    emit_result(
+        "Ablation — spatial smoothing of the IQFT label maps",
+        format_table(
+            "IQFT-RGB raw vs smoothed",
+            ["Dataset", "Variant", "avg mIOU", "fragmentation"],
+            table_rows,
+        ),
+    )
+
+    for variants in rows.values():
+        raw_miou, raw_frag = variants["raw"]
+        smooth_miou, smooth_frag = variants["smoothed"]
+        # Smoothing reduces fragmentation and does not wreck accuracy.
+        assert smooth_frag <= raw_frag + 1e-9
+        assert smooth_miou >= raw_miou - 0.05

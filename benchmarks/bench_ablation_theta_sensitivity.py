@@ -1,0 +1,33 @@
+"""Ablation — dataset-level sensitivity to the angle parameter θ.
+
+The paper's headline results fix θ = π; this sweep records the average mIOU
+and segment count of the IQFT-RGB segmenter over a grid of θ values on both
+synthetic datasets, quantifying how much the fixed-θ choice costs relative to
+the best grid value (the per-image version of this question is Figure 10).
+"""
+
+import numpy as np
+
+from repro.datasets.synthetic_voc import SyntheticVOCDataset
+from repro.datasets.synthetic_xview import SyntheticXView2Dataset
+from repro.experiments.theta_sensitivity import format_theta_sensitivity, run_theta_sensitivity
+
+
+def test_ablation_theta_sensitivity_voc(benchmark, emit_result):
+    dataset = SyntheticVOCDataset(num_samples=8, seed=987)
+    result = benchmark.pedantic(
+        lambda: run_theta_sensitivity(dataset=dataset, num_images=8), rounds=1, iterations=1
+    )
+    emit_result("Ablation — θ sensitivity (synthetic VOC)", format_theta_sensitivity(result))
+    assert result.average_miou[float(np.pi)] > 0.4
+    # Segment count grows (weakly) with θ over the sweep range.
+    assert result.average_segments[result.thetas[-1]] >= result.average_segments[result.thetas[0]]
+
+
+def test_ablation_theta_sensitivity_xview2(benchmark, emit_result):
+    dataset = SyntheticXView2Dataset(num_samples=8, seed=654, size=(96, 96))
+    result = benchmark.pedantic(
+        lambda: run_theta_sensitivity(dataset=dataset, num_images=8), rounds=1, iterations=1
+    )
+    emit_result("Ablation — θ sensitivity (synthetic xVIEW2)", format_theta_sensitivity(result))
+    assert result.average_miou[float(np.pi)] > 0.5

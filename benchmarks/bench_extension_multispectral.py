@@ -1,0 +1,52 @@
+"""Extension — 4-band (RGB + NIR) segmentation with the feature-space segmenter.
+
+Not an experiment from the paper: it exercises the "not limited by the image
+color space" generalization on synthetic multispectral tiles, comparing the
+3-band RGB segmentation against the 4-qubit segmentation that also sees the
+near-infrared band (which separates vegetation from man-made surfaces).
+"""
+
+import numpy as np
+
+from repro.core.feature_segmenter import FeatureIQFTSegmenter
+from repro.core.rgb_segmenter import IQFTSegmenter
+from repro.datasets.multispectral import SyntheticMultispectralDataset
+from repro.metrics.iou import best_binarized_mean_iou
+from repro.metrics.report import format_table
+
+_NUM_TILES = 8
+
+
+def _evaluate(dataset):
+    rgb_scores, cube_scores = [], []
+    rgb_segmenter = IQFTSegmenter(thetas=np.pi)
+    for index in range(_NUM_TILES):
+        sample = dataset[index]
+        cube = sample.metadata["bands"]
+        cube_segmenter = FeatureIQFTSegmenter(features=lambda img, cube=cube: cube, thetas=(np.pi,) * 4)
+        rgb_score, _ = best_binarized_mean_iou(
+            rgb_segmenter.segment(sample.image).labels, sample.mask
+        )
+        cube_score, _ = best_binarized_mean_iou(
+            cube_segmenter.segment(sample.image).labels, sample.mask
+        )
+        rgb_scores.append(rgb_score)
+        cube_scores.append(cube_score)
+    return float(np.mean(rgb_scores)), float(np.mean(cube_scores))
+
+
+def test_extension_multispectral(benchmark, emit_result):
+    dataset = SyntheticMultispectralDataset(num_samples=_NUM_TILES, seed=2024)
+    rgb_mean, cube_mean = benchmark.pedantic(lambda: _evaluate(dataset), rounds=1, iterations=1)
+    emit_result(
+        "Extension — multispectral (RGB+NIR) segmentation",
+        format_table(
+            "3-band vs 4-band IQFT segmentation (avg mIOU, building footprints)",
+            ["Variant", "avg mIOU"],
+            [["IQFT-RGB (3 qubits)", f"{rgb_mean:.4f}"],
+             ["IQFT-RGBN (4 qubits)", f"{cube_mean:.4f}"]],
+        ),
+    )
+    # The NIR band never hurts and typically helps.
+    assert cube_mean >= rgb_mean - 0.02
+    assert cube_mean > 0.6

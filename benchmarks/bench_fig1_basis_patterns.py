@@ -1,0 +1,35 @@
+"""Figure 1 — visualization of the eight basis-state patterns on the unit circle.
+
+The figure plots, for each 3-qubit basis state, the set of points
+``(cos φ_k, sin φ_k)`` where ``φ_k`` are the phases of the corresponding row of
+the IQFT matrix.  The benchmark regenerates those point sets and reports how
+many *distinct* points each pattern contains (|000⟩ collapses to a single
+point, |100⟩ to two, the odd-index states spread over all eight), which is the
+structure the figure conveys.
+"""
+
+import numpy as np
+
+from repro.experiments.figures_basis import run_figure1
+from repro.metrics.report import format_table
+
+
+def _distinct_points(points: np.ndarray) -> int:
+    rounded = np.round(points, 9)
+    return int(np.unique(rounded, axis=0).shape[0])
+
+
+def test_fig1_basis_patterns(benchmark, emit_result):
+    patterns = benchmark(run_figure1, 3)
+    rows = [[label, str(_distinct_points(points))] for label, points in patterns.items()]
+    emit_result(
+        "Figure 1 — basis-state patterns (distinct unit-circle points per state)",
+        format_table("Basis patterns", ["Basis state", "distinct points"], rows),
+    )
+
+    assert _distinct_points(patterns["000"]) == 1
+    assert _distinct_points(patterns["100"]) == 2
+    assert _distinct_points(patterns["010"]) == 4
+    assert _distinct_points(patterns["001"]) == 8
+    for points in patterns.values():
+        assert np.allclose(np.hypot(points[:, 0], points[:, 1]), 1.0)

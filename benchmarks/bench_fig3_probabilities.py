@@ -1,0 +1,23 @@
+"""Figure 3 — probability distribution for the Figure-2 example input.
+
+The paper reports that the input is "most similar to state basis vector
+|100⟩".  With the literal matrix of equation (11) the argmax index is 1
+(|001⟩); |100⟩ is the same state under the circuit (bit-reversed) labeling —
+the benchmark reports both labelings and asserts the dominant probability is
+well separated from the rest.
+"""
+
+from repro.experiments.figures_basis import format_figure3, run_figure3
+
+
+def test_fig3_probability_distribution(benchmark, emit_result):
+    result = benchmark(run_figure3)
+    emit_result("Figure 3 — probability distribution of the example input", format_figure3(result))
+
+    probs = result.probabilities
+    assert abs(sum(probs.values()) - 1.0) < 1e-9
+    assert result.argmax_matrix_convention == "001"
+    assert result.argmax_circuit_convention == "100"  # the paper's labeling
+    top = max(probs.values())
+    assert top > 0.4
+    assert sorted(probs.values())[-2] < top  # a unique winner

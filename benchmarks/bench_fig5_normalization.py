@@ -1,0 +1,18 @@
+"""Figure 5 — effect of the normalization process.
+
+The paper shows that feeding raw (un-normalized) intensities produces "noisy"
+segmentation patterns.  The quantitative proxy reported here is the label
+fragmentation (fraction of neighbouring pixel pairs with different labels):
+smooth with normalization, salt-and-pepper without.
+"""
+
+from repro.experiments.figure5 import format_figure5, run_figure5
+
+
+def test_fig5_normalization_effect(benchmark, emit_result):
+    result = benchmark.pedantic(lambda: run_figure5(num_images=2), rounds=1, iterations=1)
+    emit_result("Figure 5 — effect of the normalization process", format_figure5(result))
+
+    assert result.fragmentation_unnormalized > 0.6
+    assert result.fragmentation_unnormalized > 3 * result.fragmentation_normalized
+    assert result.miou_normalized >= result.miou_unnormalized - 0.05

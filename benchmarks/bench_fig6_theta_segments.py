@@ -1,0 +1,20 @@
+"""Figure 6 — effect of θ on the number of segments on realistic images.
+
+The paper sweeps θ = π/4, π/2, π and the mixed configuration (π/4, π/2, π)
+over three photos: π/4 always yields one segment, π yields 4–6, and the mixed
+configuration always yields two.
+"""
+
+from repro.experiments.figure6 import format_figure6, run_figure6
+
+
+def test_fig6_theta_vs_segments(benchmark, emit_result):
+    result = benchmark.pedantic(lambda: run_figure6(num_images=3), rounds=1, iterations=1)
+    emit_result("Figure 6 — effect of θ on the number of segments", format_figure6(result))
+
+    for per_theta in result.segment_counts.values():
+        counts = list(per_theta.values())
+        assert counts[0] == 1          # θ = π/4 collapses everything
+        assert counts[1] >= counts[0]  # larger θ never yields fewer segments here
+        assert 1 <= counts[2] <= 8     # θ = π produces several segments
+        assert counts[3] <= 2          # the mixed configuration yields at most two

@@ -1,0 +1,18 @@
+"""Figure 7 — IQFT-grayscale with θ from equation (15) is identical to Otsu.
+
+For each image the Otsu threshold is converted to θ = π/(2·I_th) and the two
+binary masks are compared pixel by pixel; the paper shows identical outputs
+(and therefore equal mIOU).
+"""
+
+from repro.experiments.figure7 import format_figure7, run_figure7
+
+
+def test_fig7_otsu_equivalence(benchmark, emit_result):
+    result = benchmark.pedantic(lambda: run_figure7(num_images=6), rounds=1, iterations=1)
+    emit_result("Figure 7 — Otsu vs IQFT-grayscale with matched θ", format_figure7(result))
+
+    assert result.all_identical
+    for record in result.records:
+        assert record["differing_fraction"] == 0.0
+        assert 0.0 < record["otsu_threshold"] < 1.0

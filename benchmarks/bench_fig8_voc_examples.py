@@ -1,0 +1,30 @@
+"""Figure 8 — example VOC-style images where IQFT-RGB beats the baselines.
+
+The paper shows three PASCAL VOC images with per-method mIOU printed under
+each segmentation; all three are cases where the IQFT method wins.  The
+benchmark scores a pool of synthetic-VOC samples, picks the three with the
+largest IQFT-vs-best-baseline margin and reports their per-method mIOU.
+"""
+
+from repro.datasets.synthetic_voc import SyntheticVOCDataset
+from repro.experiments.figure8_9 import format_example_table, run_figure8
+
+
+def test_fig8_voc_examples(benchmark, emit_result):
+    dataset = SyntheticVOCDataset(num_samples=10, seed=88)
+    records = benchmark.pedantic(
+        lambda: run_figure8(dataset=dataset, num_examples=3, pool_size=10),
+        rounds=1,
+        iterations=1,
+    )
+    emit_result(
+        "Figure 8 — per-image examples (synthetic VOC stand-in)",
+        format_example_table(records, "Figure 8 — VOC-style examples"),
+    )
+
+    assert len(records) == 3
+    # The selected examples are exactly the "IQFT wins" showcases of the figure.
+    assert records[0].margin > 0
+    for record in records:
+        assert set(record.miou) == {"kmeans", "otsu", "iqft-rgb", "iqft-gray"}
+        assert 0.0 <= record.miou["iqft-rgb"] <= 1.0

@@ -1,0 +1,25 @@
+"""Table I — parameter θ and the corresponding threshold value(s).
+
+Paper reference values: 3π/4 → 0.667, π → 0.500, 5π/4 → 0.400, 3π/2 → 0.333,
+7π/4 → 0.285/0.857, 2π → 0.25/0.75.
+"""
+
+import numpy as np
+
+from repro.experiments.table1 import format_table1, run_table1
+
+
+def test_table1_thresholds(benchmark, emit_result):
+    results = benchmark(run_table1)
+    emit_result("Table I — θ vs threshold value(s)", format_table1(results))
+
+    expected = {
+        3 * np.pi / 4: [2 / 3],
+        np.pi: [0.5],
+        5 * np.pi / 4: [0.4],
+        3 * np.pi / 2: [1 / 3],
+        7 * np.pi / 4: [2 / 7, 6 / 7],
+        2 * np.pi: [0.25, 0.75],
+    }
+    for theta, thresholds in expected.items():
+        assert np.allclose(results[theta], thresholds, atol=1e-9)

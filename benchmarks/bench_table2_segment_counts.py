@@ -1,0 +1,17 @@
+"""Table II — parameter θ and the possible number of segments.
+
+Protocol: classify 100,000 random normalized RGB triples for each θ
+configuration and count the distinct labels.  Paper values: 1, 3, 5, 6, 8, 8,
+8, 8 for θ = π/4 … 2π and 2 (constant) for the mixed configuration.
+"""
+
+from repro.experiments.table2 import PAPER_TABLE2_EXPECTED, format_table2, run_table2
+
+
+def test_table2_segment_counts(benchmark, emit_result):
+    results = benchmark.pedantic(
+        lambda: run_table2(num_samples=100_000, seed=0), rounds=1, iterations=1
+    )
+    emit_result("Table II — θ vs maximum number of segments (100,000 random pixels)",
+                format_table2(results))
+    assert tuple(results.values()) == PAPER_TABLE2_EXPECTED

@@ -1,0 +1,39 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper (or an ablation
+called out in DESIGN.md).  Conventions:
+
+* the benchmarked callable is the experiment's ``run_*`` function with a
+  laptop-scale workload (dataset sizes are chosen so the whole suite finishes
+  in a few minutes);
+* each benchmark prints the regenerated table/series through
+  :func:`emit` so running ``pytest benchmarks/ --benchmark-only -s`` shows the
+  same rows the paper reports, and a copy is appended to
+  ``benchmarks/output/results.txt`` for later inspection;
+* sanity assertions encode the expected *shape* of the result (who wins,
+  which trend holds), so a regression in the algorithms fails the benchmark
+  run rather than silently producing nonsense numbers.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+_OUTPUT_DIR = os.path.join(os.path.dirname(__file__), "output")
+
+
+def emit(title: str, text: str) -> None:
+    """Print a regenerated table and append it to the results file."""
+    block = f"\n{'=' * 72}\n{title}\n{'=' * 72}\n{text}\n"
+    print(block)
+    os.makedirs(_OUTPUT_DIR, exist_ok=True)
+    with open(os.path.join(_OUTPUT_DIR, "results.txt"), "a", encoding="utf-8") as fh:
+        fh.write(block)
+
+
+@pytest.fixture(scope="session")
+def emit_result():
+    """Fixture handing the emit helper to benchmarks."""
+    return emit

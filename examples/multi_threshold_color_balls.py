@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Multiple thresholding with a single parameter (the Figure-4 scenario).
+
+Task: in a scene containing balls of many brightnesses, isolate *only* the
+red, green and lemon balls — objects whose intensity sits between darker and
+brighter distractors.  A single threshold (Otsu, or any one cut) cannot carve
+out a middle band; the IQFT grayscale rule with θ = 4π realizes the four
+thresholds {1/8, 3/8, 5/8, 7/8} of the paper's equation (16) simultaneously,
+so the middle band falls out of one parameter choice.
+
+The script prints the mIOU of Otsu, K-means and the IQFT method against the
+target-ball mask, shows which thresholds each effective θ implies, and writes
+the segmentation masks as images.
+
+Run with::
+
+    python examples/multi_threshold_color_balls.py [output_dir]
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import numpy as np
+
+from repro import IQFTGrayscaleSegmenter, KMeansSegmenter, OtsuSegmenter, mean_iou
+from repro.core.labels import binarize_by_overlap
+from repro.core.thresholds import thresholds_for_theta
+from repro.datasets import make_balls_image
+from repro.imaging import rgb_to_gray, write_png
+from repro.imaging.image import as_uint8_image
+from repro.viz import colorize_labels
+
+
+def main(output_dir: str) -> None:
+    os.makedirs(output_dir, exist_ok=True)
+    image, target = make_balls_image()
+    gray = rgb_to_gray(image)
+    target = target.astype(np.int64)
+    write_png(os.path.join(output_dir, "balls_input.png"), as_uint8_image(image))
+
+    print("thresholds realized by different θ (equation (15)/(16)):")
+    for theta in (np.pi, 2 * np.pi, 4 * np.pi):
+        cuts = ", ".join(f"{t:.3f}" for t in thresholds_for_theta(theta))
+        print(f"  θ = {theta / np.pi:.0f}π  ->  {cuts}")
+    print()
+
+    methods = {
+        "otsu": OtsuSegmenter(),
+        "kmeans": KMeansSegmenter(n_clusters=2, n_init=4, seed=0),
+        "iqft-theta-4pi": IQFTGrayscaleSegmenter(theta=4 * np.pi, multiband=True),
+    }
+    print(f"{'method':<16} {'mIOU vs target balls':>22}")
+    for name, segmenter in methods.items():
+        labels = segmenter.segment(gray).labels
+        binary = binarize_by_overlap(labels, target)
+        score = mean_iou(binary, target)
+        print(f"{name:<16} {score:>22.4f}")
+        write_png(
+            os.path.join(output_dir, f"balls_{name}.png"),
+            as_uint8_image(colorize_labels(labels)),
+        )
+    print(f"\nsegmentations written to {output_dir}/")
+    print("note: only the multi-threshold IQFT setting isolates the mid-intensity balls.")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else os.path.join(os.path.dirname(__file__), "output"))

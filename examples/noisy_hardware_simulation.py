@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Emulate running the IQFT segmenter on noisy quantum hardware.
+
+The paper evaluates its algorithm classically and leaves the quantum-hardware
+implementation to future work.  This example explores what that future
+implementation would face:
+
+1. segment an image with the exact (infinite-shot, noiseless) Algorithm 1,
+2. segment it again with a finite number of measurement shots per pixel on an
+   ideal simulated device, sweeping the shot count,
+3. repeat with a noisy device model (dephasing + depolarizing + readout
+   error),
+4. print, for every configuration, the per-pixel agreement with the exact
+   labels and the foreground/background mIOU.
+
+Run with::
+
+    python examples/noisy_hardware_simulation.py [shots ...]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro.core import IQFTSegmenter, ShotBasedIQFTSegmenter
+from repro.core.labels import binarize_by_overlap
+from repro.datasets import SyntheticVOCDataset
+from repro.metrics import mean_iou
+from repro.quantum import NoiseModel
+
+
+def main(shot_counts) -> None:
+    sample = SyntheticVOCDataset(num_samples=1, seed=271828, size=(64, 80))[0]
+    exact_labels = IQFTSegmenter().segment(sample.image).labels
+    exact_binary = binarize_by_overlap(exact_labels, sample.mask, sample.void)
+    exact_miou = mean_iou(exact_binary, sample.mask, void_mask=sample.void)
+    print(f"image {sample.name}: exact Algorithm-1 mIOU = {exact_miou:.4f}")
+    print()
+
+    devices = {
+        "ideal device": None,
+        "noisy device (1% dephasing, 0.5% depolarizing, 1% readout)": NoiseModel(
+            phase_damping=0.01, depolarizing=0.005, readout_error=0.01
+        ),
+    }
+
+    header = f"{'device':<55} {'shots':>6} {'agreement':>10} {'mIOU':>8}"
+    print(header)
+    print("-" * len(header))
+    for device_name, noise in devices.items():
+        for shots in shot_counts:
+            segmenter = ShotBasedIQFTSegmenter(shots=shots, noise_model=noise, seed=0)
+            labels = segmenter.segment(sample.image).labels
+            agreement = float(np.mean(labels == exact_labels))
+            binary = binarize_by_overlap(labels, sample.mask, sample.void)
+            score = mean_iou(binary, sample.mask, void_mask=sample.void)
+            print(f"{device_name:<55} {shots:>6d} {agreement:>10.4f} {score:>8.4f}")
+        print()
+
+    print("with a few hundred shots per pixel the sampled labels recover the exact")
+    print("classification almost everywhere; hardware noise mainly costs extra shots")
+    print("because the label is a majority vote over a mixed (flattened) distribution.")
+
+
+if __name__ == "__main__":
+    counts = [int(arg) for arg in sys.argv[1:]] or [1, 8, 64, 512]
+    main(counts)

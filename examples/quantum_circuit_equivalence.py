@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Show that the classical Algorithm 1 *is* the quantum circuit's measurement statistics.
+
+The paper presents its method as "IQFT-inspired" and evaluates it classically.
+This example makes the correspondence exact, pixel by pixel:
+
+1. take an RGB pixel, normalize it and map the channels to qubit phases
+   (γ = R·θ1, β = G·θ2, α = B·θ3),
+2. prepare the 3-qubit product state (|0⟩+e^{iα}|1⟩)(|0⟩+e^{iβ}|1⟩)(|0⟩+e^{iγ}|1⟩)/√8
+   with Hadamard + phase gates on the bundled statevector simulator,
+3. run the textbook inverse-QFT circuit and read out the basis-state
+   probabilities,
+4. compare them (and the argmax label) with the classical vectorized kernel,
+5. repeat with finite measurement shots to show how a real quantum backend
+   would estimate the same label.
+
+Run with::
+
+    python examples/quantum_circuit_equivalence.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import IQFTClassifier, pixel_phases
+from repro.quantum import (
+    encode_pixel_state,
+    iqft_circuit,
+    probabilities,
+    sample_counts,
+)
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    thetas = (np.pi, np.pi, np.pi)
+    classifier = IQFTClassifier(num_qubits=3)
+    circuit = iqft_circuit(3)
+
+    print("pixel (R,G,B)        classical probs == circuit probs   label  "
+          "top shot outcome (1024 shots)")
+    print("-" * 98)
+    for _ in range(5):
+        rgb = rng.random(3)
+        phases = pixel_phases(rgb[np.newaxis, np.newaxis, :], thetas).reshape(3)
+
+        classical = classifier.probabilities(phases)
+        state = encode_pixel_state(rgb, thetas)
+        quantum = probabilities(circuit.run(state))
+        agree = np.allclose(classical, quantum, atol=1e-10)
+
+        label = int(np.argmax(classical))
+        counts = sample_counts(circuit.run(state), shots=1024, seed=1)
+        top = max(counts, key=counts.get)
+
+        print(
+            f"({rgb[0]:.3f}, {rgb[1]:.3f}, {rgb[2]:.3f})   "
+            f"{'YES' if agree else 'NO ':<3}                               "
+            f"|{label:03b}⟩   |{top}⟩ x{counts[top]}"
+        )
+
+    print()
+    print("circuit used:", circuit.name, "with", len(circuit), "gates, depth", circuit.depth())
+    print("every pixel's classical probabilities equal the quantum circuit's exactly;")
+    print("the classical algorithm is the N→∞ shot limit of measuring that circuit.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Quickstart: segment an image with the IQFT-inspired algorithm.
+
+The script builds a small synthetic scene (no downloads needed), segments it
+with the paper's Algorithm 1 (``IQFTSegmenter``), compares the result against
+the two baselines from the paper (K-means and Otsu), prints the mIOU of each
+method and writes colourized label maps next to this script.
+
+Run it with::
+
+    python examples/quickstart.py [output_directory]
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import numpy as np
+
+from repro import IQFTSegmenter, KMeansSegmenter, OtsuSegmenter, mean_iou
+from repro.core.labels import binarize_by_overlap
+from repro.datasets import ShapesDataset
+from repro.imaging import write_png
+from repro.imaging.image import as_uint8_image
+from repro.viz import colorize_labels
+
+
+def main(output_dir: str) -> None:
+    os.makedirs(output_dir, exist_ok=True)
+
+    # 1. Get an image with known ground truth (a bright shape on a dark
+    #    background).  Any (H, W, 3) uint8 or float array works the same way.
+    sample = ShapesDataset(num_samples=1, size=(96, 96), seed=3)[0]
+    image, mask = sample.image, sample.mask
+
+    # 2. Segment with the IQFT-inspired algorithm.  θ = π is the paper's
+    #    default; the output has up to 8 segments (one per 3-qubit basis state).
+    methods = {
+        "iqft-rgb": IQFTSegmenter(thetas=np.pi),
+        "kmeans": KMeansSegmenter(n_clusters=2, n_init=4, seed=0),
+        "otsu": OtsuSegmenter(),
+    }
+
+    print(f"image: {sample.name}, shape {image.shape}")
+    print(f"{'method':<12} {'segments':>8} {'runtime [ms]':>14} {'mIOU':>8}")
+    for name, segmenter in methods.items():
+        result = segmenter.segment(image)
+        # Collapse the (possibly multi-way) output to foreground/background for
+        # scoring, exactly like the evaluation protocol in the paper.
+        binary = binarize_by_overlap(result.labels, mask)
+        score = mean_iou(binary, mask)
+        print(
+            f"{name:<12} {result.num_segments:>8d} "
+            f"{result.runtime_seconds * 1e3:>14.2f} {score:>8.4f}"
+        )
+        write_png(
+            os.path.join(output_dir, f"quickstart_{name}.png"),
+            as_uint8_image(colorize_labels(result.labels)),
+        )
+
+    write_png(os.path.join(output_dir, "quickstart_input.png"), as_uint8_image(image))
+    print(f"label maps written to {output_dir}/")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else os.path.join(os.path.dirname(__file__), "output"))

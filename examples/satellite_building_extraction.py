@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Building-footprint extraction from satellite-style tiles (xVIEW2 scenario).
+
+The paper's strongest result is on the xVIEW2 "joplin-tornado" pre-disaster
+tiles, where the IQFT-inspired RGB algorithm wins against K-means and Otsu on
+~96% of the images.  This example reproduces that scenario end to end on the
+synthetic satellite dataset:
+
+1. generate a batch of overhead tiles with rooftop ground truth,
+2. run the four methods of Table III on every tile,
+3. print the per-method average mIOU, runtime and the IQFT win rate,
+4. export a side-by-side montage (input | ground truth | IQFT overlay) for the
+   tile where the IQFT method wins by the largest margin.
+
+Run with::
+
+    python examples/satellite_building_extraction.py [num_tiles] [output_dir]
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+from repro.datasets import SyntheticXView2Dataset
+from repro.experiments.table3 import format_table3, run_table3
+from repro.imaging.image import as_uint8_image
+from repro.viz import overlay_mask
+from repro.viz.export import save_side_by_side
+
+
+def main(num_tiles: int, output_dir: str) -> None:
+    os.makedirs(output_dir, exist_ok=True)
+    dataset = SyntheticXView2Dataset(num_samples=num_tiles, seed=1948)
+
+    print(f"running the Table-III comparison on {num_tiles} synthetic satellite tiles ...")
+    result = run_table3(dataset)
+    print(format_table3([result]))
+    print()
+    print("IQFT-RGB win rates:", {k: f"{v:.0%}" for k, v in result.win_rate_vs.items()})
+
+    # Find the tile with the largest IQFT-vs-best-baseline margin and export it.
+    per_sample = {}
+    for score in result.table.scores:
+        per_sample.setdefault(score.sample, {})[score.method] = score.miou
+    def margin(scores):
+        baselines = [v for k, v in scores.items() if k != "iqft-rgb"]
+        return scores["iqft-rgb"] - max(baselines)
+    best_name = max(per_sample, key=lambda s: margin(per_sample[s]))
+    index = [i for i in range(len(dataset)) if dataset[i].name == best_name][0]
+    sample = dataset[index]
+
+    from repro import IQFTSegmenter
+    from repro.core.labels import binarize_by_overlap
+
+    labels = IQFTSegmenter().segment(sample.image).labels
+    binary = binarize_by_overlap(labels, sample.mask)
+    montage = [
+        sample.image,
+        overlay_mask(sample.image, sample.mask, color=(0.1, 1.0, 0.1), alpha=0.5),
+        overlay_mask(sample.image, binary, color=(1.0, 0.1, 0.1), alpha=0.5),
+    ]
+    path = os.path.join(output_dir, f"satellite_{best_name}.png")
+    save_side_by_side(path, [as_uint8_image(panel) for panel in montage])
+    print(f"best-margin tile ({best_name}, margin {margin(per_sample[best_name]):+.3f}) "
+          f"written to {path}")
+
+
+if __name__ == "__main__":
+    tiles = int(sys.argv[1]) if len(sys.argv) > 1 else 12
+    out = sys.argv[2] if len(sys.argv) > 2 else os.path.join(os.path.dirname(__file__), "output")
+    main(tiles, out)

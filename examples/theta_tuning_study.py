@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Per-image θ tuning study (the Figure-10 scenario).
+
+The paper fixes θ = π for its headline numbers but shows that images on which
+that choice fails badly can be rescued by picking a different θ (e.g. 3π/4).
+This example:
+
+1. segments a batch of synthetic natural-scene images with the default θ = π,
+2. ranks them by mIOU and picks the worst performers,
+3. re-runs them with (a) oracle tuning against the ground truth (the paper's
+   manual adjustment) and (b) the label-free balance heuristic,
+4. prints a before/after table so the gap between the fixed-θ headline numbers
+   and what per-image adaptation could achieve is visible.
+
+Run with::
+
+    python examples/theta_tuning_study.py [num_images]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro import IQFTSegmenter, mean_iou, tune_theta_supervised, tune_theta_unsupervised
+from repro.core.labels import binarize_by_overlap
+from repro.datasets import SyntheticVOCDataset
+
+
+def main(num_images: int) -> None:
+    dataset = SyntheticVOCDataset(num_samples=num_images, seed=1010)
+    default = IQFTSegmenter(thetas=np.pi)
+
+    scored = []
+    for sample in dataset:
+        labels = default.segment(sample.image).labels
+        binary = binarize_by_overlap(labels, sample.mask, sample.void)
+        scored.append((sample, mean_iou(binary, sample.mask, void_mask=sample.void)))
+    scored.sort(key=lambda pair: pair[1])
+
+    print(f"default θ = π over {num_images} images: "
+          f"mean mIOU {np.mean([s for _, s in scored]):.4f}, "
+          f"worst {scored[0][1]:.4f}, best {scored[-1][1]:.4f}")
+    print()
+    header = (
+        f"{'image':<12} {'mIOU @ π':>10} {'oracle θ':>10} {'oracle mIOU':>12} "
+        f"{'heuristic θ':>12} {'heuristic mIOU':>15}"
+    )
+    print(header)
+    print("-" * len(header))
+
+    for sample, default_score in scored[:3]:
+        oracle = tune_theta_supervised(sample.image, sample.mask, void_mask=sample.void)
+        heuristic = tune_theta_unsupervised(sample.image)
+        heuristic_labels = IQFTSegmenter(thetas=heuristic.best_theta).segment(sample.image).labels
+        heuristic_binary = binarize_by_overlap(heuristic_labels, sample.mask, sample.void)
+        heuristic_score = mean_iou(heuristic_binary, sample.mask, void_mask=sample.void)
+        print(
+            f"{sample.name:<12} {default_score:>10.4f} "
+            f"{oracle.best_theta / np.pi:>9.2f}π {oracle.best_score:>12.4f} "
+            f"{heuristic.best_theta / np.pi:>11.2f}π {heuristic_score:>15.4f}"
+        )
+
+    print()
+    print("oracle tuning is the protocol behind Figure 10 of the paper; the heuristic")
+    print("column shows what a label-free criterion recovers without any ground truth.")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 10)

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The project metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` works through the legacy ``setup.py develop`` code path in
+offline environments whose setuptools predates PEP 660 editable wheels.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,89 @@
+"""repro — reproduction of "Inverse Quantum Fourier Transform Inspired Algorithm
+for Unsupervised Image Segmentation" (Akinola, Li, Wilkins, Obiomon, Qian,
+IPPS 2023; arXiv:2301.04705).
+
+The package implements the paper's IQFT-inspired segmentation algorithms, the
+baselines it compares against, the evaluation protocol, synthetic stand-ins
+for its datasets, and an experiment harness that regenerates every table and
+figure of the evaluation section.  See ``README.md`` for a tour and
+``DESIGN.md`` for the system inventory.
+
+Quick start
+-----------
+>>> import numpy as np
+>>> from repro import IQFTSegmenter
+>>> image = (np.random.default_rng(0).random((32, 32, 3)) * 255).astype(np.uint8)
+>>> result = IQFTSegmenter(thetas=np.pi).segment(image)
+>>> result.labels.shape
+(32, 32)
+"""
+
+from .base import BaseSegmenter, SegmentationResult
+from .config import ReproConfig, configure, get_config
+from .core import (
+    FeatureIQFTSegmenter,
+    IQFTClassifier,
+    IQFTGrayscaleSegmenter,
+    IQFTSegmenter,
+    SegmentationPipeline,
+    ShotBasedIQFTSegmenter,
+    SmoothedSegmenter,
+    theta_for_threshold,
+    thresholds_for_theta,
+    tune_theta_supervised,
+    tune_theta_unsupervised,
+)
+from .quantum import NoiseModel
+from .baselines import (
+    KMeansSegmenter,
+    OtsuSegmenter,
+    available_segmenters,
+    get_segmenter,
+    otsu_threshold,
+)
+from .datasets import (
+    SyntheticVOCDataset,
+    SyntheticXView2Dataset,
+    ShapesDataset,
+    make_balls_image,
+)
+from .metrics import mean_iou, iou, pixel_accuracy, ResultTable, MethodScore
+from .errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "BaseSegmenter",
+    "SegmentationResult",
+    "ReproConfig",
+    "configure",
+    "get_config",
+    "IQFTClassifier",
+    "IQFTSegmenter",
+    "IQFTGrayscaleSegmenter",
+    "ShotBasedIQFTSegmenter",
+    "FeatureIQFTSegmenter",
+    "SmoothedSegmenter",
+    "NoiseModel",
+    "SegmentationPipeline",
+    "thresholds_for_theta",
+    "theta_for_threshold",
+    "tune_theta_supervised",
+    "tune_theta_unsupervised",
+    "KMeansSegmenter",
+    "OtsuSegmenter",
+    "otsu_threshold",
+    "get_segmenter",
+    "available_segmenters",
+    "SyntheticVOCDataset",
+    "SyntheticXView2Dataset",
+    "ShapesDataset",
+    "make_balls_image",
+    "mean_iou",
+    "iou",
+    "pixel_accuracy",
+    "ResultTable",
+    "MethodScore",
+    "ReproError",
+]

@@ -1,0 +1,36 @@
+"""Baseline segmentation methods the paper compares against (and a few extras).
+
+* :class:`KMeansSegmenter` — from-scratch K-means clustering in colour space
+  (k-means++ initialization, vectorized Lloyd iterations), mirroring the
+  scikit-learn defaults the paper used.
+* :class:`OtsuSegmenter` / :func:`otsu_threshold` — Otsu's between-class
+  variance maximization, plus a multi-level extension.
+* :class:`FixedThresholdSegmenter`, :class:`AdaptiveMeanThresholdSegmenter` —
+  simple thresholding methods used in ablations and tests.
+* :class:`RegionGrowingSegmenter`, :class:`ConnectedComponentsSegmenter` —
+  region-based methods from the related-work taxonomy, included as extensions.
+* :func:`get_segmenter` / :func:`available_segmenters` — a registry so the
+  experiment harness and CLI can construct any method by name.
+"""
+
+from .kmeans import KMeans, KMeansSegmenter
+from .otsu import otsu_threshold, multi_otsu_thresholds, OtsuSegmenter, MultiOtsuSegmenter
+from .threshold import FixedThresholdSegmenter, AdaptiveMeanThresholdSegmenter
+from .region import RegionGrowingSegmenter, ConnectedComponentsSegmenter
+from .registry import get_segmenter, available_segmenters, register_segmenter
+
+__all__ = [
+    "KMeans",
+    "KMeansSegmenter",
+    "otsu_threshold",
+    "multi_otsu_thresholds",
+    "OtsuSegmenter",
+    "MultiOtsuSegmenter",
+    "FixedThresholdSegmenter",
+    "AdaptiveMeanThresholdSegmenter",
+    "RegionGrowingSegmenter",
+    "ConnectedComponentsSegmenter",
+    "get_segmenter",
+    "available_segmenters",
+    "register_segmenter",
+]

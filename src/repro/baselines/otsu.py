@@ -1,0 +1,154 @@
+"""Otsu's thresholding (and a multi-level extension) as a baseline segmenter.
+
+Otsu's method picks the intensity threshold maximizing the between-class
+variance of the resulting two-class split of the histogram; it is exactly what
+``skimage.filters.threshold_otsu`` computes, which is the implementation the
+paper used.  The multi-level variant exhaustively maximizes the same criterion
+over pairs/triples of thresholds on the 256-bin histogram (practical because
+the search space is tiny), and exists to mirror the Figure-4 discussion about
+needing several thresholds.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Optional
+
+import numpy as np
+
+from ..base import BaseSegmenter
+from ..errors import ParameterError, SegmentationError
+from ..imaging.color import rgb_to_gray
+from ..imaging.histogram import histogram
+from ..imaging.image import as_float_image
+
+__all__ = ["otsu_threshold", "multi_otsu_thresholds", "OtsuSegmenter", "MultiOtsuSegmenter"]
+
+
+def otsu_threshold(image: np.ndarray, bins: int = 256) -> float:
+    """Return Otsu's threshold for a grayscale image, as a float in ``[0, 1]``.
+
+    RGB input is converted to grayscale with the paper's equation (17) first.
+    Raises :class:`~repro.errors.SegmentationError` when the image is constant
+    (no threshold separates anything).
+    """
+    img = as_float_image(image)
+    if img.ndim == 3:
+        img = rgb_to_gray(img)
+    if float(img.max()) == float(img.min()):
+        raise SegmentationError("cannot compute an Otsu threshold of a constant image")
+    counts, centers = histogram(img, bins=bins)
+    total = counts.sum()
+    probabilities = counts / total
+
+    # Cumulative class probabilities and means for every candidate split.
+    weight_bg = np.cumsum(probabilities)
+    weight_fg = 1.0 - weight_bg
+    cumulative_mean = np.cumsum(probabilities * centers)
+    global_mean = cumulative_mean[-1]
+
+    with np.errstate(divide="ignore", invalid="ignore"):
+        mean_bg = cumulative_mean / weight_bg
+        mean_fg = (global_mean - cumulative_mean) / weight_fg
+        between = weight_bg * weight_fg * (mean_bg - mean_fg) ** 2
+    between = np.nan_to_num(between, nan=-1.0, posinf=-1.0, neginf=-1.0)
+    # The threshold sits between bin t and t+1; use the upper edge (bin centre
+    # of t plus half a bin) so that "intensity > threshold" matches skimage.
+    best = int(np.argmax(between[:-1]))
+    bin_width = centers[1] - centers[0]
+    return float(centers[best] + 0.5 * bin_width)
+
+
+def multi_otsu_thresholds(image: np.ndarray, classes: int = 3, bins: int = 128) -> List[float]:
+    """Multi-level Otsu: thresholds splitting the histogram into ``classes`` bands.
+
+    Maximizes the between-class variance over all ``classes − 1`` subsets of
+    bin boundaries by exhaustive search (the histogram is coarse enough that
+    this stays fast for ``classes ≤ 4``).
+    """
+    if classes < 2:
+        raise ParameterError("classes must be >= 2")
+    if classes > 5:
+        raise ParameterError("multi_otsu_thresholds supports at most 5 classes")
+    img = as_float_image(image)
+    if img.ndim == 3:
+        img = rgb_to_gray(img)
+    counts, centers = histogram(img, bins=bins)
+    probabilities = counts / counts.sum()
+
+    cumulative_p = np.concatenate([[0.0], np.cumsum(probabilities)])
+    cumulative_m = np.concatenate([[0.0], np.cumsum(probabilities * centers)])
+
+    def class_term(lo: int, hi: int) -> float:
+        """Between-class contribution of bins [lo, hi)."""
+        w = cumulative_p[hi] - cumulative_p[lo]
+        if w <= 0:
+            return 0.0
+        m = (cumulative_m[hi] - cumulative_m[lo]) / w
+        return w * m * m
+
+    best_score = -np.inf
+    best_cut: Optional[tuple] = None
+    for cut in itertools.combinations(range(1, bins), classes - 1):
+        edges = (0,) + cut + (bins,)
+        score = sum(class_term(edges[i], edges[i + 1]) for i in range(classes))
+        if score > best_score:
+            best_score = score
+            best_cut = cut
+    assert best_cut is not None
+    bin_width = centers[1] - centers[0]
+    return [float(centers[c - 1] + 0.5 * bin_width) for c in best_cut]
+
+
+class OtsuSegmenter(BaseSegmenter):
+    """Binary Otsu thresholding baseline (foreground = intensity above threshold)."""
+
+    name = "otsu"
+
+    def __init__(self, bins: int = 256):
+        super().__init__()
+        if bins < 2:
+            raise ParameterError("bins must be >= 2")
+        self.bins = int(bins)
+        self._last_threshold: Optional[float] = None
+
+    def _segment(self, image: np.ndarray) -> np.ndarray:
+        img = as_float_image(image)
+        if img.ndim == 3:
+            img = rgb_to_gray(img)
+        if float(img.max()) == float(img.min()):
+            # A constant image has a single segment; label everything 0.
+            self._last_threshold = None
+            return np.zeros(img.shape, dtype=np.int64)
+        threshold = otsu_threshold(img, bins=self.bins)
+        self._last_threshold = threshold
+        return (img > threshold).astype(np.int64)
+
+    def _extras(self) -> dict:
+        return {"threshold": self._last_threshold}
+
+
+class MultiOtsuSegmenter(BaseSegmenter):
+    """Multi-level Otsu segmenter labelling each intensity band separately."""
+
+    name = "multi-otsu"
+
+    def __init__(self, classes: int = 3, bins: int = 128):
+        super().__init__()
+        self.classes = int(classes)
+        self.bins = int(bins)
+        self._last_thresholds: Optional[List[float]] = None
+
+    def _segment(self, image: np.ndarray) -> np.ndarray:
+        img = as_float_image(image)
+        if img.ndim == 3:
+            img = rgb_to_gray(img)
+        if float(img.max()) == float(img.min()):
+            self._last_thresholds = []
+            return np.zeros(img.shape, dtype=np.int64)
+        thresholds = multi_otsu_thresholds(img, classes=self.classes, bins=self.bins)
+        self._last_thresholds = thresholds
+        return np.digitize(img, np.asarray(thresholds)).astype(np.int64)
+
+    def _extras(self) -> dict:
+        return {"thresholds": self._last_thresholds}

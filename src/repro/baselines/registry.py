@@ -1,0 +1,72 @@
+"""Name-based registry of every segmentation method in the library.
+
+The experiment harness, the CLI and the examples construct methods by name
+through :func:`get_segmenter`, so adding a new method to the comparison tables
+only requires registering a factory here (or calling
+:func:`register_segmenter` from user code).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..base import BaseSegmenter
+from ..errors import ParameterError
+
+__all__ = ["register_segmenter", "get_segmenter", "available_segmenters"]
+
+_FACTORIES: Dict[str, Callable[..., BaseSegmenter]] = {}
+
+
+def register_segmenter(name: str, factory: Callable[..., BaseSegmenter]) -> None:
+    """Register a segmenter factory under ``name`` (overwrites silently)."""
+    if not name:
+        raise ParameterError("segmenter name must be non-empty")
+    _FACTORIES[name] = factory
+
+
+def get_segmenter(name: str, **kwargs) -> BaseSegmenter:
+    """Construct a registered segmenter by name, forwarding keyword arguments."""
+    try:
+        factory = _FACTORIES[name]
+    except KeyError as exc:
+        raise ParameterError(
+            f"unknown segmenter {name!r}; available: {sorted(_FACTORIES)}"
+        ) from exc
+    segmenter = factory(**kwargs)
+    if not isinstance(segmenter, BaseSegmenter):
+        raise ParameterError(f"factory for {name!r} did not return a BaseSegmenter")
+    return segmenter
+
+
+def available_segmenters() -> List[str]:
+    """Sorted list of registered method names."""
+    return sorted(_FACTORIES)
+
+
+def _register_builtins() -> None:
+    """Register the built-in methods lazily to avoid import cycles."""
+    from ..core.grayscale_segmenter import IQFTGrayscaleSegmenter
+    from ..core.rgb_segmenter import IQFTSegmenter
+    from .kmeans import KMeansSegmenter
+    from .otsu import MultiOtsuSegmenter, OtsuSegmenter
+    from .region import ConnectedComponentsSegmenter, RegionGrowingSegmenter
+    from .threshold import AdaptiveMeanThresholdSegmenter, FixedThresholdSegmenter
+
+    from ..core.feature_segmenter import FeatureIQFTSegmenter
+    from ..core.sampling_segmenter import ShotBasedIQFTSegmenter
+
+    register_segmenter("iqft-rgb", IQFTSegmenter)
+    register_segmenter("iqft-gray", IQFTGrayscaleSegmenter)
+    register_segmenter("iqft-features", FeatureIQFTSegmenter)
+    register_segmenter("iqft-rgb-shots", ShotBasedIQFTSegmenter)
+    register_segmenter("kmeans", KMeansSegmenter)
+    register_segmenter("otsu", OtsuSegmenter)
+    register_segmenter("multi-otsu", MultiOtsuSegmenter)
+    register_segmenter("fixed-threshold", FixedThresholdSegmenter)
+    register_segmenter("adaptive-mean", AdaptiveMeanThresholdSegmenter)
+    register_segmenter("connected-components", ConnectedComponentsSegmenter)
+    register_segmenter("region-growing", RegionGrowingSegmenter)
+
+
+_register_builtins()

@@ -1,0 +1,73 @@
+"""Simple thresholding segmenters used in ablations and tests.
+
+These are not paper baselines; they exist to (a) sanity-check the evaluation
+plumbing with methods whose behaviour is trivially predictable, and (b) serve
+as the reference implementation for the θ ↔ threshold equivalence tests
+(an :class:`IQFTGrayscaleSegmenter` with a single threshold must agree exactly
+with a :class:`FixedThresholdSegmenter` at that threshold).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+from scipy import ndimage
+
+from ..base import BaseSegmenter
+from ..errors import ParameterError
+from ..imaging.color import rgb_to_gray
+from ..imaging.image import as_float_image
+
+__all__ = ["FixedThresholdSegmenter", "AdaptiveMeanThresholdSegmenter"]
+
+
+class FixedThresholdSegmenter(BaseSegmenter):
+    """Label 1 where the (grayscale) intensity exceeds a fixed threshold."""
+
+    name = "fixed-threshold"
+
+    def __init__(self, threshold: float = 0.5):
+        super().__init__()
+        if not 0.0 <= threshold <= 1.0:
+            raise ParameterError("threshold must lie in [0, 1]")
+        self.threshold = float(threshold)
+
+    def _segment(self, image: np.ndarray) -> np.ndarray:
+        img = as_float_image(image)
+        if img.ndim == 3:
+            img = rgb_to_gray(img)
+        return (img > self.threshold).astype(np.int64)
+
+    def _extras(self) -> dict:
+        return {"threshold": self.threshold}
+
+
+class AdaptiveMeanThresholdSegmenter(BaseSegmenter):
+    """Local adaptive thresholding: compare each pixel to its neighbourhood mean.
+
+    A pixel is foreground when it exceeds the mean of a ``window × window``
+    neighbourhood by at least ``offset``.  Included as the representative of
+    "adaptive thresholding" from the related-work taxonomy; useful on images
+    with strong illumination gradients where global methods (Otsu, fixed θ)
+    struggle.
+    """
+
+    name = "adaptive-mean"
+
+    def __init__(self, window: int = 31, offset: float = 0.0):
+        super().__init__()
+        if window < 3 or window % 2 == 0:
+            raise ParameterError("window must be an odd integer >= 3")
+        self.window = int(window)
+        self.offset = float(offset)
+
+    def _segment(self, image: np.ndarray) -> np.ndarray:
+        img = as_float_image(image)
+        if img.ndim == 3:
+            img = rgb_to_gray(img)
+        local_mean = ndimage.uniform_filter(img, size=self.window, mode="reflect")
+        return (img > local_mean + self.offset).astype(np.int64)
+
+    def _extras(self) -> dict:
+        return {"window": self.window, "offset": self.offset}

@@ -1,0 +1,168 @@
+"""Command-line interface.
+
+Three subcommands::
+
+    repro-segment segment  INPUT OUTPUT [--method iqft-rgb] [--theta 3.1416]
+    repro-segment evaluate [--dataset voc|xview2] [--samples 20] [--methods ...]
+    repro-segment experiment NAME   # table1, table2, table3, fig3, fig4, ...
+
+``segment`` reads an image file (PPM/PGM/PNG/BMP), runs one method and writes
+the colourized label map; ``evaluate`` runs the Table-III sweep on a synthetic
+dataset and prints the summary table; ``experiment`` regenerates a specific
+table/figure and prints it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["build_parser", "main"]
+
+_EXPERIMENTS = (
+    "table1",
+    "table2",
+    "table3",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "theta-sweep",
+    "robustness",
+    "shots",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed separately for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-segment",
+        description="IQFT-inspired unsupervised image segmentation (IPPS 2023 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    seg = sub.add_parser("segment", help="segment a single image file")
+    seg.add_argument("input", help="input image (.ppm/.pgm/.png/.bmp)")
+    seg.add_argument("output", help="output label-map image")
+    seg.add_argument("--method", default="iqft-rgb", help="registered method name")
+    seg.add_argument("--theta", type=float, default=float(np.pi), help="angle parameter θ")
+
+    ev = sub.add_parser("evaluate", help="run the Table-III sweep on a synthetic dataset")
+    ev.add_argument("--dataset", choices=("voc", "xview2"), default="voc")
+    ev.add_argument("--samples", type=int, default=10)
+    ev.add_argument("--executor", choices=("serial", "thread", "process"), default="serial")
+
+    ex = sub.add_parser("experiment", help="regenerate a specific table/figure")
+    ex.add_argument("name", choices=_EXPERIMENTS)
+    ex.add_argument("--samples", type=int, default=None, help="dataset size override")
+    return parser
+
+
+def _cmd_segment(args: argparse.Namespace) -> int:
+    from .baselines.registry import get_segmenter
+    from .imaging.io_dispatch import read_image
+    from .viz.export import save_label_map
+
+    image = read_image(args.input)
+    kwargs = {}
+    if args.method == "iqft-rgb":
+        kwargs["thetas"] = args.theta
+    elif args.method == "iqft-gray":
+        kwargs["theta"] = args.theta
+    segmenter = get_segmenter(args.method, **kwargs)
+    result = segmenter.segment(image)
+    save_label_map(args.output, result.labels)
+    print(
+        f"method={result.method} segments={result.num_segments} "
+        f"runtime={result.runtime_seconds:.3f}s -> {args.output}"
+    )
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    from .datasets.synthetic_voc import SyntheticVOCDataset
+    from .datasets.synthetic_xview import SyntheticXView2Dataset
+    from .experiments.table3 import format_table3, run_table3
+    from .parallel.executor import get_executor
+
+    if args.dataset == "voc":
+        dataset = SyntheticVOCDataset(num_samples=args.samples)
+    else:
+        dataset = SyntheticXView2Dataset(num_samples=args.samples)
+    executor = get_executor(args.executor)
+    result = run_table3(dataset, executor=executor)
+    print(format_table3([result]))
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from . import experiments as ex
+
+    name = args.name
+    if name == "table1":
+        print(ex.format_table1(ex.run_table1()))
+    elif name == "table2":
+        samples = args.samples or 100_000
+        print(ex.format_table2(ex.run_table2(num_samples=samples)))
+    elif name == "table3":
+        from .experiments.table3 import default_datasets
+
+        samples = args.samples or 20
+        datasets = default_datasets(voc_samples=samples, xview_samples=samples)
+        results = [ex.run_table3(ds) for ds in datasets.values()]
+        print(ex.format_table3(results))
+    elif name == "fig3":
+        print(ex.format_figure3(ex.run_figure3()))
+    elif name == "fig4":
+        print(ex.format_figure4(ex.run_figure4()))
+    elif name == "fig5":
+        print(ex.format_figure5(ex.run_figure5()))
+    elif name == "fig6":
+        print(ex.format_figure6(ex.run_figure6()))
+    elif name == "fig7":
+        print(ex.format_figure7(ex.run_figure7()))
+    elif name == "fig8":
+        print(ex.format_example_table(ex.run_figure8(), "Figure 8 — VOC-style examples"))
+    elif name == "fig9":
+        print(ex.format_example_table(ex.run_figure9(), "Figure 9 — xVIEW2-style examples"))
+    elif name == "fig10":
+        print(ex.format_figure10(ex.run_figure10()))
+    elif name == "theta-sweep":
+        print(ex.format_theta_sensitivity(ex.run_theta_sensitivity(num_images=args.samples or 8)))
+    elif name == "robustness":
+        print(ex.format_noise_robustness(ex.run_noise_robustness(num_images=args.samples or 4)))
+    elif name == "shots":
+        from .quantum.noise_models import NoiseModel
+
+        result = ex.run_shot_convergence(
+            shots=(1, 8, 64, 256), noise_model=NoiseModel(phase_damping=0.01, readout_error=0.01)
+        )
+        print(ex.format_shot_convergence(result))
+    else:  # pragma: no cover - argparse already restricts choices
+        raise SystemExit(f"unknown experiment {name}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "segment":
+        return _cmd_segment(args)
+    if args.command == "evaluate":
+        return _cmd_evaluate(args)
+    if args.command == "experiment":
+        return _cmd_experiment(args)
+    parser.error("unknown command")  # pragma: no cover
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

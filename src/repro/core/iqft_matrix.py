@@ -1,0 +1,147 @@
+"""Construction of the IQFT classification matrix (equation (11)).
+
+Two closely related matrices appear in the paper:
+
+* the *unitary* inverse-QFT matrix with entries ``ω^{-jk} / √N``
+  (:func:`iqft_unitary_matrix`), and
+* the *classification* matrix actually used in Algorithm 1, which carries a
+  ``1/N`` prefactor because it multiplies the **unnormalized** phase column
+  vector ``F`` whose Euclidean norm is ``√N`` (:func:`iqft_classification_matrix`).
+
+Both produce the same probabilities; keeping the two scalings explicit lets the
+tests assert that the classification output is exactly the measurement
+distribution of the genuine quantum circuit.
+
+The *basis phase patterns* of Figure 1 — the rows of the ``N × N`` matrix seen
+as ``N`` points on the unit circle each — are exposed via
+:func:`basis_phase_patterns`.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from ..errors import ParameterError
+
+__all__ = [
+    "omega",
+    "iqft_unitary_matrix",
+    "iqft_classification_matrix",
+    "basis_bit_matrix",
+    "basis_phase_patterns",
+    "bit_reversed_index",
+    "bit_reversal_permutation",
+]
+
+
+def _check_qubits(num_qubits: int) -> int:
+    n = int(num_qubits)
+    if n < 1:
+        raise ParameterError("num_qubits must be >= 1")
+    if n > 16:
+        raise ParameterError("num_qubits > 16 would allocate a >4G-element matrix")
+    return n
+
+
+def omega(num_states: int) -> complex:
+    """The primitive ``num_states``-th root of unity ``exp(2πi/num_states)``."""
+    if num_states < 1:
+        raise ParameterError("num_states must be positive")
+    return complex(np.exp(2j * np.pi / num_states))
+
+
+@lru_cache(maxsize=32)
+def _exponent_matrix(dim: int) -> np.ndarray:
+    indices = np.arange(dim)
+    return np.outer(indices, indices) % dim
+
+
+def iqft_unitary_matrix(num_qubits: int) -> np.ndarray:
+    """Unitary IQFT matrix: entry ``(j, k) = ω^{-jk} / √N`` with ``N = 2^n``."""
+    n = _check_qubits(num_qubits)
+    dim = 2**n
+    mat = np.power(np.conj(omega(dim)), _exponent_matrix(dim)) / np.sqrt(dim)
+    return np.ascontiguousarray(mat.astype(np.complex128))
+
+
+def iqft_classification_matrix(num_qubits: int) -> np.ndarray:
+    """The paper's ``W`` scaled as in equation (11): entry ``(j, k) = ω^{-jk}``.
+
+    Algorithm 1 divides the matrix-vector product by ``N`` (line 4 divides by
+    8 for the 3-qubit case), so the matrix itself is returned unscaled; see
+    :meth:`repro.core.classifier.IQFTClassifier.amplitudes` for where the
+    ``1/N`` is applied.
+    """
+    n = _check_qubits(num_qubits)
+    dim = 2**n
+    mat = np.power(np.conj(omega(dim)), _exponent_matrix(dim))
+    return np.ascontiguousarray(mat.astype(np.complex128))
+
+
+@lru_cache(maxsize=32)
+def basis_bit_matrix(num_qubits: int) -> np.ndarray:
+    """Binary expansion of the basis indices, most-significant bit first.
+
+    Returns an ``(N, n)`` float array ``B`` with ``B[k, j]`` the ``j``-th bit
+    of ``k`` (``j = 0`` is the most significant).  With per-pixel phases
+    ``φ = (α, β, γ, ...)`` ordered most-significant-qubit first, the phase of
+    the ``k``-th component of the (unnormalized) encoded state is ``B[k] · φ``
+    — exactly the exponents of the column vector in equation (11).
+    """
+    n = _check_qubits(num_qubits)
+    dim = 2**n
+    indices = np.arange(dim)
+    shifts = np.arange(n - 1, -1, -1)
+    bits = (indices[:, None] >> shifts[None, :]) & 1
+    out = bits.astype(np.float64)
+    out.flags.writeable = False
+    return out
+
+
+def bit_reversed_index(index: int, num_qubits: int) -> int:
+    """Return ``index`` with its ``num_qubits``-bit binary expansion reversed.
+
+    The textbook QFT/IQFT *circuit* emits its result with the qubit order
+    reversed unless a final SWAP network is appended; as a consequence the
+    basis-state labels reported by a circuit-convention implementation are the
+    bit reversal of the labels produced by the matrix of equation (11).  The
+    paper's Figure 3 labels the winning state of its worked example ``|100⟩``,
+    which is the bit reversal of the matrix-convention argmax ``|001⟩`` — the
+    two labelings describe the same classification, and this helper converts
+    between them (it is its own inverse).
+    """
+    n = _check_qubits(num_qubits)
+    idx = int(index)
+    if not 0 <= idx < 2**n:
+        raise ParameterError(f"index {idx} out of range for {n} qubit(s)")
+    reversed_bits = 0
+    for _ in range(n):
+        reversed_bits = (reversed_bits << 1) | (idx & 1)
+        idx >>= 1
+    return reversed_bits
+
+
+@lru_cache(maxsize=32)
+def bit_reversal_permutation(num_qubits: int) -> np.ndarray:
+    """The full permutation ``j -> bit_reversed_index(j)`` as an index array."""
+    n = _check_qubits(num_qubits)
+    perm = np.array([bit_reversed_index(j, n) for j in range(2**n)], dtype=np.int64)
+    perm.flags.writeable = False
+    return perm
+
+
+def basis_phase_patterns(num_qubits: int) -> np.ndarray:
+    """Phase angles of each basis-vector pattern (Figure 1 of the paper).
+
+    Row ``j`` of the IQFT matrix is the pattern
+    ``(1, ω^{-j}, ω^{-2j}, ..., ω^{-(N-1)j})``; this function returns the
+    ``(N, N)`` array of its phase angles in ``[0, 2π)`` so that the Figure-1
+    unit-circle visualization (and the pattern-similarity intuition behind the
+    classifier) can be regenerated exactly.
+    """
+    n = _check_qubits(num_qubits)
+    dim = 2**n
+    angles = (-2.0 * np.pi / dim) * _exponent_matrix(dim)
+    return np.mod(angles, 2.0 * np.pi)

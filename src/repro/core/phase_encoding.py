@@ -1,0 +1,138 @@
+"""Pixel-intensity → relative-phase encoding (lines 1–3 of Algorithm 1).
+
+The encoding is deliberately split out of the segmenters so that it can be
+tested, benchmarked and reused (e.g. by the quantum-circuit equivalence
+checks) independently of the classification step.
+
+Conventions
+-----------
+* Channel order for RGB pixels is ``(R, G, B)``.
+* Following Algorithm 1, ``γ = R·θ1``, ``β = G·θ2``, ``α = B·θ3``.
+* Phase vectors list the **most significant qubit first**: ``(α, β, γ)`` for
+  the 3-qubit RGB case, matching the tensor-product order of equation (11)
+  and :func:`repro.core.iqft_matrix.basis_bit_matrix`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple, Union
+
+import numpy as np
+
+from ..errors import ParameterError, ShapeError
+from .iqft_matrix import basis_bit_matrix
+
+__all__ = [
+    "DEFAULT_THETA",
+    "normalize_pixels",
+    "pixel_phases",
+    "phase_vector",
+    "phase_vectors",
+]
+
+#: The θ used for the paper's main Table-III experiments (θ1 = θ2 = θ3 = π).
+DEFAULT_THETA: Tuple[float, float, float] = (np.pi, np.pi, np.pi)
+
+
+def normalize_pixels(pixels: np.ndarray, max_value: float = 255.0) -> np.ndarray:
+    """Line 1 of Algorithm 1: scale raw intensities into ``[0, 1]``.
+
+    * ``uint8`` input is divided by 255.
+    * Floating-point input whose maximum is ≤ 1 is treated as already
+      normalized (returned clipped to ``[0, 1]``), so the segmenters accept
+      either storage convention without double-scaling.
+    * Other numeric input is divided by ``max_value``.
+    """
+    if max_value <= 0:
+        raise ParameterError("max_value must be positive")
+    arr = np.asarray(pixels)
+    if arr.dtype == np.uint8:
+        return arr.astype(np.float64) / 255.0
+    out = arr.astype(np.float64)
+    if out.size == 0 or float(out.max()) <= 1.0 + 1e-12:
+        return np.clip(out, 0.0, 1.0)
+    return np.clip(out / float(max_value), 0.0, 1.0)
+
+
+def _as_thetas(thetas: Union[float, Sequence[float]], channels: int) -> np.ndarray:
+    arr = np.atleast_1d(np.asarray(thetas, dtype=np.float64))
+    if arr.size == 1:
+        arr = np.full(channels, float(arr[0]), dtype=np.float64)
+    if arr.size != channels:
+        raise ParameterError(
+            f"expected {channels} angle parameter(s), got {arr.size}"
+        )
+    if np.any(arr < 0):
+        raise ParameterError("angle parameters must be non-negative")
+    return arr
+
+
+def pixel_phases(
+    normalized: np.ndarray, thetas: Union[float, Sequence[float]] = DEFAULT_THETA
+) -> np.ndarray:
+    """Line 2 of Algorithm 1: map normalized channels to phases.
+
+    Parameters
+    ----------
+    normalized:
+        ``(..., C)`` array of normalized channel intensities in ``[0, 1]``
+        with channel order ``(R, G, B)`` for ``C = 3`` (or a ``(...,)`` /
+        ``(..., 1)`` array for grayscale).
+    thetas:
+        A scalar or ``C`` angle parameters ``(θ1, ..., θC)``; ``θ1``
+        multiplies the first channel (R), as in Algorithm 1.
+
+    Returns
+    -------
+    phases:
+        ``(..., C)`` array ordered **most significant qubit first**, i.e. the
+        channel order is reversed so that for RGB the result is
+        ``(α, β, γ) = (B·θ3, G·θ2, R·θ1)``.
+    """
+    arr = np.asarray(normalized, dtype=np.float64)
+    theta_seq = np.atleast_1d(np.asarray(thetas, dtype=np.float64))
+    if theta_seq.size == 1:
+        # Scalar θ: interpret the entire input as single-channel intensities.
+        arr = arr[..., np.newaxis]
+        channels = 1
+    else:
+        channels = int(theta_seq.size)
+        if arr.ndim == 0 or arr.shape[-1] != channels:
+            raise ShapeError(
+                f"expected a trailing channel axis of size {channels}, "
+                f"got input shape {np.shape(normalized)}"
+            )
+    theta_arr = _as_thetas(thetas, channels)
+    phases = arr * theta_arr  # broadcasting over the channel axis
+    return phases[..., ::-1]  # reverse: last channel becomes the most significant qubit
+
+
+def phase_vector(phases: Sequence[float]) -> np.ndarray:
+    """Line 3 of Algorithm 1 for a single pixel: the ``2^n``-component vector.
+
+    Given ``n`` phases ``(α, β, γ, ...)`` (most significant first), returns the
+    unnormalized column vector ``F`` of equation (11) with
+    ``F_k = exp(i · bits(k)·phases)``.
+    """
+    phi = np.asarray(phases, dtype=np.float64).reshape(-1)
+    if phi.size < 1:
+        raise ShapeError("need at least one phase")
+    bits = basis_bit_matrix(phi.size)
+    return np.exp(1j * (bits @ phi))
+
+
+def phase_vectors(phases: np.ndarray) -> np.ndarray:
+    """Vectorized form of :func:`phase_vector` for ``(N, n)`` phase arrays.
+
+    Returns an ``(N, 2^n)`` complex array whose ``m``-th row is the pixel-``m``
+    column vector of equation (11).  This is the memory-dominant intermediate
+    of the algorithm (``16 · N · 2^n`` bytes), which is why the segmenters
+    process pixels in chunks.
+    """
+    arr = np.asarray(phases, dtype=np.float64)
+    if arr.ndim == 1:
+        arr = arr[np.newaxis, :]
+    if arr.ndim != 2:
+        raise ShapeError(f"phases must be an (N, n) array, got shape {arr.shape}")
+    bits = basis_bit_matrix(arr.shape[1])
+    return np.exp(1j * (arr @ bits.T))

@@ -1,0 +1,185 @@
+"""θ-dependent behaviour: segment-count analysis (Table II) and θ tuning (Fig. 10).
+
+Two distinct questions are answered here:
+
+* *How many segments can a given θ produce?*  The paper samples 100,000 random
+  normalized RGB triples and reports the maximum number of distinct labels
+  (Table II).  :func:`max_segments_for_theta` reproduces exactly that protocol;
+  :func:`segment_count_table` sweeps the θ values listed in the paper.
+* *Which θ should be used for a given image?*  The paper fixes θ = π for the
+  headline comparison but shows (Figure 10) that adjusting θ per image rescues
+  failure cases.  :func:`tune_theta_supervised` grid-searches θ against a
+  ground-truth mask (upper bound / oracle tuning, the protocol behind
+  Figure 10), and :func:`tune_theta_unsupervised` picks θ by an internal
+  balance criterion that needs no labels.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..config import SeedLike, as_generator
+from ..errors import ParameterError
+from ..metrics.iou import mean_iou
+from .labels import binarize_by_overlap, count_segments
+from .rgb_segmenter import IQFTSegmenter
+
+__all__ = [
+    "PAPER_TABLE2_THETAS",
+    "max_segments_for_theta",
+    "segment_count_table",
+    "ThetaSearchResult",
+    "tune_theta_supervised",
+    "tune_theta_unsupervised",
+    "DEFAULT_THETA_GRID",
+]
+
+ThetaTriple = Tuple[float, float, float]
+
+#: θ configurations of Table II: nine rows, the last being the "mixed" setting.
+PAPER_TABLE2_THETAS: Tuple[ThetaTriple, ...] = tuple(
+    (t, t, t)
+    for t in (
+        np.pi / 4,
+        np.pi / 2,
+        3 * np.pi / 4,
+        np.pi,
+        5 * np.pi / 4,
+        3 * np.pi / 2,
+        7 * np.pi / 4,
+        2 * np.pi,
+    )
+) + ((np.pi / 4, np.pi / 2, np.pi),)
+
+#: Candidate θ values used by the tuning helpers (the values discussed in the
+#: paper's Figures 6 and 10 plus a slightly finer grid around them).
+DEFAULT_THETA_GRID: Tuple[float, ...] = (
+    np.pi / 2,
+    3 * np.pi / 4,
+    np.pi,
+    5 * np.pi / 4,
+    3 * np.pi / 2,
+    7 * np.pi / 4,
+    2 * np.pi,
+)
+
+
+def max_segments_for_theta(
+    thetas: Union[float, Sequence[float]],
+    num_samples: int = 100_000,
+    seed: SeedLike = 0,
+) -> int:
+    """Maximum number of distinct labels over random normalized RGB samples.
+
+    Reproduces the Table-II protocol: draw ``num_samples`` RGB triples
+    uniformly from ``[0, 1]³``, classify each with the IQFT RGB rule under the
+    given θ configuration, and count the distinct labels observed.
+    """
+    if num_samples < 1:
+        raise ParameterError("num_samples must be positive")
+    rng = as_generator(seed)
+    samples = rng.random((int(num_samples), 3))
+    segmenter = IQFTSegmenter(thetas=thetas, normalize=True, max_value=1.0)
+    # Classify the flat sample list by shaping it as a 1-pixel-high image.
+    labels = segmenter.segment(samples.reshape(1, -1, 3)).labels
+    return int(np.unique(labels).size)
+
+
+def segment_count_table(
+    theta_rows: Iterable[ThetaTriple] = PAPER_TABLE2_THETAS,
+    num_samples: int = 100_000,
+    seed: SeedLike = 0,
+) -> Dict[ThetaTriple, int]:
+    """Regenerate Table II: θ configuration → maximum number of segments."""
+    return {
+        tuple(float(t) for t in row): max_segments_for_theta(row, num_samples, seed)
+        for row in theta_rows
+    }
+
+
+@dataclasses.dataclass
+class ThetaSearchResult:
+    """Outcome of a θ search.
+
+    Attributes
+    ----------
+    best_theta:
+        The selected angle (scalar; applied to all three channels).
+    best_score:
+        The criterion value achieved at ``best_theta`` (mIOU for the
+        supervised search, the balance score for the unsupervised one).
+    scores:
+        Mapping of every candidate θ to its score.
+    """
+
+    best_theta: float
+    best_score: float
+    scores: Dict[float, float]
+
+
+def tune_theta_supervised(
+    image: np.ndarray,
+    ground_truth: np.ndarray,
+    void_mask: Optional[np.ndarray] = None,
+    candidates: Sequence[float] = DEFAULT_THETA_GRID,
+    segmenter: Optional[IQFTSegmenter] = None,
+) -> ThetaSearchResult:
+    """Oracle θ tuning: pick the candidate maximizing mIOU against the mask.
+
+    This is the protocol behind Figure 10: the paper picks θ = 3π/4 instead of
+    π for images where π fails badly, showing the headline numbers are a lower
+    bound on what per-image tuning achieves.
+    """
+    if len(candidates) == 0:
+        raise ParameterError("need at least one candidate theta")
+    base = segmenter or IQFTSegmenter()
+    scores: Dict[float, float] = {}
+    for theta in candidates:
+        seg = base.with_thetas(theta)
+        labels = seg.segment(image).labels
+        binary = binarize_by_overlap(labels, ground_truth, void_mask)
+        scores[float(theta)] = float(
+            mean_iou(binary, ground_truth, void_mask=void_mask)
+        )
+    best_theta = max(scores, key=lambda t: scores[t])
+    return ThetaSearchResult(best_theta=best_theta, best_score=scores[best_theta], scores=scores)
+
+
+def tune_theta_unsupervised(
+    image: np.ndarray,
+    candidates: Sequence[float] = DEFAULT_THETA_GRID,
+    target_segments: int = 2,
+    segmenter: Optional[IQFTSegmenter] = None,
+) -> ThetaSearchResult:
+    """Label-free θ selection by a segment-balance criterion.
+
+    For each candidate θ the image is segmented and scored by how well the
+    result matches a foreground/background decomposition:
+
+    * the number of segments should be close to ``target_segments``;
+    * the entropy of the segment-size distribution should be high (a
+      degenerate everything-in-one-segment output scores 0).
+
+    The score is ``entropy / log(max(segments, 2)) − |segments − target| / 8``,
+    a bounded heuristic that prefers a small number of well-populated segments.
+    """
+    if len(candidates) == 0:
+        raise ParameterError("need at least one candidate theta")
+    base = segmenter or IQFTSegmenter()
+    scores: Dict[float, float] = {}
+    for theta in candidates:
+        seg = base.with_thetas(theta)
+        labels = seg.segment(image).labels
+        k = count_segments(labels)
+        _, counts = np.unique(labels, return_counts=True)
+        fractions = counts / counts.sum()
+        entropy = float(-(fractions * np.log(fractions + 1e-12)).sum())
+        norm = np.log(max(k, 2))
+        balance = entropy / norm if norm > 0 else 0.0
+        penalty = abs(k - target_segments) / 8.0
+        scores[float(theta)] = balance - penalty
+    best_theta = max(scores, key=lambda t: scores[t])
+    return ThetaSearchResult(best_theta=best_theta, best_score=scores[best_theta], scores=scores)

@@ -1,0 +1,129 @@
+"""θ ↔ intensity-threshold calculus for the grayscale algorithm.
+
+Section IV-C of the paper shows that the single-qubit classifier is a
+thresholding technique: a pixel with normalized intensity ``I`` is assigned to
+class 1 when ``cos(Iθ) > 0`` and to class 2 when ``cos(Iθ) < 0``, so the
+decision boundaries are the solutions of ``cos(I·θ) = 0``:
+
+    ``I_th · θ = (4k ± 1) · π/2``,   ``k = 0, 1, 2, ...``,   ``I_th ≤ 1``.
+
+A single θ therefore realizes one *or several* thresholds (Table I and
+equation (16)); conversely any threshold produced by e.g. Otsu's method can be
+converted to an equivalent θ (Figure 7).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..errors import ParameterError
+
+__all__ = [
+    "thresholds_for_theta",
+    "theta_for_threshold",
+    "grayscale_class_probabilities",
+    "classify_intensity",
+    "paper_table1",
+    "PAPER_TABLE1_THETAS",
+]
+
+#: The θ values listed in Table I of the paper.
+PAPER_TABLE1_THETAS: Tuple[float, ...] = (
+    3.0 * np.pi / 4.0,
+    np.pi,
+    5.0 * np.pi / 4.0,
+    3.0 * np.pi / 2.0,
+    7.0 * np.pi / 4.0,
+    2.0 * np.pi,
+)
+
+
+def thresholds_for_theta(theta: float, tol: float = 1e-12) -> List[float]:
+    """All intensity thresholds in ``(0, 1)`` realized by the angle ``theta``.
+
+    Returns the sorted solutions of ``I·θ = (4k ± 1)·π/2`` with ``0 < I < 1``.
+    A solution at exactly ``I = 1`` is excluded because no normalized
+    intensity lies above it, so it cannot separate anything (this is why the
+    paper's Table I lists a single threshold for θ = 3π/2 even though
+    ``3·π/(2·3π/2) = 1`` also solves the equation).  For ``θ ≤ π/2`` the list
+    is empty (no sign change of ``cos`` within the intensity range, hence a
+    single segment).
+    """
+    if theta <= 0:
+        raise ParameterError("theta must be positive")
+    thresholds: List[float] = []
+    k = 0
+    while True:
+        produced = False
+        for sign in (-1.0, 1.0):
+            multiplier = 4.0 * k + sign
+            if multiplier <= 0:
+                continue
+            candidate = multiplier * np.pi / (2.0 * theta)
+            if candidate < 1.0 - tol:
+                thresholds.append(candidate)
+                produced = True
+        if not produced and (4.0 * k - 1.0) * np.pi / (2.0 * theta) >= 1.0 - tol:
+            break
+        k += 1
+        if k > 10_000:  # pragma: no cover - safety stop for absurd θ
+            break
+    return sorted(set(round(t, 15) for t in thresholds))
+
+
+def theta_for_threshold(threshold: float, k: int = 0, sign: int = 1) -> float:
+    """The angle θ whose ``(k, sign)`` decision boundary equals ``threshold``.
+
+    ``θ = (4k ± 1)·π / (2·I_th)``.  With the defaults (``k=0, sign=+1``) this
+    is the conversion used for Figure 7: an Otsu threshold of 0.4465 maps to
+    ``θ ≈ 1.1197π``.
+    """
+    if not 0.0 < threshold <= 1.0:
+        raise ParameterError("threshold must lie in (0, 1]")
+    if sign not in (1, -1):
+        raise ParameterError("sign must be +1 or -1")
+    multiplier = 4 * int(k) + sign
+    if multiplier <= 0:
+        raise ParameterError("4k + sign must be positive")
+    return multiplier * np.pi / (2.0 * float(threshold))
+
+
+def grayscale_class_probabilities(intensity: np.ndarray, theta: float) -> Tuple[np.ndarray, np.ndarray]:
+    """Equation (14): the two class probabilities for normalized intensities.
+
+    ``p(class1) = ((1 + cos Iθ)² + sin² Iθ)/4 = (1 + cos Iθ)/2`` and
+    ``p(class2) = (1 − cos Iθ)/2``; both forms are equal, and the expanded
+    form from the paper is evaluated literally so tests can confirm the
+    simplification.
+    """
+    if theta <= 0:
+        raise ParameterError("theta must be positive")
+    arr = np.asarray(intensity, dtype=np.float64)
+    angle = arr * float(theta)
+    cos_a = np.cos(angle)
+    sin_a = np.sin(angle)
+    p1 = ((1.0 + cos_a) ** 2 + sin_a**2) / 4.0
+    p2 = ((1.0 - cos_a) ** 2 + sin_a**2) / 4.0
+    return p1, p2
+
+
+def classify_intensity(intensity: np.ndarray, theta: float) -> np.ndarray:
+    """Binary label per intensity: 0 where ``p(class1) ≥ p(class2)``, else 1.
+
+    Equivalent to ``cos(Iθ) < 0`` → label 1, matching the threshold rule of
+    equation (15).  The boundary itself (``cos = 0``) is assigned to class 0,
+    consistent with the argmax tie-break of the general classifier.
+    """
+    p1, p2 = grayscale_class_probabilities(intensity, theta)
+    return (p2 > p1).astype(np.int64)
+
+
+def paper_table1() -> Dict[float, List[float]]:
+    """Regenerate Table I: θ → threshold value(s).
+
+    Returns a mapping from each θ listed in the paper to its thresholds,
+    e.g. ``{3π/4: [0.667], ..., 7π/4: [0.2857, 0.857], 2π: [0.25, 0.75]}``.
+    """
+    return {theta: thresholds_for_theta(theta) for theta in PAPER_TABLE1_THETAS}

@@ -1,0 +1,42 @@
+"""Datasets: synthetic stand-ins for the paper's benchmarks plus loaders.
+
+The paper evaluates on PASCAL VOC 2012 (2913 labelled photos) and the xVIEW2
+"joplin-tornado" pre-disaster satellite tiles (148 images).  Neither can be
+downloaded in this environment, so this package provides *procedurally
+generated* datasets that preserve the statistical properties the compared
+algorithms are sensitive to (see DESIGN.md §2 for the substitution argument):
+
+* :class:`SyntheticVOCDataset` — "natural photo"-style scenes: textured
+  backgrounds, 1–4 coloured foreground objects, VOC-style void border bands
+  around objects.
+* :class:`SyntheticXView2Dataset` — overhead satellite-style scenes: terrain
+  texture, road grid, bright rectangular rooftops as foreground.
+* :func:`make_balls_image` — the coloured-balls scene of Figure 4.
+* :func:`random_pixel_dataset` — the 100,000 × 3 random-RGB protocol of
+  Table II.
+* :class:`ShapesDataset` — simple geometric scenes for unit tests.
+* :class:`DirectoryDataset` — load real images + masks from disk when the user
+  does have VOC/xVIEW2 locally (PPM/PGM/PNG/BMP).
+"""
+
+from .base import Sample, Dataset
+from .synthetic_voc import SyntheticVOCDataset
+from .synthetic_xview import SyntheticXView2Dataset
+from .multispectral import SyntheticMultispectralDataset
+from .shapes import ShapesDataset
+from .balls import make_balls_image, BALL_COLORS
+from .random_pixels import random_pixel_dataset
+from .loaders import DirectoryDataset
+
+__all__ = [
+    "Sample",
+    "Dataset",
+    "SyntheticVOCDataset",
+    "SyntheticXView2Dataset",
+    "SyntheticMultispectralDataset",
+    "ShapesDataset",
+    "make_balls_image",
+    "BALL_COLORS",
+    "random_pixel_dataset",
+    "DirectoryDataset",
+]

@@ -1,0 +1,84 @@
+"""The coloured-balls scene of Figure 4 (multiple-threshold demonstration).
+
+The paper's Figure 4 shows a set of balls of increasing intensity —
+dark ones, then red / green / lemon ones, then brighter ones — and asks the
+methods to separate *only* the red, green and lemon balls from both the darker
+and the brighter balls.  A single threshold cannot do that; the IQFT grayscale
+method with θ = 4π realizes the four thresholds {1/8, 3/8, 5/8, 7/8} of
+equation (16) and isolates the mid-intensity balls with one parameter.
+
+:func:`make_balls_image` builds a deterministic version of that scene along
+with the ground-truth mask of the mid-intensity (red/green/lemon) balls.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..errors import DatasetError
+from ..imaging import synthesis
+
+__all__ = ["BALL_COLORS", "make_balls_image"]
+
+#: Ball name → (RGB colour, is-target) — targets are the red/green/lemon balls
+#: whose grayscale intensities fall between 3/8 and 5/8 (the middle band of
+#: θ = 4π).  Dark and bright balls fall outside that band.
+BALL_COLORS: Dict[str, Tuple[Tuple[float, float, float], bool]] = {
+    "dark-navy": ((0.10, 0.10, 0.25), False),
+    "dark-brown": ((0.25, 0.15, 0.10), False),
+    "red": ((0.85, 0.35, 0.25), True),
+    "green": ((0.20, 0.55, 0.20), True),
+    "lemon": ((0.60, 0.60, 0.15), True),
+    "light-gray": ((0.85, 0.85, 0.85), False),
+    "white": ((0.97, 0.97, 0.95), False),
+    "bright-cyan": ((0.70, 0.95, 0.95), False),
+}
+
+
+def make_balls_image(
+    shape: Tuple[int, int] = (120, 240),
+    radius: int = 12,
+    background: float = 0.02,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Build the Figure-4 scene.
+
+    Parameters
+    ----------
+    shape:
+        Image shape ``(H, W)``; must be wide enough for eight balls in a row.
+    radius:
+        Ball radius in pixels.
+    background:
+        Background gray level (near black, as in the figure).
+
+    Returns
+    -------
+    image, target_mask:
+        ``(H, W, 3)`` float RGB image and the boolean mask of the balls that a
+        correct multi-threshold segmentation should isolate (red, green,
+        lemon).
+    """
+    height, width = int(shape[0]), int(shape[1])
+    count = len(BALL_COLORS)
+    if width < count * (2 * radius + 4):
+        raise DatasetError(
+            f"image of width {width} cannot hold {count} balls of radius {radius}"
+        )
+    canvas = np.full((height, width, 3), float(background), dtype=np.float64)
+    target = np.zeros((height, width), dtype=bool)
+
+    spacing = width / count
+    row_top = height / 3.0
+    row_bottom = 2.0 * height / 3.0
+    for i, (name, (color, is_target)) in enumerate(BALL_COLORS.items()):
+        center_col = (i + 0.5) * spacing
+        center_row = row_top if i % 2 == 0 else row_bottom
+        mask = synthesis.ellipse_mask(
+            (height, width), (center_row, center_col), (radius, radius)
+        )
+        canvas = synthesis.composite(canvas, [(mask.astype(np.float64), color)])
+        if is_target:
+            target |= mask
+    return canvas, target

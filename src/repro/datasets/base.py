@@ -1,0 +1,120 @@
+"""Dataset and sample abstractions shared by all concrete datasets."""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+from typing import Dict, Iterator, Optional
+
+import numpy as np
+
+from ..errors import DatasetError
+
+__all__ = ["Sample", "Dataset"]
+
+
+@dataclasses.dataclass
+class Sample:
+    """A single evaluation sample.
+
+    Attributes
+    ----------
+    name:
+        Unique identifier within the dataset.
+    image:
+        ``(H, W, 3)`` float RGB image in ``[0, 1]``.
+    mask:
+        ``(H, W)`` binary ground-truth mask (0 = background, 1 = foreground),
+        or ``None`` for unlabelled samples.
+    void:
+        ``(H, W)`` boolean mask of 'void' pixels excluded from evaluation
+        (the VOC border band), or ``None`` when every pixel counts.
+    metadata:
+        Generator parameters / provenance, for reproducibility and debugging.
+    """
+
+    name: str
+    image: np.ndarray
+    mask: Optional[np.ndarray] = None
+    void: Optional[np.ndarray] = None
+    metadata: Dict = dataclasses.field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.image = np.asarray(self.image, dtype=np.float64)
+        if self.image.ndim != 3 or self.image.shape[2] != 3:
+            raise DatasetError(
+                f"sample image must be (H, W, 3); got shape {self.image.shape}"
+            )
+        if self.mask is not None:
+            self.mask = (np.asarray(self.mask) != 0).astype(np.int64)
+            if self.mask.shape != self.image.shape[:2]:
+                raise DatasetError("mask shape does not match the image")
+        if self.void is not None:
+            self.void = np.asarray(self.void, dtype=bool)
+            if self.void.shape != self.image.shape[:2]:
+                raise DatasetError("void mask shape does not match the image")
+
+    @property
+    def shape(self) -> tuple:
+        """Image shape ``(H, W, 3)``."""
+        return self.image.shape
+
+    @property
+    def has_ground_truth(self) -> bool:
+        """True when a binary mask is attached."""
+        return self.mask is not None
+
+    def foreground_fraction(self) -> float:
+        """Fraction of non-void pixels labelled foreground (0 when unlabelled)."""
+        if self.mask is None:
+            return 0.0
+        valid = ~self.void if self.void is not None else np.ones(self.mask.shape, dtype=bool)
+        total = int(valid.sum())
+        if total == 0:
+            return 0.0
+        return float(self.mask[valid].sum()) / total
+
+
+class Dataset(abc.ABC):
+    """Abstract indexable collection of :class:`Sample` objects."""
+
+    #: Human-readable dataset name.
+    name: str = "dataset"
+
+    @abc.abstractmethod
+    def __len__(self) -> int:
+        """Number of samples."""
+
+    @abc.abstractmethod
+    def __getitem__(self, index: int) -> Sample:
+        """Return the ``index``-th sample (0-based)."""
+
+    def __iter__(self) -> Iterator[Sample]:
+        for index in range(len(self)):
+            yield self[index]
+
+    def subset(self, indices) -> "SubsetDataset":
+        """A lightweight view restricted to the given indices."""
+        return SubsetDataset(self, list(indices))
+
+    def head(self, count: int) -> "SubsetDataset":
+        """The first ``count`` samples as a subset view."""
+        return self.subset(range(min(count, len(self))))
+
+
+class SubsetDataset(Dataset):
+    """A view over selected indices of another dataset."""
+
+    def __init__(self, parent: Dataset, indices):
+        self._parent = parent
+        self._indices = [int(i) for i in indices]
+        for i in self._indices:
+            if not 0 <= i < len(parent):
+                raise DatasetError(f"subset index {i} out of range")
+        self.name = f"{parent.name}[{len(self._indices)}]"
+
+    def __len__(self) -> int:
+        return len(self._indices)
+
+    def __getitem__(self, index: int) -> Sample:
+        return self._parent[self._indices[index]]

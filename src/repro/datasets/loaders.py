@@ -1,0 +1,105 @@
+"""Directory-based dataset loader for users who have real data on disk.
+
+Layout convention::
+
+    root/
+      images/   <stem>.png | .ppm | .bmp        (RGB images)
+      masks/    <stem>.png | .pgm               (binary masks, optional)
+      void/     <stem>.png | .pgm               (void masks, optional)
+
+A sample is created for every file in ``images/``; masks and void maps are
+matched by file stem.  This is the hook for running the harness on the real
+PASCAL VOC 2012 or xVIEW2 data when they are available locally — convert the
+annotations to binary PNG masks and point :class:`DirectoryDataset` at the
+directory.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional
+
+import numpy as np
+
+from ..errors import DatasetError
+from ..imaging.image import as_float_image
+from ..imaging.io_dispatch import read_image
+from .base import Dataset, Sample
+
+__all__ = ["DirectoryDataset"]
+
+_SUPPORTED = (".png", ".ppm", ".pgm", ".pnm", ".bmp")
+
+
+class DirectoryDataset(Dataset):
+    """Load images (and optional masks / void maps) from a directory tree."""
+
+    name = "directory"
+
+    def __init__(self, root: str, require_masks: bool = False):
+        self.root = os.fspath(root)
+        image_dir = os.path.join(self.root, "images")
+        if not os.path.isdir(image_dir):
+            raise DatasetError(f"missing images directory: {image_dir}")
+        self._image_dir = image_dir
+        self._mask_dir = os.path.join(self.root, "masks")
+        self._void_dir = os.path.join(self.root, "void")
+        self._stems: List[str] = sorted(
+            os.path.splitext(f)[0]
+            for f in os.listdir(image_dir)
+            if os.path.splitext(f)[1].lower() in _SUPPORTED
+        )
+        if not self._stems:
+            raise DatasetError(f"no supported image files found in {image_dir}")
+        self.require_masks = bool(require_masks)
+        if self.require_masks:
+            missing = [s for s in self._stems if self._find(self._mask_dir, s) is None]
+            if missing:
+                raise DatasetError(f"missing masks for: {missing[:5]}{'...' if len(missing) > 5 else ''}")
+        self.name = f"directory:{os.path.basename(os.path.normpath(self.root))}"
+
+    @staticmethod
+    def _find(directory: str, stem: str) -> Optional[str]:
+        if not os.path.isdir(directory):
+            return None
+        for ext in _SUPPORTED:
+            candidate = os.path.join(directory, stem + ext)
+            if os.path.isfile(candidate):
+                return candidate
+        return None
+
+    def __len__(self) -> int:
+        return len(self._stems)
+
+    def __getitem__(self, index: int) -> Sample:
+        if not 0 <= index < len(self._stems):
+            raise DatasetError(f"sample index {index} out of range")
+        stem = self._stems[index]
+        image_path = self._find(self._image_dir, stem)
+        assert image_path is not None
+        image = as_float_image(read_image(image_path))
+        if image.ndim == 2:
+            image = np.stack([image, image, image], axis=-1)
+
+        mask = None
+        mask_path = self._find(self._mask_dir, stem)
+        if mask_path is not None:
+            mask = (as_float_image(read_image(mask_path)) > 0.5)
+            if mask.ndim == 3:
+                mask = mask.any(axis=-1)
+            mask = mask.astype(np.int64)
+
+        void = None
+        void_path = self._find(self._void_dir, stem)
+        if void_path is not None:
+            void = as_float_image(read_image(void_path)) > 0.5
+            if void.ndim == 3:
+                void = void.any(axis=-1)
+
+        return Sample(
+            name=stem,
+            image=image,
+            mask=mask,
+            void=void,
+            metadata={"dataset": self.name, "path": image_path},
+        )

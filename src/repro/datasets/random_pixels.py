@@ -1,0 +1,45 @@
+"""Random-pixel dataset for the Table-II segment-count analysis.
+
+The paper generates "100,000 × 3 random numbers between 0 and 1 as normalized
+RGB values" and measures how many distinct segments the IQFT RGB rule can
+produce for each θ configuration.  This module provides that sampling plus a
+reshaping helper so the samples can also be fed through the image-based API.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..config import SeedLike, as_generator
+from ..errors import DatasetError
+
+__all__ = ["random_pixel_dataset", "random_pixel_image"]
+
+
+def random_pixel_dataset(
+    num_samples: int = 100_000, channels: int = 3, seed: SeedLike = 0
+) -> np.ndarray:
+    """Uniform samples in ``[0, 1]^channels`` with shape ``(num_samples, channels)``."""
+    if num_samples < 1:
+        raise DatasetError("num_samples must be >= 1")
+    if channels < 1:
+        raise DatasetError("channels must be >= 1")
+    rng = as_generator(seed)
+    return rng.random((int(num_samples), int(channels)))
+
+
+def random_pixel_image(
+    num_samples: int = 100_000, seed: SeedLike = 0
+) -> Tuple[np.ndarray, Tuple[int, int]]:
+    """The same samples arranged as a near-square ``(H, W, 3)`` image.
+
+    Returns the image and its ``(H, W)`` shape.  The pixel count is the
+    largest ``H·W ≤ num_samples`` with ``H = floor(sqrt(num_samples))``, so a
+    request for 100,000 samples yields a 316 × 316 image (99,856 pixels).
+    """
+    samples = random_pixel_dataset(num_samples, channels=3, seed=seed)
+    side = int(np.floor(np.sqrt(num_samples)))
+    height, width = side, side
+    return samples[: height * width].reshape(height, width, 3), (height, width)

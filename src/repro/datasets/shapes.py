@@ -1,0 +1,127 @@
+"""Simple geometric-shape datasets for unit tests and quick demos.
+
+Each sample is a plain background with a single high-contrast shape, so the
+"correct" segmentation is unambiguous; this is what the integration tests use
+to assert that every registered method achieves a near-perfect mIOU on easy
+input, and what the quickstart example segments.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..config import SeedLike
+from ..errors import DatasetError
+from ..imaging import synthesis
+from ..imaging.noise import add_gaussian_noise
+from .base import Dataset, Sample
+
+__all__ = ["ShapesDataset", "make_two_tone_image"]
+
+
+def make_two_tone_image(
+    shape: Tuple[int, int] = (64, 64),
+    foreground_color: Tuple[float, float, float] = (0.85, 0.75, 0.2),
+    background_color: Tuple[float, float, float] = (0.15, 0.2, 0.35),
+    noise_sigma: float = 0.0,
+    seed: SeedLike = 0,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """A single centred bright disk on a dark background; returns (image, mask)."""
+    height, width = int(shape[0]), int(shape[1])
+    mask = synthesis.ellipse_mask(
+        (height, width),
+        ((height - 1) / 2.0, (width - 1) / 2.0),
+        (height * 0.28, width * 0.28),
+    )
+    background = np.broadcast_to(
+        np.asarray(background_color, dtype=np.float64), (height, width, 3)
+    ).copy()
+    image = synthesis.composite(background, [(mask.astype(np.float64), foreground_color)])
+    if noise_sigma > 0:
+        image = add_gaussian_noise(image, sigma=noise_sigma, seed=seed)
+    return image, mask.astype(np.int64)
+
+
+class ShapesDataset(Dataset):
+    """Deterministic dataset of single-shape images with exact ground truth.
+
+    Parameters
+    ----------
+    num_samples:
+        Number of images.
+    size:
+        Image shape ``(H, W)``.
+    noise_sigma:
+        Optional Gaussian noise added to each image.
+    seed:
+        Base seed controlling shape placement, colours and noise.
+    """
+
+    name = "shapes"
+
+    def __init__(
+        self,
+        num_samples: int = 12,
+        size: Tuple[int, int] = (64, 64),
+        noise_sigma: float = 0.01,
+        seed: SeedLike = 7,
+    ):
+        if num_samples < 1:
+            raise DatasetError("num_samples must be >= 1")
+        self._num_samples = int(num_samples)
+        self._size = (int(size[0]), int(size[1]))
+        self.noise_sigma = float(noise_sigma)
+        self._base_seed = int(seed) if not isinstance(seed, np.random.Generator) else 7
+
+    def __len__(self) -> int:
+        return self._num_samples
+
+    def __getitem__(self, index: int) -> Sample:
+        if not 0 <= index < self._num_samples:
+            raise DatasetError(f"sample index {index} out of range")
+        rng = np.random.default_rng(self._base_seed + index)
+        height, width = self._size
+        center = (
+            float(rng.uniform(0.3 * height, 0.7 * height)),
+            float(rng.uniform(0.3 * width, 0.7 * width)),
+        )
+        kind = index % 3
+        if kind == 0:
+            mask = synthesis.ellipse_mask(
+                self._size, center, (height * 0.2, width * 0.25), angle=float(rng.uniform(0, np.pi))
+            )
+        elif kind == 1:
+            mask = synthesis.rectangle_mask(
+                self._size,
+                int(center[0] - 0.2 * height),
+                int(center[1] - 0.2 * width),
+                int(0.4 * height),
+                int(0.4 * width),
+            )
+        else:
+            mask = synthesis.blob_mask(
+                self._size, center, radius=0.22 * min(height, width), irregularity=0.3, seed=rng
+            )
+        bright = (
+            float(rng.uniform(0.7, 0.95)),
+            float(rng.uniform(0.6, 0.9)),
+            float(rng.uniform(0.1, 0.4)),
+        )
+        dark = (
+            float(rng.uniform(0.05, 0.25)),
+            float(rng.uniform(0.1, 0.3)),
+            float(rng.uniform(0.3, 0.5)),
+        )
+        background = np.broadcast_to(np.asarray(dark), (height, width, 3)).copy()
+        image = synthesis.composite(background, [(mask.astype(np.float64), bright)])
+        if self.noise_sigma > 0:
+            image = add_gaussian_noise(image, sigma=self.noise_sigma, seed=rng)
+        return Sample(
+            name=f"shape-{index:03d}",
+            image=image,
+            mask=mask.astype(np.int64),
+            void=None,
+            metadata={"dataset": self.name, "index": index, "kind": kind},
+        )

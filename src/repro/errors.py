@@ -1,0 +1,77 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while still
+being able to discriminate the failure domain (imaging, quantum, datasets, ...)
+when they need to.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ImageError",
+    "ImageDecodeError",
+    "ImageEncodeError",
+    "ShapeError",
+    "QuantumError",
+    "GateError",
+    "SegmentationError",
+    "ParameterError",
+    "MetricError",
+    "DatasetError",
+    "ParallelError",
+    "ExperimentError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all exceptions raised by the :mod:`repro` library."""
+
+
+class ImageError(ReproError):
+    """Base class for failures in the imaging substrate."""
+
+
+class ImageDecodeError(ImageError):
+    """Raised when an image file cannot be decoded (corrupt or unsupported)."""
+
+
+class ImageEncodeError(ImageError):
+    """Raised when an image cannot be written in the requested format."""
+
+
+class ShapeError(ImageError, ValueError):
+    """Raised when an array does not have the expected dimensionality/shape."""
+
+
+class QuantumError(ReproError):
+    """Base class for failures in the quantum-simulation substrate."""
+
+
+class GateError(QuantumError):
+    """Raised when a gate is applied to invalid qubit indices or states."""
+
+
+class SegmentationError(ReproError):
+    """Raised when a segmentation algorithm cannot produce a valid labeling."""
+
+
+class ParameterError(ReproError, ValueError):
+    """Raised when a user-supplied algorithm parameter is out of range."""
+
+
+class MetricError(ReproError):
+    """Raised when an evaluation metric receives inconsistent inputs."""
+
+
+class DatasetError(ReproError):
+    """Raised when a dataset cannot be generated, loaded, or indexed."""
+
+
+class ParallelError(ReproError):
+    """Raised when the parallel-execution layer fails to run a job."""
+
+
+class ExperimentError(ReproError):
+    """Raised when an experiment/benchmark harness is misconfigured."""

@@ -1,0 +1,64 @@
+"""Experiment harness: one module per table/figure of the paper's evaluation.
+
+Each experiment module exposes a ``run_*`` function returning plain data
+structures (dicts / dataclasses / :class:`~repro.metrics.report.ResultTable`)
+plus a ``format_*`` helper that renders the result as the text table or series
+the paper prints.  The benchmark suite under ``benchmarks/`` calls these
+functions (timing them with pytest-benchmark) and prints the regenerated
+rows, and ``EXPERIMENTS.md`` records the paper-vs-measured comparison.
+"""
+
+from .runner import ExperimentRunner, MethodSpec, DEFAULT_METHODS
+from .table1 import run_table1, format_table1
+from .table2 import run_table2, format_table2
+from .table3 import run_table3, format_table3, Table3Result
+from .figures_basis import run_figure1, run_figure2, run_figure3, format_figure3
+from .figure4 import run_figure4, format_figure4
+from .figure5 import run_figure5, format_figure5
+from .figure6 import run_figure6, format_figure6
+from .figure7 import run_figure7, format_figure7
+from .figure8_9 import run_figure8, run_figure9, format_example_table
+from .figure10 import run_figure10, format_figure10
+from .robustness import (
+    run_noise_robustness,
+    format_noise_robustness,
+    run_shot_convergence,
+    format_shot_convergence,
+)
+from .theta_sensitivity import run_theta_sensitivity, format_theta_sensitivity
+
+__all__ = [
+    "ExperimentRunner",
+    "MethodSpec",
+    "DEFAULT_METHODS",
+    "run_table1",
+    "format_table1",
+    "run_table2",
+    "format_table2",
+    "run_table3",
+    "format_table3",
+    "Table3Result",
+    "run_figure1",
+    "run_figure2",
+    "run_figure3",
+    "format_figure3",
+    "run_figure4",
+    "format_figure4",
+    "run_figure5",
+    "format_figure5",
+    "run_figure6",
+    "format_figure6",
+    "run_figure7",
+    "format_figure7",
+    "run_figure8",
+    "run_figure9",
+    "format_example_table",
+    "run_figure10",
+    "format_figure10",
+    "run_noise_robustness",
+    "format_noise_robustness",
+    "run_shot_convergence",
+    "format_shot_convergence",
+    "run_theta_sensitivity",
+    "format_theta_sensitivity",
+]

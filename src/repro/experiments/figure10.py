@@ -1,0 +1,121 @@
+"""Figure 10: performance improvement through per-image θ adjustment.
+
+The paper fixes θ = π for the headline results and notes that ~1.4% of the
+VOC images then score mIOU < 0.1; picking θ = 3π/4 instead rescues those
+images (the figure shows mIOU jumping from 0.0084 to 0.8327 on one example).
+The reproduction scans a slice of the dataset for the images where θ = π does
+worst, re-runs them with a tuned θ (grid search over the Figure-6 candidates,
+ground-truth-guided exactly like the paper's manual adjustment), and reports
+the before/after mIOU.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.labels import binarize_by_overlap
+from ..core.rgb_segmenter import IQFTSegmenter
+from ..core.theta_search import DEFAULT_THETA_GRID, tune_theta_supervised
+from ..datasets.base import Dataset
+from ..datasets.synthetic_voc import SyntheticVOCDataset
+from ..metrics.iou import mean_iou
+from ..metrics.report import format_table
+
+__all__ = ["Figure10Record", "Figure10Result", "run_figure10", "format_figure10"]
+
+
+@dataclasses.dataclass
+class Figure10Record:
+    """Before/after mIOU for one image."""
+
+    sample: str
+    miou_default: float
+    best_theta_over_pi: float
+    miou_tuned: float
+
+    @property
+    def improvement(self) -> float:
+        """Absolute mIOU gain from tuning."""
+        return self.miou_tuned - self.miou_default
+
+
+@dataclasses.dataclass
+class Figure10Result:
+    """Tuning results for the worst-performing images under the default θ."""
+
+    records: List[Figure10Record]
+    default_theta: float
+
+    @property
+    def mean_improvement(self) -> float:
+        """Average mIOU gain over the selected images."""
+        if not self.records:
+            return 0.0
+        return float(np.mean([r.improvement for r in self.records]))
+
+
+def run_figure10(
+    dataset: Optional[Dataset] = None,
+    pool_size: int = 12,
+    num_worst: int = 3,
+    default_theta: float = float(np.pi),
+    candidates: Sequence[float] = DEFAULT_THETA_GRID,
+) -> Figure10Result:
+    """Tune θ on the images where the default θ performs worst."""
+    data = dataset or SyntheticVOCDataset(num_samples=max(pool_size, num_worst), seed=1010)
+    default_segmenter = IQFTSegmenter(thetas=default_theta)
+
+    scored: List[Dict] = []
+    for index in range(min(pool_size, len(data))):
+        sample = data[index]
+        labels = default_segmenter.segment(sample.image).labels
+        binary = binarize_by_overlap(labels, sample.mask, sample.void)
+        scored.append(
+            {
+                "sample": sample,
+                "miou": mean_iou(binary, sample.mask, void_mask=sample.void),
+            }
+        )
+    scored.sort(key=lambda r: r["miou"])
+
+    records: List[Figure10Record] = []
+    for entry in scored[:num_worst]:
+        sample = entry["sample"]
+        search = tune_theta_supervised(
+            sample.image, sample.mask, void_mask=sample.void, candidates=candidates
+        )
+        records.append(
+            Figure10Record(
+                sample=sample.name,
+                miou_default=float(entry["miou"]),
+                best_theta_over_pi=float(search.best_theta / np.pi),
+                miou_tuned=float(search.best_score),
+            )
+        )
+    return Figure10Result(records=records, default_theta=float(default_theta))
+
+
+def format_figure10(result: Figure10Result) -> str:
+    """Render the before/after tuning table."""
+    rows = [
+        [
+            r.sample,
+            f"{r.miou_default:.4f}",
+            f"{r.best_theta_over_pi:.2f}π",
+            f"{r.miou_tuned:.4f}",
+            f"{r.improvement:+.4f}",
+        ]
+        for r in result.records
+    ]
+    return format_table(
+        title=(
+            "Figure 10 — performance improvement through θ adjustment "
+            f"(default θ = {result.default_theta / np.pi:.2f}π, "
+            f"mean gain {result.mean_improvement:+.4f})"
+        ),
+        header=["Image", "mIOU @ default θ", "best θ", "mIOU @ best θ", "gain"],
+        rows=rows,
+    )

@@ -1,0 +1,76 @@
+"""Figure 4: multiple thresholding — isolating the mid-intensity balls.
+
+The task is to separate the red/green/lemon balls from both the darker and the
+brighter balls in the same scene.  A single-threshold method (Otsu) cannot do
+this; the IQFT grayscale method with θ = 4π realizes the four thresholds
+{1/8, 3/8, 5/8, 7/8} of equation (16) and the middle band isolates exactly the
+target balls.  K-means with k = 2 likewise produces a single split.
+
+:func:`run_figure4` segments the scene with the three methods and scores each
+against the target-ball mask; the IQFT method should score (near-)perfect mIOU
+while the single-threshold methods cannot exceed roughly the fraction they can
+capture with one cut.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..baselines.kmeans import KMeansSegmenter
+from ..baselines.otsu import OtsuSegmenter
+from ..core.grayscale_segmenter import IQFTGrayscaleSegmenter
+from ..core.labels import binarize_by_overlap
+from ..datasets.balls import make_balls_image
+from ..imaging.color import rgb_to_gray
+from ..metrics.iou import mean_iou
+from ..metrics.report import format_table
+
+__all__ = ["Figure4Result", "run_figure4", "format_figure4"]
+
+
+@dataclasses.dataclass
+class Figure4Result:
+    """Per-method mIOU on the multi-threshold task plus the masks themselves."""
+
+    miou: Dict[str, float]
+    masks: Dict[str, np.ndarray]
+    image: np.ndarray
+    target: np.ndarray
+    theta: float
+
+
+def run_figure4(theta: float = 4.0 * np.pi, shape: Tuple[int, int] = (120, 240)) -> Figure4Result:
+    """Run K-means, Otsu and IQFT-grayscale (θ = 4π) on the balls scene."""
+    image, target = make_balls_image(shape=shape)
+    gray = rgb_to_gray(image)
+    target = target.astype(np.int64)
+
+    methods = {
+        "kmeans": KMeansSegmenter(n_clusters=2, n_init=4, seed=0),
+        "otsu": OtsuSegmenter(),
+        # multiband=True labels each intensity band separately so the
+        # majority-overlap binarization can pick out the middle band(s) alone.
+        "iqft": IQFTGrayscaleSegmenter(theta=theta, multiband=True),
+    }
+    miou: Dict[str, float] = {}
+    masks: Dict[str, np.ndarray] = {}
+    for name, segmenter in methods.items():
+        labels = segmenter.segment(gray).labels
+        binary = binarize_by_overlap(labels, target)
+        masks[name] = binary
+        miou[name] = mean_iou(binary, target)
+    return Figure4Result(miou=miou, masks=masks, image=image, target=target, theta=float(theta))
+
+
+def format_figure4(result: Figure4Result) -> str:
+    """Render the per-method scores of the multi-threshold task."""
+    rows = [[name, f"{value:.4f}"] for name, value in result.miou.items()]
+    return format_table(
+        title=f"Figure 4 — multiple thresholding (θ = {result.theta / np.pi:.0f}π), "
+        "mIOU against the red/green/lemon target balls",
+        header=["Method", "mIOU"],
+        rows=rows,
+    )

@@ -1,0 +1,82 @@
+"""Figure 6: effect of θ on the number of segments on real(istic) images.
+
+The paper segments three photos with θ1 = θ2 = θ3 ∈ {π/4, π/2, π} and the
+"mixed" configuration (π/4, π/2, π), and reports how many segments each
+setting produces: π/4 always collapses everything into one segment, π/2
+produces a couple, π produces 4–6, and the mixed setting always yields exactly
+two.  :func:`run_figure6` repeats that sweep on samples from the synthetic VOC
+dataset.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.rgb_segmenter import IQFTSegmenter
+from ..datasets.base import Dataset
+from ..datasets.synthetic_voc import SyntheticVOCDataset
+from ..metrics.report import format_table
+
+__all__ = ["Figure6Result", "run_figure6", "format_figure6", "PAPER_FIGURE6_THETAS"]
+
+ThetaTriple = Tuple[float, float, float]
+
+#: The θ configurations swept in Figure 6 (per-channel triples).
+PAPER_FIGURE6_THETAS: Tuple[ThetaTriple, ...] = (
+    (np.pi / 4, np.pi / 4, np.pi / 4),
+    (np.pi / 2, np.pi / 2, np.pi / 2),
+    (np.pi, np.pi, np.pi),
+    (np.pi / 4, np.pi / 2, np.pi),  # the "mixed" row
+)
+
+
+@dataclasses.dataclass
+class Figure6Result:
+    """Segment counts per (image, θ configuration)."""
+
+    segment_counts: Dict[str, Dict[ThetaTriple, int]]
+    theta_rows: Tuple[ThetaTriple, ...]
+
+
+def run_figure6(
+    dataset: Optional[Dataset] = None,
+    num_images: int = 3,
+    theta_rows: Sequence[ThetaTriple] = PAPER_FIGURE6_THETAS,
+) -> Figure6Result:
+    """Sweep the θ configurations over ``num_images`` samples."""
+    data = dataset or SyntheticVOCDataset(num_samples=max(num_images, 3), seed=606)
+    counts: Dict[str, Dict[ThetaTriple, int]] = {}
+    for index in range(min(num_images, len(data))):
+        sample = data[index]
+        per_theta: Dict[ThetaTriple, int] = {}
+        for thetas in theta_rows:
+            segmenter = IQFTSegmenter(thetas=thetas)
+            result = segmenter.segment(sample.image)
+            per_theta[tuple(float(t) for t in thetas)] = result.num_segments
+        counts[sample.name] = per_theta
+    return Figure6Result(segment_counts=counts, theta_rows=tuple(
+        tuple(float(t) for t in row) for row in theta_rows
+    ))
+
+
+def _theta_label(thetas: ThetaTriple) -> str:
+    ratios = [t / np.pi for t in thetas]
+    if all(abs(r - ratios[0]) < 1e-12 for r in ratios):
+        return f"θ={ratios[0]:.2f}π"
+    return "mixed(" + ", ".join(f"{r:.2f}π" for r in ratios) + ")"
+
+
+def format_figure6(result: Figure6Result) -> str:
+    """Render the per-image segment counts (images as rows, θ as columns)."""
+    header = ["Image"] + [_theta_label(row) for row in result.theta_rows]
+    rows = []
+    for name, per_theta in result.segment_counts.items():
+        rows.append([name] + [str(per_theta[row]) for row in result.theta_rows])
+    return format_table(
+        title="Figure 6 — effect of θ on the number of segments",
+        header=header,
+        rows=rows,
+    )

@@ -1,0 +1,90 @@
+"""Figure 7: IQFT-grayscale with θ matched via equation (15) is identical to Otsu.
+
+For each image, compute Otsu's threshold ``I_th``, convert it to
+``θ = π / (2·I_th)`` (equation (15) with ``k = 0``, ``+`` sign), segment the
+grayscale image with the IQFT single-qubit rule at that θ, and compare the two
+binary masks pixel by pixel.  The paper shows the outputs are identical (equal
+mIOU); the reproduction asserts exact mask equality and reports the fraction
+of differing pixels (expected 0).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..baselines.otsu import OtsuSegmenter, otsu_threshold
+from ..core.grayscale_segmenter import IQFTGrayscaleSegmenter
+from ..core.thresholds import theta_for_threshold
+from ..datasets.base import Dataset
+from ..datasets.synthetic_voc import SyntheticVOCDataset
+from ..imaging.color import rgb_to_gray
+from ..metrics.report import format_table
+
+__all__ = ["Figure7Result", "run_figure7", "format_figure7"]
+
+
+@dataclasses.dataclass
+class Figure7Result:
+    """Per-image Otsu-vs-IQFT equivalence check."""
+
+    records: List[Dict[str, float]]
+
+    @property
+    def all_identical(self) -> bool:
+        """True when every image produced exactly matching masks."""
+        return all(r["differing_fraction"] == 0.0 for r in self.records)
+
+
+def run_figure7(
+    dataset: Optional[Dataset] = None,
+    num_images: int = 4,
+) -> Figure7Result:
+    """Check the θ ↔ Otsu-threshold equivalence on ``num_images`` samples."""
+    data = dataset or SyntheticVOCDataset(num_samples=max(num_images, 2), seed=707)
+    otsu = OtsuSegmenter()
+    records: List[Dict[str, float]] = []
+    for index in range(min(num_images, len(data))):
+        sample = data[index]
+        gray = rgb_to_gray(sample.image)
+        threshold = otsu_threshold(gray)
+        theta = theta_for_threshold(threshold)
+        iqft = IQFTGrayscaleSegmenter(theta=theta)
+
+        otsu_mask = otsu.segment(gray).labels
+        # The IQFT rule labels intensities *below* the threshold as class 0
+        # (cos > 0) and above as class 1, i.e. the same polarity as Otsu's
+        # "foreground = above threshold".
+        iqft_mask = iqft.segment(gray).labels
+        differing = float(np.mean(otsu_mask != iqft_mask))
+        records.append(
+            {
+                "otsu_threshold": float(threshold),
+                "theta_over_pi": float(theta / np.pi),
+                "differing_fraction": differing,
+            }
+        )
+    return Figure7Result(records=records)
+
+
+def format_figure7(result: Figure7Result) -> str:
+    """Render the per-image equivalence records."""
+    rows = [
+        [
+            f"{r['otsu_threshold']:.4f}",
+            f"{r['theta_over_pi']:.4f}π",
+            f"{r['differing_fraction']:.6f}",
+        ]
+        for r in result.records
+    ]
+    title = (
+        "Figure 7 — IQFT-grayscale vs Otsu with θ from eq. (15); "
+        f"identical on all images: {result.all_identical}"
+    )
+    return format_table(
+        title=title,
+        header=["Otsu threshold I_th", "equivalent θ", "fraction of differing pixels"],
+        rows=rows,
+    )

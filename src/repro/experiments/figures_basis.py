@@ -1,0 +1,87 @@
+"""Figures 1–3: basis patterns, a transformed input pattern, its probabilities.
+
+* Figure 1 — each of the eight 3-qubit basis states visualized as the set of
+  phase points of the corresponding IQFT-matrix row on the unit circle.
+* Figure 2 — the eight unit-circle points of the phase vector for the paper's
+  worked example ``α = 2.464, β = 0.025, γ = 0.246`` (some points coincide).
+* Figure 3 — the probability that the example pattern matches each basis
+  state.  The paper labels the winning state ``|100⟩``; with the literal
+  matrix of equation (11) the argmax index is 1 (``|001⟩``), which is the same
+  state under the circuit (bit-reversed) labeling convention — both labelings
+  are reported so the comparison with the paper is explicit.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from ..core.iqft_matrix import bit_reversed_index
+from ..viz.ascii_art import ascii_histogram
+from ..viz.unit_circle import (
+    PAPER_EXAMPLE_PHASES,
+    basis_patterns_points,
+    input_pattern_points,
+    probability_series,
+)
+
+__all__ = [
+    "PAPER_EXAMPLE_PHASES",
+    "run_figure1",
+    "run_figure2",
+    "run_figure3",
+    "Figure3Result",
+    "format_figure3",
+]
+
+
+def run_figure1(num_qubits: int = 3) -> Dict[str, np.ndarray]:
+    """Figure 1 data: bitstring → ``(2^n, 2)`` unit-circle points."""
+    return basis_patterns_points(num_qubits)
+
+
+def run_figure2(phases: Sequence[float] = PAPER_EXAMPLE_PHASES) -> np.ndarray:
+    """Figure 2 data: the ``(8, 2)`` points of the example phase vector."""
+    return input_pattern_points(phases)
+
+
+@dataclasses.dataclass
+class Figure3Result:
+    """Figure 3 data plus both labelings of the winning basis state."""
+
+    probabilities: Dict[str, float]
+    argmax_matrix_convention: str
+    argmax_circuit_convention: str
+    phases: Tuple[float, float, float]
+
+
+def run_figure3(phases: Sequence[float] = PAPER_EXAMPLE_PHASES) -> Figure3Result:
+    """Figure 3: probabilities of the example input over the 8 basis states."""
+    probs = probability_series(phases)
+    num_qubits = int(np.log2(len(probs)))
+    labels = list(probs.keys())
+    values = np.array([probs[k] for k in labels])
+    argmax = int(np.argmax(values))
+    return Figure3Result(
+        probabilities=probs,
+        argmax_matrix_convention=labels[argmax],
+        argmax_circuit_convention=labels[bit_reversed_index(argmax, num_qubits)],
+        phases=tuple(float(p) for p in phases),
+    )
+
+
+def format_figure3(result: Figure3Result) -> str:
+    """Render the probability distribution as a text bar chart."""
+    header = (
+        "Figure 3 — probability distribution for "
+        f"α={result.phases[0]}, β={result.phases[1]}, γ={result.phases[2]}\n"
+        f"argmax (matrix convention): |{result.argmax_matrix_convention}⟩   "
+        f"argmax (circuit / paper labeling): |{result.argmax_circuit_convention}⟩\n"
+    )
+    chart = ascii_histogram(
+        list(result.probabilities.values()),
+        labels=[f"|{k}⟩" for k in result.probabilities],
+    )
+    return header + chart

@@ -1,0 +1,53 @@
+"""Table I: angle parameter θ and the corresponding intensity threshold(s)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..core.thresholds import PAPER_TABLE1_THETAS, thresholds_for_theta
+from ..metrics.report import format_table
+
+__all__ = ["run_table1", "format_table1", "PAPER_TABLE1_EXPECTED"]
+
+#: The threshold values printed in the paper's Table I, for EXPERIMENTS.md.
+PAPER_TABLE1_EXPECTED: Dict[str, List[float]] = {
+    "3π/4": [0.667],
+    "π": [0.500],
+    "5π/4": [0.400],
+    "3π/2": [0.333],
+    "7π/4": [0.285, 0.857],
+    "2π": [0.25, 0.75],
+}
+
+
+def run_table1(thetas: Sequence[float] = PAPER_TABLE1_THETAS) -> Dict[float, List[float]]:
+    """Compute the θ → thresholds mapping for the listed angles."""
+    return {float(theta): thresholds_for_theta(theta) for theta in thetas}
+
+
+def _theta_label(theta: float) -> str:
+    """Render θ as a multiple of π (e.g. ``"7π/4"``)."""
+    ratio = theta / np.pi
+    for denom in (1, 2, 3, 4, 6, 8):
+        numer = ratio * denom
+        if abs(numer - round(numer)) < 1e-9:
+            numer = int(round(numer))
+            if denom == 1:
+                return "π" if numer == 1 else f"{numer}π"
+            return f"{numer}π/{denom}" if numer != 1 else f"π/{denom}"
+    return f"{ratio:.4f}π"
+
+
+def format_table1(results: Dict[float, List[float]]) -> str:
+    """Render the computed mapping in the paper's Table-I layout."""
+    rows = [
+        [_theta_label(theta), ", ".join(f"{t:.3f}" for t in thresholds) or "(none)"]
+        for theta, thresholds in results.items()
+    ]
+    return format_table(
+        title="Table I — parameter θ and the corresponding threshold value(s)",
+        header=["Parameter θ", "Threshold value I_th"],
+        rows=rows,
+    )

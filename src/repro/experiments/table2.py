@@ -1,0 +1,48 @@
+"""Table II: angle parameter θ and the possible number of segments.
+
+Protocol (Section V-D.2): draw 100,000 random normalized RGB triples and count
+how many distinct labels the IQFT RGB rule produces for each θ configuration.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from ..config import SeedLike
+from ..core.theta_search import PAPER_TABLE2_THETAS, segment_count_table
+from ..metrics.report import format_table
+
+__all__ = ["run_table2", "format_table2", "PAPER_TABLE2_EXPECTED"]
+
+ThetaTriple = Tuple[float, float, float]
+
+#: The maximum segment counts printed in the paper's Table II, row by row.
+PAPER_TABLE2_EXPECTED: Tuple[int, ...] = (1, 3, 5, 6, 8, 8, 8, 8, 2)
+
+
+def run_table2(
+    theta_rows: Sequence[ThetaTriple] = PAPER_TABLE2_THETAS,
+    num_samples: int = 100_000,
+    seed: SeedLike = 0,
+) -> Dict[ThetaTriple, int]:
+    """Compute the θ-configuration → max-segment-count mapping."""
+    return segment_count_table(theta_rows, num_samples=num_samples, seed=seed)
+
+
+def _row_label(thetas: ThetaTriple) -> str:
+    ratios = [t / np.pi for t in thetas]
+    if all(abs(r - ratios[0]) < 1e-12 for r in ratios):
+        return f"θ1=θ2=θ3={ratios[0]:.2f}π"
+    return "θ1={:.2f}π, θ2={:.2f}π, θ3={:.2f}π".format(*ratios)
+
+
+def format_table2(results: Dict[ThetaTriple, int]) -> str:
+    """Render the computed mapping in the paper's Table-II layout."""
+    rows = [[_row_label(thetas), str(count)] for thetas, count in results.items()]
+    return format_table(
+        title="Table II — parameter θ and the possible number of segments",
+        header=["Parameter θ", "max. number of segments"],
+        rows=rows,
+    )

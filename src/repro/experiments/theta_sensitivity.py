@@ -1,0 +1,98 @@
+"""θ-sensitivity sweep: how does the choice of θ affect dataset-level mIOU?
+
+The paper fixes θ = π for its headline numbers, shows the number of segments
+each θ produces (Table II / Figure 6) and demonstrates per-image rescue
+(Figure 10), but never reports the dataset-level accuracy as a *function* of
+θ.  This experiment fills that gap: it sweeps a grid of θ values over a
+dataset and records the average mIOU and the average number of segments of
+the IQFT RGB segmenter at each value — the ablation behind the "θ = π default"
+design choice called out in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.labels import binarize_by_overlap
+from ..core.rgb_segmenter import IQFTSegmenter
+from ..datasets.base import Dataset
+from ..datasets.synthetic_voc import SyntheticVOCDataset
+from ..errors import ExperimentError
+from ..metrics.iou import mean_iou
+from ..metrics.report import format_table
+
+__all__ = ["ThetaSensitivityResult", "run_theta_sensitivity", "format_theta_sensitivity"]
+
+#: Default sweep grid (fractions of π).
+DEFAULT_GRID: Sequence[float] = tuple(
+    float(x) * np.pi for x in (0.5, 0.75, 1.0, 1.25, 1.5, 1.75, 2.0)
+)
+
+
+@dataclasses.dataclass
+class ThetaSensitivityResult:
+    """Average mIOU and segment count for every θ in the sweep."""
+
+    thetas: List[float]
+    average_miou: Dict[float, float]
+    average_segments: Dict[float, float]
+    best_theta: float
+
+    def miou_curve(self) -> List[float]:
+        """The mIOU values in sweep order (convenient for plotting/inspection)."""
+        return [self.average_miou[t] for t in self.thetas]
+
+
+def run_theta_sensitivity(
+    dataset: Optional[Dataset] = None,
+    thetas: Sequence[float] = DEFAULT_GRID,
+    num_images: int = 10,
+) -> ThetaSensitivityResult:
+    """Sweep θ over a dataset slice and aggregate mIOU / segment counts."""
+    if not thetas:
+        raise ExperimentError("need at least one theta value")
+    data = dataset or SyntheticVOCDataset(num_samples=num_images, seed=987)
+    count = min(num_images, len(data))
+    samples = [data[i] for i in range(count)]
+
+    average_miou: Dict[float, float] = {}
+    average_segments: Dict[float, float] = {}
+    for theta in thetas:
+        segmenter = IQFTSegmenter(thetas=float(theta))
+        scores = []
+        segment_counts = []
+        for sample in samples:
+            result = segmenter.segment(sample.image)
+            binary = binarize_by_overlap(result.labels, sample.mask, sample.void)
+            scores.append(mean_iou(binary, sample.mask, void_mask=sample.void))
+            segment_counts.append(result.num_segments)
+        average_miou[float(theta)] = float(np.mean(scores))
+        average_segments[float(theta)] = float(np.mean(segment_counts))
+    best_theta = max(average_miou, key=lambda t: average_miou[t])
+    return ThetaSensitivityResult(
+        thetas=[float(t) for t in thetas],
+        average_miou=average_miou,
+        average_segments=average_segments,
+        best_theta=best_theta,
+    )
+
+
+def format_theta_sensitivity(result: ThetaSensitivityResult) -> str:
+    """Render the sweep as a θ × (mIOU, segments) table."""
+    rows = [
+        [
+            f"{theta / np.pi:.2f}π",
+            f"{result.average_miou[theta]:.4f}",
+            f"{result.average_segments[theta]:.2f}",
+            "« best" if theta == result.best_theta else "",
+        ]
+        for theta in result.thetas
+    ]
+    return format_table(
+        title="θ-sensitivity sweep (IQFT-RGB, dataset-average)",
+        header=["θ", "avg mIOU", "avg segments", ""],
+        rows=rows,
+    )

@@ -1,0 +1,69 @@
+"""Self-contained imaging substrate (no PIL / scikit-image dependency).
+
+Provides the image container, colour conversions (including the paper's
+equation (17) grayscale weighting), simple codecs (PPM/PGM, PNG, BMP written
+with only the standard library), procedural image synthesis, filters,
+geometric transforms, histograms and noise models used by the datasets and the
+experiment harness.
+"""
+
+from .image import Image, as_float_image, as_uint8_image, ensure_rgb, ensure_gray
+from .color import (
+    GRAY_WEIGHTS,
+    rgb_to_gray,
+    gray_to_rgb,
+    rgb_to_hsv,
+    hsv_to_rgb,
+    normalize_intensities,
+    denormalize_intensities,
+)
+from .io_ppm import read_ppm, write_ppm, read_pgm, write_pgm
+from .io_png import read_png, write_png
+from .io_bmp import read_bmp, write_bmp
+from .io_dispatch import read_image, write_image
+from .histogram import histogram, cumulative_histogram, histogram_equalize
+from .transform import resize, crop, pad, flip
+from .filters import box_blur, gaussian_blur, median_filter, sobel_magnitude, convolve2d
+from .noise import add_gaussian_noise, add_salt_pepper_noise, add_speckle_noise
+from . import synthesis
+
+__all__ = [
+    "Image",
+    "as_float_image",
+    "as_uint8_image",
+    "ensure_rgb",
+    "ensure_gray",
+    "GRAY_WEIGHTS",
+    "rgb_to_gray",
+    "gray_to_rgb",
+    "rgb_to_hsv",
+    "hsv_to_rgb",
+    "normalize_intensities",
+    "denormalize_intensities",
+    "read_ppm",
+    "write_ppm",
+    "read_pgm",
+    "write_pgm",
+    "read_png",
+    "write_png",
+    "read_bmp",
+    "write_bmp",
+    "read_image",
+    "write_image",
+    "histogram",
+    "cumulative_histogram",
+    "histogram_equalize",
+    "resize",
+    "crop",
+    "pad",
+    "flip",
+    "box_blur",
+    "gaussian_blur",
+    "median_filter",
+    "sobel_magnitude",
+    "convolve2d",
+    "add_gaussian_noise",
+    "add_salt_pepper_noise",
+    "add_speckle_noise",
+    "synthesis",
+]

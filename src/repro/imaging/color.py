@@ -1,0 +1,109 @@
+"""Colour-space conversions and intensity normalization.
+
+The grayscale conversion uses the weights of the paper's equation (17),
+``Y = 0.2125 R + 0.7154 G + 0.0721 B`` — the same coefficients as
+``skimage.color.rgb2gray`` which the authors used.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError
+from .image import as_float_image
+
+__all__ = [
+    "GRAY_WEIGHTS",
+    "rgb_to_gray",
+    "gray_to_rgb",
+    "rgb_to_hsv",
+    "hsv_to_rgb",
+    "normalize_intensities",
+    "denormalize_intensities",
+]
+
+#: Luminance weights of equation (17) (scikit-image / ITU-R 709-ish weights).
+GRAY_WEIGHTS = np.array([0.2125, 0.7154, 0.0721], dtype=np.float64)
+
+
+def rgb_to_gray(rgb: np.ndarray) -> np.ndarray:
+    """Convert an RGB image to grayscale with the paper's weighting.
+
+    Accepts ``uint8`` or float input and always returns float in ``[0, 1]``.
+    """
+    arr = as_float_image(rgb)
+    if arr.ndim == 2:
+        return arr
+    return arr @ GRAY_WEIGHTS
+
+
+def gray_to_rgb(gray: np.ndarray) -> np.ndarray:
+    """Replicate a grayscale image into three identical channels (float)."""
+    arr = as_float_image(gray)
+    if arr.ndim == 3:
+        return arr
+    return np.stack([arr, arr, arr], axis=-1)
+
+
+def rgb_to_hsv(rgb: np.ndarray) -> np.ndarray:
+    """Vectorized RGB → HSV conversion (all channels in ``[0, 1]``)."""
+    arr = as_float_image(rgb)
+    if arr.ndim != 3:
+        raise ShapeError("rgb_to_hsv expects an (H, W, 3) array")
+    r, g, b = arr[..., 0], arr[..., 1], arr[..., 2]
+    maxc = arr.max(axis=-1)
+    minc = arr.min(axis=-1)
+    value = maxc
+    delta = maxc - minc
+    saturation = np.where(maxc > 0, delta / np.maximum(maxc, 1e-12), 0.0)
+
+    # Hue computation, guarded against delta == 0.
+    safe_delta = np.where(delta > 0, delta, 1.0)
+    rc = (maxc - r) / safe_delta
+    gc = (maxc - g) / safe_delta
+    bc = (maxc - b) / safe_delta
+    hue = np.zeros_like(maxc)
+    hue = np.where(maxc == r, bc - gc, hue)
+    hue = np.where(maxc == g, 2.0 + rc - bc, hue)
+    hue = np.where(maxc == b, 4.0 + gc - rc, hue)
+    hue = np.where(delta > 0, (hue / 6.0) % 1.0, 0.0)
+    return np.stack([hue, saturation, value], axis=-1)
+
+
+def hsv_to_rgb(hsv: np.ndarray) -> np.ndarray:
+    """Vectorized HSV → RGB conversion (all channels in ``[0, 1]``)."""
+    arr = np.asarray(hsv, dtype=np.float64)
+    if arr.ndim != 3 or arr.shape[2] != 3:
+        raise ShapeError("hsv_to_rgb expects an (H, W, 3) array")
+    h, s, v = arr[..., 0], arr[..., 1], arr[..., 2]
+    i = np.floor(h * 6.0).astype(int) % 6
+    f = h * 6.0 - np.floor(h * 6.0)
+    p = v * (1.0 - s)
+    q = v * (1.0 - s * f)
+    t = v * (1.0 - s * (1.0 - f))
+
+    r = np.choose(i, [v, q, p, p, t, v])
+    g = np.choose(i, [t, v, v, q, p, p])
+    b = np.choose(i, [p, p, t, v, v, q])
+    return np.clip(np.stack([r, g, b], axis=-1), 0.0, 1.0)
+
+
+def normalize_intensities(pixels: np.ndarray, max_value: float = 255.0) -> np.ndarray:
+    """Line 1 of Algorithm 1: divide raw intensities by ``max_value``.
+
+    Unlike :func:`repro.imaging.image.as_float_image` this does **not** clip,
+    so it can also be used on already-normalized input (values ≤ 1) by passing
+    ``max_value=1.0``; negative inputs raise because they indicate corrupted
+    data rather than a convention mismatch.
+    """
+    arr = np.asarray(pixels, dtype=np.float64)
+    if max_value <= 0:
+        raise ShapeError("max_value must be positive")
+    if arr.size and float(arr.min()) < 0:
+        raise ShapeError("pixel intensities must be non-negative")
+    return arr / float(max_value)
+
+
+def denormalize_intensities(pixels: np.ndarray, max_value: float = 255.0) -> np.ndarray:
+    """Inverse of :func:`normalize_intensities` (returns float, not uint8)."""
+    return np.asarray(pixels, dtype=np.float64) * float(max_value)

@@ -1,0 +1,165 @@
+"""The :class:`Image` container and dtype-normalization helpers.
+
+Images are numpy arrays of shape ``(H, W)`` (grayscale) or ``(H, W, 3)``
+(RGB).  Two value conventions are used consistently across the library:
+
+* ``uint8`` arrays with values in ``[0, 255]`` — the storage / file format.
+* ``float64`` arrays with values in ``[0, 1]`` — the computation format (the
+  "normalized" intensities of Algorithm 1 line 1).
+
+The helpers below convert between the two and validate shapes so downstream
+modules do not have to repeat those checks.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..errors import ShapeError
+
+__all__ = ["Image", "as_float_image", "as_uint8_image", "ensure_rgb", "ensure_gray"]
+
+
+def _validate_array(pixels: np.ndarray) -> np.ndarray:
+    arr = np.asarray(pixels)
+    if arr.ndim == 2:
+        return arr
+    if arr.ndim == 3 and arr.shape[2] in (1, 3):
+        if arr.shape[2] == 1:
+            return arr[:, :, 0]
+        return arr
+    raise ShapeError(
+        f"expected an array of shape (H, W) or (H, W, 3); got shape {arr.shape}"
+    )
+
+
+def as_float_image(pixels: np.ndarray) -> np.ndarray:
+    """Return the image as ``float64`` in ``[0, 1]``.
+
+    ``uint8`` input is divided by 255; float input is clipped to ``[0, 1]``
+    (values outside that range indicate an upstream bug and are clamped rather
+    than silently propagated).
+    """
+    arr = _validate_array(pixels)
+    if arr.dtype == np.uint8:
+        return arr.astype(np.float64) / 255.0
+    out = arr.astype(np.float64, copy=True)
+    return np.clip(out, 0.0, 1.0)
+
+
+def as_uint8_image(pixels: np.ndarray) -> np.ndarray:
+    """Return the image as ``uint8`` in ``[0, 255]`` (rounding float input)."""
+    arr = _validate_array(pixels)
+    if arr.dtype == np.uint8:
+        return arr.copy()
+    out = np.clip(np.asarray(arr, dtype=np.float64), 0.0, 1.0)
+    return np.rint(out * 255.0).astype(np.uint8)
+
+
+def ensure_rgb(pixels: np.ndarray) -> np.ndarray:
+    """Return an ``(H, W, 3)`` view/copy, replicating grayscale channels."""
+    arr = _validate_array(pixels)
+    if arr.ndim == 2:
+        return np.stack([arr, arr, arr], axis=-1)
+    return arr
+
+
+def ensure_gray(pixels: np.ndarray) -> np.ndarray:
+    """Return an ``(H, W)`` array; RGB input is reduced with equal weights.
+
+    For the paper's luminance weighting use
+    :func:`repro.imaging.color.rgb_to_gray` instead — this helper is only a
+    shape normalizer used by codecs and metrics.
+    """
+    arr = _validate_array(pixels)
+    if arr.ndim == 3:
+        if arr.dtype == np.uint8:
+            return np.rint(arr.astype(np.float64).mean(axis=-1)).astype(np.uint8)
+        return arr.mean(axis=-1)
+    return arr
+
+
+@dataclasses.dataclass
+class Image:
+    """An image plus light metadata.
+
+    Attributes
+    ----------
+    pixels:
+        ``(H, W)`` or ``(H, W, 3)`` array, ``uint8`` or float in ``[0, 1]``.
+    name:
+        Optional identifier (file stem or synthetic-sample id).
+    metadata:
+        Free-form dictionary (e.g. the generator parameters of a synthetic
+        sample), never interpreted by the library itself.
+    """
+
+    pixels: np.ndarray
+    name: Optional[str] = None
+    metadata: dict = dataclasses.field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.pixels = _validate_array(self.pixels)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        """Array shape of the pixel data."""
+        return self.pixels.shape
+
+    @property
+    def height(self) -> int:
+        """Number of rows."""
+        return int(self.pixels.shape[0])
+
+    @property
+    def width(self) -> int:
+        """Number of columns."""
+        return int(self.pixels.shape[1])
+
+    @property
+    def num_pixels(self) -> int:
+        """Total pixel count ``H*W``."""
+        return self.height * self.width
+
+    @property
+    def is_rgb(self) -> bool:
+        """True for 3-channel images."""
+        return self.pixels.ndim == 3
+
+    @property
+    def is_gray(self) -> bool:
+        """True for single-channel images."""
+        return self.pixels.ndim == 2
+
+    # ------------------------------------------------------------------ #
+    def to_float(self) -> "Image":
+        """Return a copy with float pixels in ``[0, 1]``."""
+        return Image(as_float_image(self.pixels), name=self.name, metadata=dict(self.metadata))
+
+    def to_uint8(self) -> "Image":
+        """Return a copy with ``uint8`` pixels in ``[0, 255]``."""
+        return Image(as_uint8_image(self.pixels), name=self.name, metadata=dict(self.metadata))
+
+    def to_rgb(self) -> "Image":
+        """Return a copy guaranteed to have three channels."""
+        return Image(ensure_rgb(self.pixels), name=self.name, metadata=dict(self.metadata))
+
+    def copy(self) -> "Image":
+        """Deep copy of the image."""
+        return Image(self.pixels.copy(), name=self.name, metadata=dict(self.metadata))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Image):
+            return NotImplemented
+        return (
+            self.pixels.shape == other.pixels.shape
+            and bool(np.array_equal(self.pixels, other.pixels))
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "rgb" if self.is_rgb else "gray"
+        return f"Image(name={self.name!r}, shape={self.shape}, kind={kind}, dtype={self.pixels.dtype})"

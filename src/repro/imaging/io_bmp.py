@@ -1,0 +1,109 @@
+"""Uncompressed 24-bit BMP codec (BITMAPINFOHEADER only).
+
+BMP is included because it is the simplest widely-viewable format that stores
+RGB without any compression, which makes round-trip tests bit-exact and keeps
+the codec tiny.  Only the variant this library writes is supported on read:
+24 bits per pixel, ``BI_RGB`` (no compression), bottom-up row order.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import struct
+from typing import Union
+
+import numpy as np
+
+from ..errors import ImageDecodeError, ImageEncodeError, ShapeError
+from .image import as_uint8_image, ensure_rgb
+
+__all__ = ["read_bmp", "write_bmp"]
+
+PathLike = Union[str, os.PathLike]
+
+_FILE_HEADER = struct.Struct("<2sIHHI")
+_INFO_HEADER = struct.Struct("<IiiHHIIiiII")
+
+
+def _row_stride(width: int) -> int:
+    return (width * 3 + 3) & ~3
+
+
+def _load_bytes(source: Union[PathLike, bytes, io.BufferedIOBase]) -> bytes:
+    if isinstance(source, bytes):
+        return source
+    if hasattr(source, "read"):
+        return source.read()
+    with open(source, "rb") as fh:
+        return fh.read()
+
+
+def read_bmp(source: Union[PathLike, bytes, io.BufferedIOBase]) -> np.ndarray:
+    """Decode an uncompressed 24-bit BMP into an ``(H, W, 3) uint8`` array."""
+    data = _load_bytes(source)
+    if len(data) < _FILE_HEADER.size + _INFO_HEADER.size:
+        raise ImageDecodeError("file too small to be a BMP")
+    magic, _file_size, _r1, _r2, pixel_offset = _FILE_HEADER.unpack_from(data, 0)
+    if magic != b"BM":
+        raise ImageDecodeError("not a BMP file (bad magic)")
+    (
+        header_size,
+        width,
+        height,
+        planes,
+        bpp,
+        compression,
+        _image_size,
+        _xppm,
+        _yppm,
+        _colours,
+        _important,
+    ) = _INFO_HEADER.unpack_from(data, _FILE_HEADER.size)
+    if header_size < 40 or planes != 1:
+        raise ImageDecodeError("unsupported BMP header")
+    if bpp != 24 or compression != 0:
+        raise ImageDecodeError("only uncompressed 24-bit BMPs are supported")
+    bottom_up = height > 0
+    height = abs(height)
+    if width <= 0 or height <= 0:
+        raise ImageDecodeError("non-positive BMP dimensions")
+
+    stride = _row_stride(width)
+    needed = pixel_offset + stride * height
+    if len(data) < needed:
+        raise ImageDecodeError("truncated BMP pixel data")
+    rows = np.frombuffer(
+        data, dtype=np.uint8, count=stride * height, offset=pixel_offset
+    ).reshape(height, stride)
+    bgr = rows[:, : width * 3].reshape(height, width, 3)
+    rgb = bgr[..., ::-1]
+    if bottom_up:
+        rgb = rgb[::-1]
+    return np.ascontiguousarray(rgb)
+
+
+def write_bmp(path: Union[PathLike, io.BufferedIOBase], pixels: np.ndarray) -> None:
+    """Encode an RGB (or grayscale, replicated) image as a 24-bit BMP."""
+    arr = ensure_rgb(as_uint8_image(pixels))
+    if arr.ndim != 3 or arr.shape[2] != 3:
+        raise ShapeError(f"write_bmp expects an image, got shape {arr.shape}")
+    height, width = arr.shape[:2]
+    stride = _row_stride(width)
+    padded = np.zeros((height, stride), dtype=np.uint8)
+    padded[:, : width * 3] = arr[..., ::-1].reshape(height, width * 3)
+    payload = padded[::-1].tobytes()  # bottom-up row order
+
+    pixel_offset = _FILE_HEADER.size + _INFO_HEADER.size
+    file_size = pixel_offset + len(payload)
+    header = _FILE_HEADER.pack(b"BM", file_size, 0, 0, pixel_offset)
+    info = _INFO_HEADER.pack(40, width, height, 1, 24, 0, len(payload), 2835, 2835, 0, 0)
+    blob = header + info + payload
+    try:
+        if hasattr(path, "write"):
+            path.write(blob)
+        else:
+            with open(path, "wb") as fh:
+                fh.write(blob)
+    except OSError as exc:  # pragma: no cover - passthrough of OS failures
+        raise ImageEncodeError(str(exc)) from exc

@@ -1,0 +1,48 @@
+"""Extension-based dispatch between the PPM/PGM, PNG and BMP codecs."""
+
+from __future__ import annotations
+
+import os
+from typing import Union
+
+import numpy as np
+
+from ..errors import ImageDecodeError, ImageEncodeError
+from .io_bmp import read_bmp, write_bmp
+from .io_png import read_png, write_png
+from .io_ppm import read_ppm, write_pgm, write_ppm
+
+__all__ = ["read_image", "write_image"]
+
+PathLike = Union[str, os.PathLike]
+
+
+def read_image(path: PathLike) -> np.ndarray:
+    """Read an image, choosing the codec from the file extension.
+
+    Supported extensions: ``.ppm``, ``.pgm``, ``.pnm``, ``.png``, ``.bmp``.
+    """
+    ext = os.path.splitext(os.fspath(path))[1].lower()
+    if ext in (".ppm", ".pgm", ".pnm"):
+        return read_ppm(path)
+    if ext == ".png":
+        return read_png(path)
+    if ext == ".bmp":
+        return read_bmp(path)
+    raise ImageDecodeError(f"unsupported image extension: {ext!r}")
+
+
+def write_image(path: PathLike, pixels: np.ndarray) -> None:
+    """Write an image, choosing the codec from the file extension."""
+    ext = os.path.splitext(os.fspath(path))[1].lower()
+    arr = np.asarray(pixels)
+    if ext in (".ppm", ".pnm"):
+        write_ppm(path, arr)
+    elif ext == ".pgm":
+        write_pgm(path, arr)
+    elif ext == ".png":
+        write_png(path, arr)
+    elif ext == ".bmp":
+        write_bmp(path, arr)
+    else:
+        raise ImageEncodeError(f"unsupported image extension: {ext!r}")

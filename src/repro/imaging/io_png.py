@@ -1,0 +1,189 @@
+"""Minimal PNG codec built on :mod:`zlib` only.
+
+Supports the subset of PNG actually produced/consumed by this library:
+
+* 8-bit grayscale (colour type 0) and 8-bit RGB (colour type 2)
+* no interlacing, single IDAT stream on write (any split on read)
+* all five standard scanline filter types on read, filter 0 (None) on write
+
+This is intentionally not a general-purpose PNG implementation; unsupported
+features raise :class:`~repro.errors.ImageDecodeError` with a clear message.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import struct
+import zlib
+from typing import List, Tuple, Union
+
+import numpy as np
+
+from ..errors import ImageDecodeError, ImageEncodeError, ShapeError
+from .image import as_uint8_image
+
+__all__ = ["read_png", "write_png"]
+
+PathLike = Union[str, os.PathLike]
+
+_PNG_SIGNATURE = b"\x89PNG\r\n\x1a\n"
+
+
+def _chunks(data: bytes):
+    """Yield ``(type, payload)`` for each chunk, verifying CRCs."""
+    pos = len(_PNG_SIGNATURE)
+    n = len(data)
+    while pos + 8 <= n:
+        length, ctype = struct.unpack(">I4s", data[pos : pos + 8])
+        payload = data[pos + 8 : pos + 8 + length]
+        if len(payload) != length:
+            raise ImageDecodeError("truncated PNG chunk")
+        crc_stored = struct.unpack(">I", data[pos + 8 + length : pos + 12 + length])[0]
+        crc_actual = zlib.crc32(ctype + payload) & 0xFFFFFFFF
+        if crc_stored != crc_actual:
+            raise ImageDecodeError(f"CRC mismatch in PNG chunk {ctype!r}")
+        yield ctype, payload
+        pos += 12 + length
+        if ctype == b"IEND":
+            return
+    raise ImageDecodeError("PNG stream ended without an IEND chunk")
+
+
+def _paeth(a: int, b: int, c: int) -> int:
+    p = a + b - c
+    pa, pb, pc = abs(p - a), abs(p - b), abs(p - c)
+    if pa <= pb and pa <= pc:
+        return a
+    if pb <= pc:
+        return b
+    return c
+
+
+def _unfilter(raw: bytes, height: int, width: int, channels: int) -> np.ndarray:
+    stride = width * channels
+    expected = height * (stride + 1)
+    if len(raw) < expected:
+        raise ImageDecodeError("decompressed PNG data shorter than expected")
+    out = np.zeros((height, stride), dtype=np.uint8)
+    prev = np.zeros(stride, dtype=np.int32)
+    pos = 0
+    for row in range(height):
+        ftype = raw[pos]
+        pos += 1
+        line = np.frombuffer(raw, dtype=np.uint8, count=stride, offset=pos).astype(np.int32)
+        pos += stride
+        if ftype == 0:  # None
+            recon = line
+        elif ftype == 1:  # Sub
+            recon = line.copy()
+            for i in range(channels, stride):
+                recon[i] = (recon[i] + recon[i - channels]) & 0xFF
+        elif ftype == 2:  # Up
+            recon = (line + prev) & 0xFF
+        elif ftype == 3:  # Average
+            recon = line.copy()
+            for i in range(stride):
+                left = recon[i - channels] if i >= channels else 0
+                recon[i] = (recon[i] + ((left + prev[i]) >> 1)) & 0xFF
+        elif ftype == 4:  # Paeth
+            recon = line.copy()
+            for i in range(stride):
+                left = int(recon[i - channels]) if i >= channels else 0
+                upleft = int(prev[i - channels]) if i >= channels else 0
+                recon[i] = (recon[i] + _paeth(left, int(prev[i]), upleft)) & 0xFF
+        else:
+            raise ImageDecodeError(f"unsupported PNG filter type {ftype}")
+        out[row] = recon.astype(np.uint8)
+        prev = recon
+    return out
+
+
+def _load_bytes(source: Union[PathLike, bytes, io.BufferedIOBase]) -> bytes:
+    if isinstance(source, bytes):
+        return source
+    if hasattr(source, "read"):
+        return source.read()
+    with open(source, "rb") as fh:
+        return fh.read()
+
+
+def read_png(source: Union[PathLike, bytes, io.BufferedIOBase]) -> np.ndarray:
+    """Decode an 8-bit grayscale or RGB PNG into a ``uint8`` array."""
+    data = _load_bytes(source)
+    if not data.startswith(_PNG_SIGNATURE):
+        raise ImageDecodeError("not a PNG file (bad signature)")
+    width = height = bit_depth = colour_type = None
+    idat: List[bytes] = []
+    for ctype, payload in _chunks(data):
+        if ctype == b"IHDR":
+            width, height, bit_depth, colour_type, comp, filt, interlace = struct.unpack(
+                ">IIBBBBB", payload
+            )
+            if comp != 0 or filt != 0:
+                raise ImageDecodeError("unsupported PNG compression/filter method")
+            if interlace != 0:
+                raise ImageDecodeError("interlaced PNG is not supported")
+        elif ctype == b"IDAT":
+            idat.append(payload)
+        elif ctype == b"IEND":
+            break
+    if width is None:
+        raise ImageDecodeError("PNG is missing an IHDR chunk")
+    if bit_depth != 8 or colour_type not in (0, 2):
+        raise ImageDecodeError(
+            f"only 8-bit grayscale/RGB PNGs are supported "
+            f"(bit depth {bit_depth}, colour type {colour_type})"
+        )
+    channels = 1 if colour_type == 0 else 3
+    raw = zlib.decompress(b"".join(idat))
+    rows = _unfilter(raw, height, width, channels)
+    if channels == 1:
+        return rows.reshape(height, width)
+    return rows.reshape(height, width, 3)
+
+
+def _chunk(ctype: bytes, payload: bytes) -> bytes:
+    return (
+        struct.pack(">I", len(payload))
+        + ctype
+        + payload
+        + struct.pack(">I", zlib.crc32(ctype + payload) & 0xFFFFFFFF)
+    )
+
+
+def write_png(
+    path: Union[PathLike, io.BufferedIOBase], pixels: np.ndarray, compress_level: int = 6
+) -> None:
+    """Encode a ``uint8`` grayscale or RGB array as a PNG file."""
+    arr = as_uint8_image(pixels)
+    if arr.ndim == 2:
+        colour_type, channels = 0, 1
+        body = arr[:, :, np.newaxis]
+    elif arr.ndim == 3 and arr.shape[2] == 3:
+        colour_type, channels = 2, 3
+        body = arr
+    else:
+        raise ShapeError(f"write_png expects (H, W) or (H, W, 3); got {arr.shape}")
+    height, width = arr.shape[:2]
+    ihdr = struct.pack(">IIBBBBB", width, height, 8, colour_type, 0, 0, 0)
+
+    stride = width * channels
+    scanlines = np.zeros((height, stride + 1), dtype=np.uint8)
+    scanlines[:, 1:] = body.reshape(height, stride)
+    compressed = zlib.compress(scanlines.tobytes(), compress_level)
+
+    blob = (
+        _PNG_SIGNATURE
+        + _chunk(b"IHDR", ihdr)
+        + _chunk(b"IDAT", compressed)
+        + _chunk(b"IEND", b"")
+    )
+    try:
+        if hasattr(path, "write"):
+            path.write(blob)
+        else:
+            with open(path, "wb") as fh:
+                fh.write(blob)
+    except OSError as exc:  # pragma: no cover - passthrough of OS failures
+        raise ImageEncodeError(str(exc)) from exc

@@ -1,0 +1,168 @@
+"""Plain and binary PPM/PGM codecs (netpbm formats P2, P3, P5, P6).
+
+These formats are trivially parseable without any third-party dependency and
+are the primary on-disk interchange format used by the examples and by
+:mod:`repro.viz.export`.  Both ASCII and binary variants are supported for
+reading; writing always uses the binary variants (P5/P6) unless ``ascii=True``.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from typing import Tuple, Union
+
+import numpy as np
+
+from ..errors import ImageDecodeError, ImageEncodeError, ShapeError
+from .image import as_uint8_image
+
+__all__ = ["read_ppm", "write_ppm", "read_pgm", "write_pgm"]
+
+PathLike = Union[str, os.PathLike]
+
+
+def _read_tokens(data: bytes, count: int, offset: int) -> Tuple[list, int]:
+    """Read ``count`` whitespace-separated tokens starting at ``offset``.
+
+    Comment lines (``#`` to end of line) are skipped, per the netpbm spec.
+    Returns the tokens and the offset just past the final token's trailing
+    whitespace byte.
+    """
+    tokens = []
+    i = offset
+    n = len(data)
+    while len(tokens) < count and i < n:
+        ch = data[i : i + 1]
+        if ch in b" \t\r\n":
+            i += 1
+            continue
+        if ch == b"#":
+            while i < n and data[i : i + 1] not in b"\r\n":
+                i += 1
+            continue
+        start = i
+        while i < n and data[i : i + 1] not in b" \t\r\n":
+            i += 1
+        tokens.append(data[start:i].decode("ascii"))
+        # consume exactly one whitespace byte after the token (netpbm header rule)
+        if i < n:
+            i += 1
+    if len(tokens) < count:
+        raise ImageDecodeError("truncated netpbm header")
+    return tokens, i
+
+
+def _decode_netpbm(data: bytes) -> np.ndarray:
+    if len(data) < 2:
+        raise ImageDecodeError("file too small to be a netpbm image")
+    magic = data[:2].decode("ascii", errors="replace")
+    if magic not in ("P2", "P3", "P5", "P6"):
+        raise ImageDecodeError(f"unsupported netpbm magic number: {magic!r}")
+    channels = 3 if magic in ("P3", "P6") else 1
+    tokens, offset = _read_tokens(data, 3, 2)
+    width, height, maxval = (int(t) for t in tokens)
+    if width <= 0 or height <= 0:
+        raise ImageDecodeError("non-positive image dimensions")
+    if not 0 < maxval < 65536:
+        raise ImageDecodeError(f"invalid maxval {maxval}")
+    count = width * height * channels
+
+    if magic in ("P2", "P3"):
+        text = data[offset:].split()
+        if len(text) < count:
+            raise ImageDecodeError("truncated ASCII netpbm payload")
+        values = np.array([int(t) for t in text[:count]], dtype=np.int64)
+    else:
+        if maxval > 255:
+            itemsize = 2
+            dtype = ">u2"
+        else:
+            itemsize = 1
+            dtype = "u1"
+        payload = data[offset : offset + count * itemsize]
+        if len(payload) < count * itemsize:
+            raise ImageDecodeError("truncated binary netpbm payload")
+        values = np.frombuffer(payload, dtype=dtype).astype(np.int64)
+
+    if values.min() < 0 or values.max() > maxval:
+        raise ImageDecodeError("pixel value outside declared maxval range")
+    if maxval != 255:
+        values = np.rint(values.astype(np.float64) * (255.0 / maxval)).astype(np.int64)
+    arr = values.astype(np.uint8)
+    if channels == 3:
+        return arr.reshape(height, width, 3)
+    return arr.reshape(height, width)
+
+
+def _load_bytes(source: Union[PathLike, bytes, io.BufferedIOBase]) -> bytes:
+    if isinstance(source, bytes):
+        return source
+    if hasattr(source, "read"):
+        return source.read()
+    with open(source, "rb") as fh:
+        return fh.read()
+
+
+def read_ppm(source: Union[PathLike, bytes, io.BufferedIOBase]) -> np.ndarray:
+    """Read a PPM (colour) or PGM (gray) file and return a ``uint8`` array."""
+    return _decode_netpbm(_load_bytes(source))
+
+
+# PGM reading is the same decoder; the distinction only matters on write.
+read_pgm = read_ppm
+
+
+def _encode_header(magic: str, width: int, height: int) -> bytes:
+    return f"{magic}\n{width} {height}\n255\n".encode("ascii")
+
+
+def write_ppm(
+    path: Union[PathLike, io.BufferedIOBase], pixels: np.ndarray, ascii: bool = False
+) -> None:
+    """Write an RGB image as PPM (P6 binary by default, P3 when ``ascii``)."""
+    arr = as_uint8_image(pixels)
+    if arr.ndim == 2:
+        arr = np.stack([arr, arr, arr], axis=-1)
+    if arr.ndim != 3 or arr.shape[2] != 3:
+        raise ShapeError(f"write_ppm expects an RGB image, got shape {arr.shape}")
+    height, width = arr.shape[:2]
+    if ascii:
+        body = _encode_header("P3", width, height) + _ascii_body(arr)
+    else:
+        body = _encode_header("P6", width, height) + arr.tobytes()
+    _dump(path, body)
+
+
+def write_pgm(
+    path: Union[PathLike, io.BufferedIOBase], pixels: np.ndarray, ascii: bool = False
+) -> None:
+    """Write a grayscale image as PGM (P5 binary by default, P2 when ``ascii``)."""
+    arr = as_uint8_image(pixels)
+    if arr.ndim == 3:
+        raise ShapeError("write_pgm expects a single-channel image")
+    height, width = arr.shape
+    if ascii:
+        body = _encode_header("P2", width, height) + _ascii_body(arr)
+    else:
+        body = _encode_header("P5", width, height) + arr.tobytes()
+    _dump(path, body)
+
+
+def _ascii_body(arr: np.ndarray) -> bytes:
+    flat = arr.reshape(-1)
+    lines = []
+    for start in range(0, flat.size, 16):
+        lines.append(" ".join(str(int(v)) for v in flat[start : start + 16]))
+    return ("\n".join(lines) + "\n").encode("ascii")
+
+
+def _dump(path: Union[PathLike, io.BufferedIOBase], body: bytes) -> None:
+    try:
+        if hasattr(path, "write"):
+            path.write(body)
+        else:
+            with open(path, "wb") as fh:
+                fh.write(body)
+    except OSError as exc:  # pragma: no cover - passthrough of OS failures
+        raise ImageEncodeError(str(exc)) from exc

@@ -1,0 +1,245 @@
+"""Procedural image-synthesis primitives.
+
+The synthetic stand-ins for PASCAL VOC 2012 and xVIEW2 (see
+``DESIGN.md`` §2) are assembled from the primitives in this module: smooth
+background fields, correlated (low-frequency) noise textures, and rasterized
+shapes (ellipses, rectangles, convex polygons, soft blobs).  Everything is
+vectorized over coordinate grids and deterministic given a seed.
+
+Coordinates follow image conventions: ``row`` (y, downwards) then ``col``
+(x, rightwards); shapes take centres and sizes in pixels.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Tuple
+
+import numpy as np
+
+from ..config import SeedLike, as_generator
+from ..errors import ParameterError
+from .filters import gaussian_blur
+
+__all__ = [
+    "coordinate_grid",
+    "constant_field",
+    "linear_gradient",
+    "radial_gradient",
+    "correlated_noise",
+    "ellipse_mask",
+    "rectangle_mask",
+    "polygon_mask",
+    "blob_mask",
+    "checkerboard",
+    "stripes",
+    "composite",
+    "colorize_mask",
+]
+
+
+def coordinate_grid(shape: Tuple[int, int]) -> Tuple[np.ndarray, np.ndarray]:
+    """Return ``(rows, cols)`` index grids of the given ``(H, W)`` shape."""
+    h, w = int(shape[0]), int(shape[1])
+    if h < 1 or w < 1:
+        raise ParameterError("shape must be positive")
+    return np.meshgrid(np.arange(h), np.arange(w), indexing="ij")
+
+
+def constant_field(shape: Tuple[int, int], value: float) -> np.ndarray:
+    """A uniform single-channel field."""
+    return np.full((int(shape[0]), int(shape[1])), float(value), dtype=np.float64)
+
+
+def linear_gradient(
+    shape: Tuple[int, int], start: float = 0.0, stop: float = 1.0, axis: str = "horizontal"
+) -> np.ndarray:
+    """A linear ramp from ``start`` to ``stop`` along the given axis."""
+    h, w = int(shape[0]), int(shape[1])
+    if axis == "horizontal":
+        ramp = np.linspace(start, stop, w, dtype=np.float64)
+        return np.broadcast_to(ramp[None, :], (h, w)).copy()
+    if axis == "vertical":
+        ramp = np.linspace(start, stop, h, dtype=np.float64)
+        return np.broadcast_to(ramp[:, None], (h, w)).copy()
+    raise ParameterError("axis must be 'horizontal' or 'vertical'")
+
+
+def radial_gradient(
+    shape: Tuple[int, int],
+    center: Tuple[float, float] = None,
+    inner: float = 1.0,
+    outer: float = 0.0,
+) -> np.ndarray:
+    """A radial falloff from ``inner`` at the centre to ``outer`` at the corners."""
+    h, w = int(shape[0]), int(shape[1])
+    if center is None:
+        center = ((h - 1) / 2.0, (w - 1) / 2.0)
+    rows, cols = coordinate_grid((h, w))
+    dist = np.hypot(rows - center[0], cols - center[1])
+    max_dist = float(dist.max()) or 1.0
+    t = np.clip(dist / max_dist, 0.0, 1.0)
+    return inner + (outer - inner) * t
+
+
+def correlated_noise(
+    shape: Tuple[int, int], scale: float = 8.0, seed: SeedLike = None
+) -> np.ndarray:
+    """Low-frequency ("cloudy") noise in ``[0, 1]``.
+
+    White Gaussian noise is blurred with ``sigma = scale`` and renormalized to
+    the unit interval — a cheap stand-in for Perlin-style texture that gives
+    natural-looking backgrounds.
+    """
+    if scale <= 0:
+        raise ParameterError("scale must be positive")
+    rng = as_generator(seed)
+    base = rng.normal(0.0, 1.0, size=(int(shape[0]), int(shape[1])))
+    smooth = gaussian_blur(np.clip((base - base.min()) / (np.ptp(base) or 1.0), 0, 1), sigma=scale)
+    lo, hi = float(smooth.min()), float(smooth.max())
+    if hi - lo < 1e-12:
+        return np.zeros_like(smooth)
+    return (smooth - lo) / (hi - lo)
+
+
+def ellipse_mask(
+    shape: Tuple[int, int],
+    center: Tuple[float, float],
+    radii: Tuple[float, float],
+    angle: float = 0.0,
+) -> np.ndarray:
+    """Boolean mask of a (possibly rotated) filled ellipse.
+
+    Parameters
+    ----------
+    center:
+        ``(row, col)`` centre of the ellipse.
+    radii:
+        ``(radius_rows, radius_cols)`` semi-axes in pixels.
+    angle:
+        Counter-clockwise rotation in radians.
+    """
+    if radii[0] <= 0 or radii[1] <= 0:
+        raise ParameterError("ellipse radii must be positive")
+    rows, cols = coordinate_grid(shape)
+    dy = rows - center[0]
+    dx = cols - center[1]
+    cos_a, sin_a = np.cos(angle), np.sin(angle)
+    u = dy * cos_a + dx * sin_a
+    v = -dy * sin_a + dx * cos_a
+    return (u / radii[0]) ** 2 + (v / radii[1]) ** 2 <= 1.0
+
+
+def rectangle_mask(
+    shape: Tuple[int, int], top: int, left: int, height: int, width: int
+) -> np.ndarray:
+    """Boolean mask of an axis-aligned filled rectangle (clipped to the image)."""
+    if height <= 0 or width <= 0:
+        raise ParameterError("rectangle extent must be positive")
+    mask = np.zeros((int(shape[0]), int(shape[1])), dtype=bool)
+    r0 = max(0, int(top))
+    c0 = max(0, int(left))
+    r1 = min(int(shape[0]), int(top) + int(height))
+    c1 = min(int(shape[1]), int(left) + int(width))
+    if r1 > r0 and c1 > c0:
+        mask[r0:r1, c0:c1] = True
+    return mask
+
+
+def polygon_mask(shape: Tuple[int, int], vertices: Sequence[Tuple[float, float]]) -> np.ndarray:
+    """Boolean mask of a filled simple polygon given ``(row, col)`` vertices.
+
+    Uses the even-odd (crossing-number) rule evaluated on the full coordinate
+    grid, so it is vectorized over pixels and loops only over polygon edges.
+    """
+    verts = np.asarray(vertices, dtype=np.float64)
+    if verts.ndim != 2 or verts.shape[0] < 3 or verts.shape[1] != 2:
+        raise ParameterError("polygon needs at least three (row, col) vertices")
+    rows, cols = coordinate_grid(shape)
+    inside = np.zeros(rows.shape, dtype=bool)
+    num = verts.shape[0]
+    for i in range(num):
+        r1, c1 = verts[i]
+        r2, c2 = verts[(i + 1) % num]
+        crosses = (r1 > rows) != (r2 > rows)
+        denom = r2 - r1
+        with np.errstate(divide="ignore", invalid="ignore"):
+            x_at = np.where(crosses, c1 + (rows - r1) * (c2 - c1) / np.where(denom == 0, 1, denom), np.inf)
+        inside ^= crosses & (cols < x_at)
+    return inside
+
+
+def blob_mask(
+    shape: Tuple[int, int],
+    center: Tuple[float, float],
+    radius: float,
+    irregularity: float = 0.3,
+    seed: SeedLike = None,
+    num_points: int = 12,
+) -> np.ndarray:
+    """Boolean mask of a soft, irregular blob (randomly perturbed star polygon).
+
+    The blob is built by perturbing the radius of ``num_points`` control points
+    around a circle and rasterizing the resulting polygon; ``irregularity``
+    of 0 yields a regular polygon approximating a circle.
+    """
+    if radius <= 0:
+        raise ParameterError("blob radius must be positive")
+    if not 0.0 <= irregularity < 1.0:
+        raise ParameterError("irregularity must be in [0, 1)")
+    rng = as_generator(seed)
+    angles = np.linspace(0.0, 2.0 * np.pi, num_points, endpoint=False)
+    radii = radius * (1.0 + irregularity * rng.uniform(-1.0, 1.0, size=num_points))
+    verts = np.stack(
+        [center[0] + radii * np.sin(angles), center[1] + radii * np.cos(angles)], axis=-1
+    )
+    return polygon_mask(shape, verts)
+
+
+def checkerboard(shape: Tuple[int, int], cell: int = 8) -> np.ndarray:
+    """A ``[0, 1]`` checkerboard pattern with square cells of ``cell`` pixels."""
+    if cell < 1:
+        raise ParameterError("cell size must be positive")
+    rows, cols = coordinate_grid(shape)
+    return (((rows // cell) + (cols // cell)) % 2).astype(np.float64)
+
+
+def stripes(shape: Tuple[int, int], period: int = 8, axis: str = "horizontal") -> np.ndarray:
+    """Sinusoidal stripes in ``[0, 1]`` with the given period in pixels."""
+    if period < 2:
+        raise ParameterError("stripe period must be at least 2 pixels")
+    rows, cols = coordinate_grid(shape)
+    coord = cols if axis == "horizontal" else rows
+    return 0.5 * (1.0 + np.sin(2.0 * np.pi * coord / period))
+
+
+def composite(
+    background: np.ndarray, layers: Iterable[Tuple[np.ndarray, Sequence[float]]]
+) -> np.ndarray:
+    """Paint coloured layers over an RGB background.
+
+    Parameters
+    ----------
+    background:
+        ``(H, W, 3)`` float image (modified copy is returned).
+    layers:
+        Iterable of ``(mask, color)`` pairs; ``mask`` may be boolean or a float
+        alpha matte in ``[0, 1]``, ``color`` is an RGB triple in ``[0, 1]``.
+    """
+    canvas = np.asarray(background, dtype=np.float64).copy()
+    if canvas.ndim != 3 or canvas.shape[2] != 3:
+        raise ParameterError("composite() expects an RGB background")
+    for mask, color in layers:
+        alpha = np.asarray(mask, dtype=np.float64)
+        if alpha.shape != canvas.shape[:2]:
+            raise ParameterError("layer mask shape does not match the background")
+        rgb = np.asarray(color, dtype=np.float64).reshape(1, 1, 3)
+        canvas = canvas * (1.0 - alpha[..., None]) + rgb * alpha[..., None]
+    return np.clip(canvas, 0.0, 1.0)
+
+
+def colorize_mask(mask: np.ndarray, color: Sequence[float], background: Sequence[float] = (0, 0, 0)) -> np.ndarray:
+    """Turn a boolean mask into an RGB image with the given fore/background colours."""
+    m = np.asarray(mask, dtype=bool)
+    fg = np.asarray(color, dtype=np.float64).reshape(1, 1, 3)
+    bg = np.asarray(background, dtype=np.float64).reshape(1, 1, 3)
+    return np.where(m[..., None], fg, bg)

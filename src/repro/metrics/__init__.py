@@ -1,0 +1,50 @@
+"""Evaluation metrics: confusion matrices, IOU/mIOU, accuracy scores, timing.
+
+The paper scores segmentations with the mean intersection-over-union of the
+foreground and background classes (equations (18)–(19)), excluding pixels
+marked 'void' in the ground truth, and reports per-image runtimes.  This
+package implements that metric plus the usual companions (pixel accuracy,
+precision/recall/F1, Dice, boundary-F1) and small aggregation helpers used by
+the experiment harness.
+"""
+
+from .confusion import confusion_matrix, binary_confusion
+from .iou import iou, mean_iou, per_class_iou, best_binarized_mean_iou
+from .accuracy import (
+    pixel_accuracy,
+    precision_recall_f1,
+    dice_coefficient,
+    specificity,
+)
+from .boundary import boundary_f1, extract_boundary
+from .clustering import (
+    adjusted_rand_index,
+    contingency_table,
+    normalized_mutual_information,
+    variation_of_information,
+)
+from .runtime import Timer, time_callable
+from .report import MethodScore, ResultTable
+
+__all__ = [
+    "confusion_matrix",
+    "binary_confusion",
+    "iou",
+    "mean_iou",
+    "per_class_iou",
+    "best_binarized_mean_iou",
+    "pixel_accuracy",
+    "precision_recall_f1",
+    "dice_coefficient",
+    "specificity",
+    "boundary_f1",
+    "extract_boundary",
+    "adjusted_rand_index",
+    "contingency_table",
+    "normalized_mutual_information",
+    "variation_of_information",
+    "Timer",
+    "time_callable",
+    "MethodScore",
+    "ResultTable",
+]

@@ -1,0 +1,71 @@
+"""Pixel accuracy, precision/recall/F1, Dice and specificity for binary masks."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .confusion import binary_confusion
+
+__all__ = ["pixel_accuracy", "precision_recall_f1", "dice_coefficient", "specificity"]
+
+
+def pixel_accuracy(
+    prediction: np.ndarray,
+    ground_truth: np.ndarray,
+    void_mask: Optional[np.ndarray] = None,
+) -> float:
+    """Fraction of non-void pixels whose binary class matches the ground truth."""
+    tp, fp, fn, tn = binary_confusion(prediction, ground_truth, void_mask)
+    total = tp + fp + fn + tn
+    if total == 0:
+        return 1.0
+    return (tp + tn) / total
+
+
+def precision_recall_f1(
+    prediction: np.ndarray,
+    ground_truth: np.ndarray,
+    void_mask: Optional[np.ndarray] = None,
+) -> Tuple[float, float, float]:
+    """Return ``(precision, recall, F1)`` for the foreground class.
+
+    Degenerate cases follow the usual conventions: precision is 1 when nothing
+    was predicted positive, recall is 1 when there is nothing to find, and F1
+    is the harmonic mean (0 when both precision and recall are 0).
+    """
+    tp, fp, fn, _tn = binary_confusion(prediction, ground_truth, void_mask)
+    precision = tp / (tp + fp) if (tp + fp) > 0 else 1.0
+    recall = tp / (tp + fn) if (tp + fn) > 0 else 1.0
+    if precision + recall == 0:
+        f1 = 0.0
+    else:
+        f1 = 2.0 * precision * recall / (precision + recall)
+    return precision, recall, f1
+
+
+def dice_coefficient(
+    prediction: np.ndarray,
+    ground_truth: np.ndarray,
+    void_mask: Optional[np.ndarray] = None,
+) -> float:
+    """Dice similarity coefficient ``2·TP / (2·TP + FP + FN)`` (1.0 when both empty)."""
+    tp, fp, fn, _tn = binary_confusion(prediction, ground_truth, void_mask)
+    denom = 2 * tp + fp + fn
+    if denom == 0:
+        return 1.0
+    return 2.0 * tp / denom
+
+
+def specificity(
+    prediction: np.ndarray,
+    ground_truth: np.ndarray,
+    void_mask: Optional[np.ndarray] = None,
+) -> float:
+    """True-negative rate ``TN / (TN + FP)`` (1.0 when there are no negatives)."""
+    _tp, fp, _fn, tn = binary_confusion(prediction, ground_truth, void_mask)
+    denom = tn + fp
+    if denom == 0:
+        return 1.0
+    return tn / denom

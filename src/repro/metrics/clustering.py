@@ -1,0 +1,138 @@
+"""Partition-comparison metrics for multi-segment label maps.
+
+The paper evaluates only binary foreground/background quality (mIOU), which
+requires collapsing multi-way segmentations.  These metrics compare the raw
+partitions directly — useful for the θ sweeps (how different are the
+segmentations produced by two θ values?) and for comparing the IQFT
+segmentation against K-means with ``k > 2`` without any binarization:
+
+* :func:`adjusted_rand_index` — chance-corrected pair-counting agreement,
+* :func:`normalized_mutual_information` — information-theoretic agreement,
+* :func:`variation_of_information` — a metric (in the mathematical sense) on
+  partitions; 0 iff the partitions are identical up to relabeling.
+
+All three are invariant to label permutations, which the tests assert.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..errors import MetricError
+from .confusion import confusion_matrix
+
+__all__ = [
+    "contingency_table",
+    "adjusted_rand_index",
+    "normalized_mutual_information",
+    "variation_of_information",
+]
+
+
+def contingency_table(
+    labels_a: np.ndarray,
+    labels_b: np.ndarray,
+    void_mask: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Joint count table ``C[i, j] = |{pixels: a = i, b = j}|`` over compact labels.
+
+    Labels are compacted (mapped to ``0..K-1``) independently for each input,
+    so arbitrary non-negative label values are accepted.
+    """
+    a = np.asarray(labels_a)
+    b = np.asarray(labels_b)
+    if a.shape != b.shape:
+        raise MetricError(f"label maps differ in shape: {a.shape} vs {b.shape}")
+    _, a_compact = np.unique(a, return_inverse=True)
+    _, b_compact = np.unique(b, return_inverse=True)
+    a_compact = a_compact.reshape(a.shape)
+    b_compact = b_compact.reshape(b.shape)
+    num_a = int(a_compact.max()) + 1
+    num_b = int(b_compact.max()) + 1
+    size = max(num_a, num_b)
+    table = confusion_matrix(b_compact, a_compact, num_classes=size, void_mask=void_mask)
+    return table[:num_a, :num_b]
+
+
+def _pair_counts(table: np.ndarray) -> Tuple[float, float, float, float]:
+    n = table.sum()
+    if n < 2:
+        raise MetricError("need at least two pixels to compare partitions")
+    sum_squares = float((table.astype(np.float64) ** 2).sum())
+    row_sq = float((table.sum(axis=1).astype(np.float64) ** 2).sum())
+    col_sq = float((table.sum(axis=0).astype(np.float64) ** 2).sum())
+    same_both = 0.5 * (sum_squares - n)
+    same_a = 0.5 * (row_sq - n)
+    same_b = 0.5 * (col_sq - n)
+    total_pairs = 0.5 * n * (n - 1)
+    return same_both, same_a, same_b, total_pairs
+
+
+def adjusted_rand_index(
+    labels_a: np.ndarray,
+    labels_b: np.ndarray,
+    void_mask: Optional[np.ndarray] = None,
+) -> float:
+    """Adjusted Rand index in ``[-1, 1]``; 1 for identical partitions, ~0 for random."""
+    table = contingency_table(labels_a, labels_b, void_mask)
+    same_both, same_a, same_b, total_pairs = _pair_counts(table)
+    expected = same_a * same_b / total_pairs
+    maximum = 0.5 * (same_a + same_b)
+    if np.isclose(maximum, expected):
+        return 1.0  # both partitions are trivial (e.g. single cluster each)
+    return float((same_both - expected) / (maximum - expected))
+
+
+def _entropy(counts: np.ndarray) -> float:
+    p = counts.astype(np.float64)
+    p = p[p > 0]
+    p = p / p.sum()
+    return float(-(p * np.log(p)).sum())
+
+
+def normalized_mutual_information(
+    labels_a: np.ndarray,
+    labels_b: np.ndarray,
+    void_mask: Optional[np.ndarray] = None,
+) -> float:
+    """NMI with arithmetic-mean normalization; 1 for identical partitions.
+
+    Returns 1.0 when both partitions are single-cluster (they trivially agree)
+    and 0.0 when exactly one of them is single-cluster.
+    """
+    table = contingency_table(labels_a, labels_b, void_mask).astype(np.float64)
+    n = table.sum()
+    h_a = _entropy(table.sum(axis=1))
+    h_b = _entropy(table.sum(axis=0))
+    if h_a == 0.0 and h_b == 0.0:
+        return 1.0
+    if h_a == 0.0 or h_b == 0.0:
+        return 0.0
+    joint = table / n
+    outer = np.outer(table.sum(axis=1) / n, table.sum(axis=0) / n)
+    mask = joint > 0
+    mutual = float((joint[mask] * np.log(joint[mask] / outer[mask])).sum())
+    return float(mutual / (0.5 * (h_a + h_b)))
+
+
+def variation_of_information(
+    labels_a: np.ndarray,
+    labels_b: np.ndarray,
+    void_mask: Optional[np.ndarray] = None,
+) -> float:
+    """Variation of information ``H(A|B) + H(B|A)`` in nats (0 iff identical)."""
+    table = contingency_table(labels_a, labels_b, void_mask).astype(np.float64)
+    n = table.sum()
+    h_a = _entropy(table.sum(axis=1))
+    h_b = _entropy(table.sum(axis=0))
+    joint = table / n
+    outer_a = table.sum(axis=1) / n
+    outer_b = table.sum(axis=0) / n
+    mask = joint > 0
+    mutual = float(
+        (joint[mask] * np.log(joint[mask] / np.outer(outer_a, outer_b)[mask])).sum()
+    )
+    value = h_a + h_b - 2.0 * mutual
+    return float(max(0.0, value))

@@ -1,0 +1,80 @@
+"""Confusion matrices for label maps, with optional void-pixel exclusion."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..errors import MetricError
+
+__all__ = ["confusion_matrix", "binary_confusion"]
+
+
+def _validate_pair(
+    prediction: np.ndarray, ground_truth: np.ndarray, void_mask: Optional[np.ndarray]
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    pred = np.asarray(prediction)
+    gt = np.asarray(ground_truth)
+    if pred.shape != gt.shape:
+        raise MetricError(
+            f"prediction shape {pred.shape} does not match ground truth shape {gt.shape}"
+        )
+    valid = np.ones(pred.shape, dtype=bool)
+    if void_mask is not None:
+        void = np.asarray(void_mask, dtype=bool)
+        if void.shape != pred.shape:
+            raise MetricError("void mask shape does not match the prediction")
+        valid = ~void
+    return pred, gt, valid
+
+
+def confusion_matrix(
+    prediction: np.ndarray,
+    ground_truth: np.ndarray,
+    num_classes: Optional[int] = None,
+    void_mask: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Dense confusion matrix ``C[gt, pred]`` over non-void pixels.
+
+    Parameters
+    ----------
+    prediction, ground_truth:
+        Integer label maps of identical shape.
+    num_classes:
+        Size of the (square) matrix; inferred from the data when omitted.
+    void_mask:
+        Boolean mask of pixels excluded from the counts (VOC 'void' band).
+    """
+    pred, gt, valid = _validate_pair(prediction, ground_truth, void_mask)
+    pred = pred[valid].astype(np.int64).reshape(-1)
+    gt = gt[valid].astype(np.int64).reshape(-1)
+    if pred.size == 0:
+        raise MetricError("no valid (non-void) pixels to score")
+    if np.any(pred < 0) or np.any(gt < 0):
+        raise MetricError("labels must be non-negative")
+    if num_classes is None:
+        num_classes = int(max(pred.max(), gt.max())) + 1
+    if pred.max() >= num_classes or gt.max() >= num_classes:
+        raise MetricError("labels exceed num_classes")
+    flat = gt * num_classes + pred
+    counts = np.bincount(flat, minlength=num_classes * num_classes)
+    return counts.reshape(num_classes, num_classes)
+
+
+def binary_confusion(
+    prediction: np.ndarray,
+    ground_truth: np.ndarray,
+    void_mask: Optional[np.ndarray] = None,
+) -> Tuple[int, int, int, int]:
+    """Return ``(TP, FP, FN, TN)`` for binary masks (non-zero = positive)."""
+    pred, gt, valid = _validate_pair(prediction, ground_truth, void_mask)
+    if not valid.any():
+        raise MetricError("no valid (non-void) pixels to score")
+    pred_pos = (pred != 0) & valid
+    gt_pos = (gt != 0) & valid
+    tp = int(np.count_nonzero(pred_pos & gt_pos))
+    fp = int(np.count_nonzero(pred_pos & ~gt_pos & valid))
+    fn = int(np.count_nonzero(~pred_pos & gt_pos & valid))
+    tn = int(np.count_nonzero(~pred_pos & ~gt_pos & valid))
+    return tp, fp, fn, tn

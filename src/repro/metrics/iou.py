@@ -1,0 +1,94 @@
+"""Intersection-over-union metrics (the paper's equations (18)–(19)).
+
+``mIOU`` is the unweighted mean of the foreground IOU and the background IOU,
+computed over non-void pixels.  A class that is absent from both the ground
+truth and the prediction contributes an IOU of 1 (nothing to get wrong), which
+matches the behaviour of ``tf.keras.metrics.MeanIoU`` when a class is empty in
+both — relevant for degenerate all-background images.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+import numpy as np
+
+from ..errors import MetricError
+from .confusion import binary_confusion, confusion_matrix
+
+__all__ = ["iou", "per_class_iou", "mean_iou", "best_binarized_mean_iou"]
+
+
+def iou(
+    prediction: np.ndarray,
+    ground_truth: np.ndarray,
+    void_mask: Optional[np.ndarray] = None,
+) -> float:
+    """Foreground IOU of binary masks: ``TP / (TP + FP + FN)`` (equation (19)).
+
+    Returns 1.0 when both masks are empty (nothing to detect, nothing wrong).
+    """
+    tp, fp, fn, _tn = binary_confusion(prediction, ground_truth, void_mask)
+    denom = tp + fp + fn
+    if denom == 0:
+        return 1.0
+    return tp / denom
+
+
+def per_class_iou(
+    prediction: np.ndarray,
+    ground_truth: np.ndarray,
+    num_classes: Optional[int] = None,
+    void_mask: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """IOU of every class from the dense confusion matrix.
+
+    Classes absent from both prediction and ground truth get IOU 1.0.
+    """
+    cm = confusion_matrix(prediction, ground_truth, num_classes=num_classes, void_mask=void_mask)
+    tp = np.diag(cm).astype(np.float64)
+    fp = cm.sum(axis=0) - tp
+    fn = cm.sum(axis=1) - tp
+    denom = tp + fp + fn
+    out = np.ones_like(tp)
+    present = denom > 0
+    out[present] = tp[present] / denom[present]
+    return out
+
+
+def mean_iou(
+    prediction: np.ndarray,
+    ground_truth: np.ndarray,
+    void_mask: Optional[np.ndarray] = None,
+) -> float:
+    """The paper's mIOU (equation (18)): mean of foreground and background IOU.
+
+    Both inputs are binarized (non-zero = foreground); multi-way predictions
+    must be collapsed first (see
+    :func:`repro.core.labels.binarize_by_overlap`) or scored with
+    :func:`best_binarized_mean_iou`.
+    """
+    pred = (np.asarray(prediction) != 0).astype(np.int64)
+    gt = (np.asarray(ground_truth) != 0).astype(np.int64)
+    fg = iou(pred, gt, void_mask)
+    bg = iou(1 - pred, 1 - gt, void_mask)
+    return 0.5 * (fg + bg)
+
+
+def best_binarized_mean_iou(
+    prediction: np.ndarray,
+    ground_truth: np.ndarray,
+    void_mask: Optional[np.ndarray] = None,
+) -> Tuple[float, np.ndarray]:
+    """Score a multi-way prediction by its overlap-optimal binarization.
+
+    Each predicted segment is assigned to foreground or background by majority
+    overlap with the ground truth and the resulting binary mask is scored with
+    :func:`mean_iou`.  Returns ``(miou, binary_mask)``.
+    """
+    # Local import to avoid a circular dependency at module import time
+    # (core.labels imports metrics.iou for the θ-tuning helpers).
+    from ..core.labels import binarize_by_overlap
+
+    binary = binarize_by_overlap(prediction, ground_truth, void_mask)
+    return mean_iou(binary, ground_truth, void_mask), binary

@@ -1,0 +1,56 @@
+"""Wall-clock timing helpers used by the experiment harness and benchmarks."""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Tuple
+
+__all__ = ["Timer", "time_callable"]
+
+
+class Timer:
+    """Context-manager stopwatch accumulating elapsed wall-clock seconds.
+
+    Example
+    -------
+    >>> timer = Timer()
+    >>> with timer:
+    ...     _ = sum(range(1000))
+    >>> timer.elapsed > 0
+    True
+
+    The same instance can be re-entered; ``elapsed`` accumulates and ``laps``
+    records each individual measurement, which is how the per-image runtimes
+    of Table III are collected.
+    """
+
+    def __init__(self) -> None:
+        self.elapsed: float = 0.0
+        self.laps: list = []
+        self._start: float = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        lap = time.perf_counter() - self._start
+        self.laps.append(lap)
+        self.elapsed += lap
+
+    @property
+    def mean_lap(self) -> float:
+        """Average duration of the recorded laps (0 when none)."""
+        return self.elapsed / len(self.laps) if self.laps else 0.0
+
+    def reset(self) -> None:
+        """Clear all recorded measurements."""
+        self.elapsed = 0.0
+        self.laps = []
+
+
+def time_callable(func: Callable[..., Any], *args, **kwargs) -> Tuple[Any, float]:
+    """Run ``func(*args, **kwargs)`` and return ``(result, seconds)``."""
+    start = time.perf_counter()
+    result = func(*args, **kwargs)
+    return result, time.perf_counter() - start

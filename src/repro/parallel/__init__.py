@@ -1,0 +1,40 @@
+"""Parallel / chunked execution layer (HPC-style structure).
+
+The segmentation workload has two natural axes of parallelism:
+
+* **across images** — the dataset sweeps of Table III are embarrassingly
+  parallel; :class:`ProcessExecutor` maps a function over samples with a
+  process pool (scatter/gather semantics, in the spirit of the mpi4py
+  patterns from the hpc-parallel guides but built on ``multiprocessing`` so it
+  works without an MPI runtime);
+* **within an image** — the per-pixel kernel is a big complex matmul that the
+  core classifier already chunks for cache friendliness; :mod:`tiling`
+  additionally splits an image into tiles so independent workers can process
+  one image cooperatively, and :mod:`chunking` provides the flat pixel-block
+  iterator the classifier uses.
+
+A :class:`SerialExecutor` with the same interface keeps the harness debuggable
+and is the default everywhere (2-core CI boxes gain little from processes, but
+the abstraction and its tests make the scaling path explicit).
+"""
+
+from .executor import SerialExecutor, ThreadExecutor, ProcessExecutor, get_executor
+from .tiling import Tile, split_into_tiles, assemble_tiles, tile_map
+from .chunking import iter_chunks, chunked_apply
+from .scheduler import StaticScheduler, DynamicScheduler, WorkItem
+
+__all__ = [
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "get_executor",
+    "Tile",
+    "split_into_tiles",
+    "assemble_tiles",
+    "tile_map",
+    "iter_chunks",
+    "chunked_apply",
+    "StaticScheduler",
+    "DynamicScheduler",
+    "WorkItem",
+]

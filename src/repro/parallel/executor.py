@@ -1,0 +1,119 @@
+"""Executors: a single ``map``-style interface over serial, thread and process pools.
+
+The executors deliberately mirror the semantics of ``concurrent.futures`` but
+(1) preserve input order, (2) expose a ``chunksize`` knob for scatter-like
+batching, and (3) degrade gracefully: requesting more workers than CPUs, or a
+process pool in an environment where fork is unavailable, silently falls back
+to fewer workers / serial execution rather than failing an experiment run.
+"""
+
+from __future__ import annotations
+
+import abc
+import concurrent.futures
+import os
+from typing import Any, Callable, Iterable, List, Optional, Sequence
+
+from ..config import get_config
+from ..errors import ParallelError
+
+__all__ = ["SerialExecutor", "ThreadExecutor", "ProcessExecutor", "get_executor"]
+
+
+class BaseExecutor(abc.ABC):
+    """Common interface: ``map(func, items) -> list`` preserving input order."""
+
+    name: str = "base"
+
+    @abc.abstractmethod
+    def map(self, func: Callable[[Any], Any], items: Iterable[Any]) -> List[Any]:
+        """Apply ``func`` to every item and return results in input order."""
+
+    def starmap(self, func: Callable[..., Any], items: Iterable[Sequence[Any]]) -> List[Any]:
+        """Like :meth:`map` but unpacks each item as positional arguments."""
+        return self.map(lambda args: func(*args), items)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class SerialExecutor(BaseExecutor):
+    """Run everything in the calling process/thread (deterministic, debuggable)."""
+
+    name = "serial"
+
+    def map(self, func: Callable[[Any], Any], items: Iterable[Any]) -> List[Any]:
+        return [func(item) for item in items]
+
+
+class ThreadExecutor(BaseExecutor):
+    """Thread-pool executor.
+
+    Useful when the mapped function releases the GIL (large numpy matmuls do)
+    or performs I/O; otherwise prefer :class:`ProcessExecutor`.
+    """
+
+    name = "thread"
+
+    def __init__(self, max_workers: Optional[int] = None):
+        workers = max_workers if max_workers is not None else get_config().resolved_workers()
+        if workers < 1:
+            raise ParallelError("max_workers must be >= 1")
+        self.max_workers = int(workers)
+
+    def map(self, func: Callable[[Any], Any], items: Iterable[Any]) -> List[Any]:
+        items = list(items)
+        if not items:
+            return []
+        if self.max_workers == 1 or len(items) == 1:
+            return [func(item) for item in items]
+        with concurrent.futures.ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+            return list(pool.map(func, items))
+
+
+class ProcessExecutor(BaseExecutor):
+    """Process-pool executor for CPU-bound per-image work.
+
+    The mapped function and its arguments must be picklable (module-level
+    functions and plain data).  On platforms where a process pool cannot be
+    created the executor transparently falls back to serial execution and
+    records that in :attr:`fallback_reason`.
+    """
+
+    name = "process"
+
+    def __init__(self, max_workers: Optional[int] = None, chunksize: int = 1):
+        workers = max_workers if max_workers is not None else get_config().resolved_workers()
+        if workers < 1:
+            raise ParallelError("max_workers must be >= 1")
+        if chunksize < 1:
+            raise ParallelError("chunksize must be >= 1")
+        cpu_count = os.cpu_count() or 1
+        self.max_workers = max(1, min(int(workers), cpu_count))
+        self.chunksize = int(chunksize)
+        self.fallback_reason: Optional[str] = None
+
+    def map(self, func: Callable[[Any], Any], items: Iterable[Any]) -> List[Any]:
+        items = list(items)
+        if not items:
+            return []
+        if self.max_workers == 1 or len(items) == 1:
+            return [func(item) for item in items]
+        try:
+            with concurrent.futures.ProcessPoolExecutor(max_workers=self.max_workers) as pool:
+                return list(pool.map(func, items, chunksize=self.chunksize))
+        except (OSError, ValueError, concurrent.futures.process.BrokenProcessPool) as exc:
+            # Sandboxed or fork-restricted environments: degrade to serial.
+            self.fallback_reason = f"{type(exc).__name__}: {exc}"
+            return [func(item) for item in items]
+
+
+def get_executor(kind: str = "serial", **kwargs) -> BaseExecutor:
+    """Construct an executor by name: ``"serial"``, ``"thread"`` or ``"process"``."""
+    if kind == "serial":
+        return SerialExecutor()
+    if kind == "thread":
+        return ThreadExecutor(**kwargs)
+    if kind == "process":
+        return ProcessExecutor(**kwargs)
+    raise ParallelError(f"unknown executor kind: {kind!r}")

@@ -1,0 +1,116 @@
+"""Work scheduling across workers: static block partitioning and dynamic queues.
+
+The dataset sweeps are heterogeneous (images differ in size, K-means converges
+in a variable number of iterations), so a dynamic work queue keeps workers busy
+better than a static split.  Both strategies are provided behind one
+interface so the ablation benchmark can compare them; the experiment harness
+uses the static scheduler by default because its output ordering is
+deterministic regardless of timing.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import queue
+import threading
+from typing import Any, Callable, List, Optional, Sequence
+
+from ..errors import ParallelError
+
+__all__ = ["WorkItem", "StaticScheduler", "DynamicScheduler"]
+
+
+@dataclasses.dataclass
+class WorkItem:
+    """One unit of work: an index (for ordering) and an arbitrary payload."""
+
+    index: int
+    payload: Any
+
+
+class StaticScheduler:
+    """Split work into ``num_workers`` contiguous blocks ahead of time.
+
+    ``assign`` returns the per-worker lists; ``run`` executes them (serially,
+    worker by worker — the point of this class is the partitioning policy; the
+    executors own actual parallelism).
+    """
+
+    def __init__(self, num_workers: int = 1):
+        if num_workers < 1:
+            raise ParallelError("num_workers must be >= 1")
+        self.num_workers = int(num_workers)
+
+    def assign(self, items: Sequence[Any]) -> List[List[WorkItem]]:
+        """Contiguous block partition of ``items`` into ``num_workers`` lists."""
+        work = [WorkItem(index=i, payload=item) for i, item in enumerate(items)]
+        blocks: List[List[WorkItem]] = [[] for _ in range(self.num_workers)]
+        if not work:
+            return blocks
+        per_worker = -(-len(work) // self.num_workers)  # ceil division
+        for worker in range(self.num_workers):
+            blocks[worker] = work[worker * per_worker : (worker + 1) * per_worker]
+        return blocks
+
+    def run(self, func: Callable[[Any], Any], items: Sequence[Any]) -> List[Any]:
+        """Execute ``func`` over all items, returning results in input order."""
+        results: List[Optional[Any]] = [None] * len(items)
+        for block in self.assign(items):
+            for item in block:
+                results[item.index] = func(item.payload)
+        return results  # type: ignore[return-value]
+
+
+class DynamicScheduler:
+    """First-come-first-served work queue drained by ``num_workers`` threads.
+
+    Results are returned in input order regardless of completion order.  The
+    worker count is capped at the number of items; exceptions raised by the
+    work function propagate to the caller after all workers stop.
+    """
+
+    def __init__(self, num_workers: int = 2):
+        if num_workers < 1:
+            raise ParallelError("num_workers must be >= 1")
+        self.num_workers = int(num_workers)
+
+    def run(self, func: Callable[[Any], Any], items: Sequence[Any]) -> List[Any]:
+        """Execute ``func`` over all items with a shared queue of WorkItems."""
+        items = list(items)
+        if not items:
+            return []
+        workers = min(self.num_workers, len(items))
+        if workers == 1:
+            return [func(item) for item in items]
+
+        work_queue: "queue.Queue[WorkItem]" = queue.Queue()
+        for i, item in enumerate(items):
+            work_queue.put(WorkItem(index=i, payload=item))
+        results: List[Optional[Any]] = [None] * len(items)
+        errors: List[BaseException] = []
+        lock = threading.Lock()
+
+        def worker() -> None:
+            while True:
+                try:
+                    work = work_queue.get_nowait()
+                except queue.Empty:
+                    return
+                try:
+                    value = func(work.payload)
+                    with lock:
+                        results[work.index] = value
+                except BaseException as exc:  # noqa: BLE001 - re-raised below
+                    with lock:
+                        errors.append(exc)
+                finally:
+                    work_queue.task_done()
+
+        threads = [threading.Thread(target=worker) for _ in range(workers)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if errors:
+            raise errors[0]
+        return results  # type: ignore[return-value]

@@ -1,0 +1,74 @@
+"""Minimal statevector quantum-computing substrate.
+
+This subpackage provides everything needed to express and simulate the quantum
+circuits that the paper's algorithm is *inspired by*: a dense statevector
+simulator, a small gate library, a circuit container, and QFT/IQFT circuit
+builders.  It is used both as a correctness oracle for the classical
+IQFT-inspired kernels in :mod:`repro.core` (the classical algorithm must agree
+with measuring the genuine circuit) and as a standalone educational component.
+
+The simulator follows the little-endian qubit convention used throughout
+Nielsen & Chuang's QFT treatment: basis state ``|x⟩`` for an ``n``-qubit
+register stores qubit ``0`` as the **most significant** bit of ``x`` so that
+``QFT |x⟩ = (1/√N) Σ_k e^{2πi x k / N} |k⟩`` holds with the matrix returned by
+:func:`repro.quantum.qft.qft_matrix`.
+"""
+
+from .statevector import Statevector
+from .gates import (
+    hadamard,
+    pauli_x,
+    pauli_y,
+    pauli_z,
+    phase_gate,
+    rz_gate,
+    identity_gate,
+    swap_matrix,
+    controlled,
+    is_unitary,
+)
+from .circuit import Gate, QuantumCircuit
+from .qft import qft_matrix, iqft_matrix, qft_circuit, iqft_circuit
+from .encoding import phase_product_state, encode_pixel_state, encode_gray_state
+from .measurement import probabilities, measure, argmax_basis_state, sample_counts
+from .noise_models import (
+    NoiseModel,
+    NoisyCircuitRunner,
+    apply_channel,
+    depolarizing_kraus,
+    phase_damping_kraus,
+    amplitude_damping_kraus,
+)
+
+__all__ = [
+    "Statevector",
+    "hadamard",
+    "pauli_x",
+    "pauli_y",
+    "pauli_z",
+    "phase_gate",
+    "rz_gate",
+    "identity_gate",
+    "swap_matrix",
+    "controlled",
+    "is_unitary",
+    "Gate",
+    "QuantumCircuit",
+    "qft_matrix",
+    "iqft_matrix",
+    "qft_circuit",
+    "iqft_circuit",
+    "phase_product_state",
+    "encode_pixel_state",
+    "encode_gray_state",
+    "probabilities",
+    "measure",
+    "argmax_basis_state",
+    "sample_counts",
+    "NoiseModel",
+    "NoisyCircuitRunner",
+    "apply_channel",
+    "depolarizing_kraus",
+    "phase_damping_kraus",
+    "amplitude_damping_kraus",
+]

@@ -1,0 +1,221 @@
+"""A light-weight gate-list quantum circuit.
+
+The circuit is a recorded sequence of :class:`Gate` operations that can be
+executed on a :class:`~repro.quantum.statevector.Statevector`, composed with
+other circuits, inverted (dagger), or exported as a dense unitary matrix.  It
+is intentionally small: just enough structure to express QFT/IQFT circuits and
+pixel phase-encoding circuits, and to verify the classical IQFT-inspired
+algorithm against a genuine simulation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import GateError, QuantumError
+from .gates import controlled, hadamard, pauli_x, phase_gate, swap_matrix
+from .statevector import Statevector
+
+__all__ = ["Gate", "QuantumCircuit"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Gate:
+    """A single operation in a circuit.
+
+    Attributes
+    ----------
+    name:
+        Human-readable mnemonic (``"h"``, ``"p"``, ``"cp"``, ``"swap"``, ...).
+    matrix:
+        Dense unitary acting on ``len(qubits)`` qubits.
+    qubits:
+        Target qubit indices, most significant first.
+    params:
+        Optional numeric parameters (e.g. the phase angle) kept for
+        introspection and for building the inverse circuit.
+    """
+
+    name: str
+    matrix: np.ndarray
+    qubits: Tuple[int, ...]
+    params: Tuple[float, ...] = ()
+
+    def dagger(self) -> "Gate":
+        """Return the Hermitian adjoint of this gate."""
+        return Gate(
+            name=f"{self.name}†" if not self.name.endswith("†") else self.name[:-1],
+            matrix=self.matrix.conj().T.copy(),
+            qubits=self.qubits,
+            params=tuple(-p for p in self.params),
+        )
+
+
+class QuantumCircuit:
+    """An ordered list of gates on ``num_qubits`` qubits.
+
+    The builder methods (:meth:`h`, :meth:`x`, :meth:`p`, :meth:`cp`,
+    :meth:`swap`, :meth:`unitary`) append gates and return ``self`` so calls
+    can be chained fluently.
+    """
+
+    def __init__(self, num_qubits: int, name: Optional[str] = None):
+        if num_qubits < 1:
+            raise QuantumError("a circuit needs at least one qubit")
+        self._num_qubits = int(num_qubits)
+        self._gates: List[Gate] = []
+        self.name = name or f"circuit({num_qubits})"
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def num_qubits(self) -> int:
+        """Number of qubits the circuit acts on."""
+        return self._num_qubits
+
+    @property
+    def gates(self) -> Tuple[Gate, ...]:
+        """The recorded gate sequence as an immutable tuple."""
+        return tuple(self._gates)
+
+    def __len__(self) -> int:
+        return len(self._gates)
+
+    def __iter__(self) -> Iterator[Gate]:
+        return iter(self._gates)
+
+    def depth(self) -> int:
+        """Circuit depth assuming gates on disjoint qubits can run in parallel."""
+        frontier = [0] * self._num_qubits
+        for gate in self._gates:
+            level = max(frontier[q] for q in gate.qubits) + 1
+            for q in gate.qubits:
+                frontier[q] = level
+        return max(frontier) if frontier else 0
+
+    def count_ops(self) -> dict:
+        """Return a mapping ``gate name -> number of occurrences``."""
+        counts: dict = {}
+        for gate in self._gates:
+            counts[gate.name] = counts.get(gate.name, 0) + 1
+        return counts
+
+    # ------------------------------------------------------------------ #
+    # Builder methods
+    # ------------------------------------------------------------------ #
+    def _check_qubits(self, qubits: Sequence[int]) -> Tuple[int, ...]:
+        out = tuple(int(q) for q in qubits)
+        for q in out:
+            if not 0 <= q < self._num_qubits:
+                raise GateError(
+                    f"qubit index {q} out of range for {self._num_qubits}-qubit circuit"
+                )
+        if len(set(out)) != len(out):
+            raise GateError("duplicate qubit indices in a single gate")
+        return out
+
+    def append(self, gate: Gate) -> "QuantumCircuit":
+        """Append an already-constructed :class:`Gate`."""
+        self._check_qubits(gate.qubits)
+        dim = 2 ** len(gate.qubits)
+        if gate.matrix.shape != (dim, dim):
+            raise GateError(
+                f"gate {gate.name!r} matrix shape {gate.matrix.shape} does not match "
+                f"{len(gate.qubits)} qubit(s)"
+            )
+        self._gates.append(gate)
+        return self
+
+    def h(self, qubit: int) -> "QuantumCircuit":
+        """Append a Hadamard on ``qubit``."""
+        return self.append(Gate("h", hadamard(), self._check_qubits([qubit])))
+
+    def x(self, qubit: int) -> "QuantumCircuit":
+        """Append a Pauli-X on ``qubit``."""
+        return self.append(Gate("x", pauli_x(), self._check_qubits([qubit])))
+
+    def p(self, phi: float, qubit: int) -> "QuantumCircuit":
+        """Append a phase gate ``P(φ)`` on ``qubit``."""
+        return self.append(
+            Gate("p", phase_gate(phi), self._check_qubits([qubit]), (float(phi),))
+        )
+
+    def cp(self, phi: float, control: int, target: int) -> "QuantumCircuit":
+        """Append a controlled-phase gate with ``control`` and ``target`` qubits."""
+        qubits = self._check_qubits([control, target])
+        return self.append(Gate("cp", controlled(phase_gate(phi)), qubits, (float(phi),)))
+
+    def swap(self, qubit_a: int, qubit_b: int) -> "QuantumCircuit":
+        """Append a SWAP between two qubits."""
+        return self.append(Gate("swap", swap_matrix(), self._check_qubits([qubit_a, qubit_b])))
+
+    def unitary(
+        self, matrix: np.ndarray, qubits: Iterable[int], name: str = "unitary"
+    ) -> "QuantumCircuit":
+        """Append an arbitrary unitary on the listed qubits."""
+        qubits = self._check_qubits(list(qubits))
+        return self.append(Gate(name, np.asarray(matrix, dtype=np.complex128), qubits))
+
+    # ------------------------------------------------------------------ #
+    # Composition / transformation
+    # ------------------------------------------------------------------ #
+    def compose(self, other: "QuantumCircuit") -> "QuantumCircuit":
+        """Return a new circuit running ``self`` then ``other``."""
+        if other.num_qubits != self._num_qubits:
+            raise QuantumError("cannot compose circuits with different qubit counts")
+        out = QuantumCircuit(self._num_qubits, name=f"{self.name}∘{other.name}")
+        for gate in self._gates:
+            out.append(gate)
+        for gate in other._gates:
+            out.append(gate)
+        return out
+
+    def inverse(self) -> "QuantumCircuit":
+        """Return the adjoint circuit (gates reversed and daggered)."""
+        out = QuantumCircuit(self._num_qubits, name=f"{self.name}†")
+        for gate in reversed(self._gates):
+            out.append(gate.dagger())
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def run(self, state: Optional[Statevector] = None) -> Statevector:
+        """Execute the circuit and return the final state.
+
+        Parameters
+        ----------
+        state:
+            Initial state.  When omitted, ``|0...0⟩`` is used.  The input state
+            is copied; the caller's object is never mutated.
+        """
+        if state is None:
+            out = Statevector(self._num_qubits)
+        else:
+            if state.num_qubits != self._num_qubits:
+                raise QuantumError(
+                    "initial state qubit count does not match the circuit"
+                )
+            out = state.copy()
+        for gate in self._gates:
+            out.apply_gate(gate.matrix, gate.qubits)
+        return out
+
+    def to_matrix(self) -> np.ndarray:
+        """Return the dense ``2^n × 2^n`` unitary implemented by the circuit."""
+        dim = 2**self._num_qubits
+        unitary = np.zeros((dim, dim), dtype=np.complex128)
+        for col in range(dim):
+            state = Statevector.from_basis_state(self._num_qubits, col)
+            unitary[:, col] = self.run(state).amplitudes
+        return unitary
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"QuantumCircuit(name={self.name!r}, num_qubits={self._num_qubits}, "
+            f"gates={len(self._gates)})"
+        )

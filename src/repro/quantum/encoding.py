@@ -1,0 +1,96 @@
+"""Phase encoding of classical pixel data into qubit states.
+
+The paper's core idea is to imprint normalized pixel intensities onto the
+*relative phases* of a product state:
+
+``|ψ(α, β, γ)⟩ = (1/√8) (|0⟩ + e^{iα}|1⟩) ⊗ (|0⟩ + e^{iβ}|1⟩) ⊗ (|0⟩ + e^{iγ}|1⟩)``
+
+where for an RGB pixel ``γ = R·θ1``, ``β = G·θ2``, ``α = B·θ3`` (equation (11)
+and Algorithm 1).  This module builds that state both directly as an amplitude
+vector and as a circuit of Hadamard + phase gates, so that the classical
+kernels in :mod:`repro.core` can be checked against a genuine simulation.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import QuantumError
+from .circuit import QuantumCircuit
+from .statevector import Statevector
+
+__all__ = [
+    "phase_product_state",
+    "phase_encoding_circuit",
+    "encode_pixel_state",
+    "encode_gray_state",
+]
+
+
+def phase_product_state(phases: Sequence[float]) -> Statevector:
+    """Return the normalized product state with the given relative phases.
+
+    ``phases[0]`` is the phase of the first (most significant) qubit.  For an
+    ``n``-qubit register the amplitude of basis state ``|b_0 b_1 ... b_{n-1}⟩``
+    is ``exp(i Σ_j b_j φ_j) / √(2^n)`` — exactly the column vector on the
+    right-hand side of the paper's equation (11) after normalization.
+    """
+    phases = np.asarray(phases, dtype=np.float64).reshape(-1)
+    if phases.size < 1:
+        raise QuantumError("need at least one phase")
+    amps = np.array([1.0 + 0j], dtype=np.complex128)
+    for phi in phases:
+        qubit = np.array([1.0, np.exp(1j * phi)], dtype=np.complex128)
+        amps = np.kron(amps, qubit)
+    amps /= np.sqrt(2.0 ** phases.size)
+    return Statevector(amps)
+
+
+def phase_encoding_circuit(phases: Sequence[float]) -> QuantumCircuit:
+    """Return the circuit ``⊗_j P(φ_j) H`` preparing :func:`phase_product_state`.
+
+    Applied to ``|0...0⟩`` the circuit produces the same state as
+    :func:`phase_product_state` (exactly, including normalization).
+    """
+    phases = np.asarray(phases, dtype=np.float64).reshape(-1)
+    if phases.size < 1:
+        raise QuantumError("need at least one phase")
+    qc = QuantumCircuit(int(phases.size), name="phase-encode")
+    for qubit, phi in enumerate(phases):
+        qc.h(qubit)
+        qc.p(float(phi), qubit)
+    return qc
+
+
+def encode_pixel_state(
+    rgb: Sequence[float], thetas: Sequence[float] = (np.pi, np.pi, np.pi)
+) -> Statevector:
+    """Encode a normalized RGB pixel into the paper's 3-qubit phase state.
+
+    Parameters
+    ----------
+    rgb:
+        ``(R, G, B)`` with each channel already normalized to ``[0, 1]``.
+    thetas:
+        ``(θ1, θ2, θ3)`` angle parameters.  Following Algorithm 1, the phases
+        are ``γ = R·θ1`` (least significant qubit), ``β = G·θ2``,
+        ``α = B·θ3`` (most significant qubit).
+    """
+    rgb = np.asarray(rgb, dtype=np.float64).reshape(-1)
+    thetas = np.asarray(thetas, dtype=np.float64).reshape(-1)
+    if rgb.size != 3 or thetas.size != 3:
+        raise QuantumError("encode_pixel_state expects 3 channel values and 3 thetas")
+    gamma = rgb[0] * thetas[0]
+    beta = rgb[1] * thetas[1]
+    alpha = rgb[2] * thetas[2]
+    return phase_product_state([alpha, beta, gamma])
+
+
+def encode_gray_state(intensity: float, theta: float = np.pi) -> Statevector:
+    """Encode a normalized grayscale intensity into the 1-qubit phase state.
+
+    Returns ``(|0⟩ + e^{i I θ} |1⟩)/√2`` as in Section IV-C of the paper.
+    """
+    return phase_product_state([float(intensity) * float(theta)])

@@ -1,0 +1,109 @@
+"""Dense single- and two-qubit gate matrices.
+
+All gates are returned as small, freshly-allocated ``complex128`` ndarrays so
+callers may mutate them freely.  Convenience predicates for unitarity and a
+generic ``controlled()`` constructor are included because the QFT/IQFT circuits
+are built from controlled-phase gates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import GateError
+
+__all__ = [
+    "identity_gate",
+    "hadamard",
+    "pauli_x",
+    "pauli_y",
+    "pauli_z",
+    "phase_gate",
+    "rz_gate",
+    "swap_matrix",
+    "controlled",
+    "is_unitary",
+]
+
+_SQRT2_INV = 1.0 / np.sqrt(2.0)
+
+
+def identity_gate(dim: int = 2) -> np.ndarray:
+    """Return the ``dim``-dimensional identity as a complex matrix."""
+    if dim < 1:
+        raise GateError("identity dimension must be >= 1")
+    return np.eye(dim, dtype=np.complex128)
+
+
+def hadamard() -> np.ndarray:
+    """Single-qubit Hadamard gate ``H``."""
+    return np.array([[_SQRT2_INV, _SQRT2_INV], [_SQRT2_INV, -_SQRT2_INV]], dtype=np.complex128)
+
+
+def pauli_x() -> np.ndarray:
+    """Single-qubit Pauli-X (NOT) gate."""
+    return np.array([[0, 1], [1, 0]], dtype=np.complex128)
+
+
+def pauli_y() -> np.ndarray:
+    """Single-qubit Pauli-Y gate."""
+    return np.array([[0, -1j], [1j, 0]], dtype=np.complex128)
+
+
+def pauli_z() -> np.ndarray:
+    """Single-qubit Pauli-Z gate."""
+    return np.array([[1, 0], [0, -1]], dtype=np.complex128)
+
+
+def phase_gate(phi: float) -> np.ndarray:
+    """Single-qubit phase gate ``P(φ) = diag(1, e^{iφ})``.
+
+    This is the gate used to imprint a pixel intensity onto the relative phase
+    of a qubit: ``P(φ) H |0⟩ = (|0⟩ + e^{iφ}|1⟩)/√2``.
+    """
+    return np.array([[1.0, 0.0], [0.0, np.exp(1j * float(phi))]], dtype=np.complex128)
+
+
+def rz_gate(theta: float) -> np.ndarray:
+    """Single-qubit Z-rotation ``RZ(θ) = diag(e^{-iθ/2}, e^{iθ/2})``.
+
+    Differs from :func:`phase_gate` only by a global phase of ``e^{-iθ/2}``.
+    """
+    half = 0.5 * float(theta)
+    return np.array(
+        [[np.exp(-1j * half), 0.0], [0.0, np.exp(1j * half)]], dtype=np.complex128
+    )
+
+
+def swap_matrix() -> np.ndarray:
+    """Two-qubit SWAP gate (4×4)."""
+    m = np.zeros((4, 4), dtype=np.complex128)
+    m[0, 0] = m[3, 3] = 1.0
+    m[1, 2] = m[2, 1] = 1.0
+    return m
+
+
+def controlled(unitary: np.ndarray) -> np.ndarray:
+    """Return the controlled version of a single-qubit ``unitary``.
+
+    The control qubit is the first (most significant) qubit of the returned
+    4×4 matrix: the target unitary is applied only on the ``|1x⟩`` block.
+    """
+    u = np.asarray(unitary, dtype=np.complex128)
+    if u.shape != (2, 2):
+        raise GateError(f"controlled() expects a 2x2 matrix, got shape {u.shape}")
+    out = np.eye(4, dtype=np.complex128)
+    out[2:, 2:] = u
+    return out
+
+
+def is_unitary(matrix: np.ndarray, atol: float = 1e-10) -> bool:
+    """Return True when ``matrix`` is (numerically) unitary."""
+    m = np.asarray(matrix, dtype=np.complex128)
+    if m.ndim != 2 or m.shape[0] != m.shape[1]:
+        return False
+    eye = np.eye(m.shape[0], dtype=np.complex128)
+    return bool(
+        np.allclose(m @ m.conj().T, eye, atol=atol)
+        and np.allclose(m.conj().T @ m, eye, atol=atol)
+    )

@@ -1,0 +1,75 @@
+"""Measurement utilities for statevectors.
+
+Provides exact probability readout, argmax-basis-state classification (the
+quantum analogue of line 5 of Algorithm 1), sampling of measurement shots and
+conversion to counts, mirroring the small subset of functionality the paper's
+method needs from a quantum runtime.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Union
+
+import numpy as np
+
+from ..config import SeedLike, as_generator
+from ..errors import QuantumError
+from .statevector import Statevector
+
+__all__ = ["probabilities", "argmax_basis_state", "measure", "sample_counts", "basis_label"]
+
+StateLike = Union[Statevector, np.ndarray]
+
+
+def _as_probabilities(state: StateLike) -> np.ndarray:
+    if isinstance(state, Statevector):
+        probs = state.probabilities()
+    else:
+        amps = np.asarray(state, dtype=np.complex128).reshape(-1)
+        probs = np.abs(amps) ** 2
+    total = probs.sum()
+    if total <= 0:
+        raise QuantumError("state has zero norm; cannot compute probabilities")
+    return probs / total
+
+
+def probabilities(state: StateLike) -> np.ndarray:
+    """Return normalized measurement probabilities in the computational basis."""
+    return _as_probabilities(state)
+
+
+def argmax_basis_state(state: StateLike) -> int:
+    """Index of the most probable computational basis state.
+
+    Ties are broken toward the smaller index, which matches ``numpy.argmax``
+    and the behaviour of line 5 of Algorithm 1 in the classical implementation.
+    """
+    return int(np.argmax(_as_probabilities(state)))
+
+
+def measure(state: StateLike, shots: int = 1, seed: SeedLike = None) -> np.ndarray:
+    """Sample ``shots`` measurement outcomes (basis-state indices)."""
+    if shots < 1:
+        raise QuantumError("shots must be >= 1")
+    probs = _as_probabilities(state)
+    rng = as_generator(seed)
+    return rng.choice(probs.size, size=int(shots), p=probs)
+
+
+def sample_counts(state: StateLike, shots: int = 1024, seed: SeedLike = None) -> Dict[str, int]:
+    """Sample shots and return a ``bitstring -> count`` histogram."""
+    outcomes = measure(state, shots=shots, seed=seed)
+    num_states = _as_probabilities(state).size
+    width = max(1, int(np.log2(num_states)))
+    counts: Dict[str, int] = {}
+    for outcome in outcomes:
+        label = format(int(outcome), f"0{width}b")
+        counts[label] = counts.get(label, 0) + 1
+    return counts
+
+
+def basis_label(index: int, num_qubits: int) -> str:
+    """Return the bitstring label of basis state ``index`` (qubit 0 leftmost)."""
+    if not 0 <= index < 2**num_qubits:
+        raise QuantumError(f"basis index {index} out of range for {num_qubits} qubit(s)")
+    return format(int(index), f"0{num_qubits}b")

@@ -1,0 +1,234 @@
+"""Simple qubit noise channels for studying a hardware execution of the method.
+
+The paper runs its algorithm classically and defers "the quantum domain
+implementation" to future work.  To study what that implementation would face,
+this module provides the three textbook single-qubit channels — depolarizing,
+phase damping (dephasing) and amplitude damping — in *Monte-Carlo trajectory*
+form: instead of evolving a density matrix, each application randomly selects a
+Kraus operator per qubit (with the Born-rule probabilities for the current
+state) and applies it to the statevector.  Averaged over trajectories this
+reproduces the channel exactly, and it composes directly with the existing
+:class:`~repro.quantum.statevector.Statevector` machinery.
+
+:class:`NoiseModel` bundles per-gate error probabilities;
+:func:`apply_channel` applies one channel to one qubit;
+:class:`NoisyCircuitRunner` executes a circuit while injecting noise after
+every gate — which is what the shot-based segmenter uses to emulate noisy
+hardware.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..config import SeedLike, as_generator
+from ..errors import ParameterError, QuantumError
+from .circuit import QuantumCircuit
+from .statevector import Statevector
+
+__all__ = [
+    "depolarizing_kraus",
+    "phase_damping_kraus",
+    "amplitude_damping_kraus",
+    "apply_channel",
+    "NoiseModel",
+    "NoisyCircuitRunner",
+]
+
+_PAULIS = {
+    "I": np.eye(2, dtype=np.complex128),
+    "X": np.array([[0, 1], [1, 0]], dtype=np.complex128),
+    "Y": np.array([[0, -1j], [1j, 0]], dtype=np.complex128),
+    "Z": np.array([[1, 0], [0, -1]], dtype=np.complex128),
+}
+
+
+def _check_probability(p: float, name: str) -> float:
+    value = float(p)
+    if not 0.0 <= value <= 1.0:
+        raise ParameterError(f"{name} must lie in [0, 1], got {value}")
+    return value
+
+
+def depolarizing_kraus(probability: float) -> list:
+    """Kraus operators of the single-qubit depolarizing channel.
+
+    With probability ``p`` the qubit is replaced by the maximally mixed state,
+    implemented as X, Y or Z each applied with probability ``p/3``.
+    """
+    p = _check_probability(probability, "depolarizing probability")
+    return [
+        np.sqrt(1.0 - p) * _PAULIS["I"],
+        np.sqrt(p / 3.0) * _PAULIS["X"],
+        np.sqrt(p / 3.0) * _PAULIS["Y"],
+        np.sqrt(p / 3.0) * _PAULIS["Z"],
+    ]
+
+
+def phase_damping_kraus(probability: float) -> list:
+    """Kraus operators of the phase-damping (pure dephasing) channel.
+
+    Dephasing is the most relevant error for this algorithm because the pixel
+    information lives entirely in relative phases.
+    """
+    p = _check_probability(probability, "phase damping probability")
+    k0 = np.array([[1.0, 0.0], [0.0, np.sqrt(1.0 - p)]], dtype=np.complex128)
+    k1 = np.array([[0.0, 0.0], [0.0, np.sqrt(p)]], dtype=np.complex128)
+    return [k0, k1]
+
+
+def amplitude_damping_kraus(probability: float) -> list:
+    """Kraus operators of the amplitude-damping (T1 relaxation) channel."""
+    p = _check_probability(probability, "amplitude damping probability")
+    k0 = np.array([[1.0, 0.0], [0.0, np.sqrt(1.0 - p)]], dtype=np.complex128)
+    k1 = np.array([[0.0, np.sqrt(p)], [0.0, 0.0]], dtype=np.complex128)
+    return [k0, k1]
+
+
+def apply_channel(
+    state: Statevector,
+    kraus_operators: Sequence[np.ndarray],
+    qubit: int,
+    rng: np.random.Generator,
+) -> Statevector:
+    """Apply one noise channel to ``qubit`` via Monte-Carlo Kraus selection.
+
+    The Kraus operator ``K_i`` is chosen with probability ``⟨ψ|K_i†K_i|ψ⟩`` and
+    the state is renormalized afterwards, so a single trajectory remains a pure
+    state while the trajectory average reproduces the channel.
+    The state is modified in place and returned.
+    """
+    if not kraus_operators:
+        raise QuantumError("a channel needs at least one Kraus operator")
+    probabilities = []
+    candidates = []
+    for kraus in kraus_operators:
+        trial = state.copy().apply_gate(kraus, qubit)
+        weight = float(np.sum(np.abs(trial.amplitudes) ** 2))
+        probabilities.append(weight)
+        candidates.append(trial)
+    total = float(sum(probabilities))
+    if total <= 0:
+        raise QuantumError("channel annihilated the state")
+    probabilities = [p / total for p in probabilities]
+    choice = int(rng.choice(len(candidates), p=probabilities))
+    chosen = candidates[choice]
+    norm = chosen.norm()
+    selected = Statevector(chosen.amplitudes / norm)
+    # Copy back into the caller's object so the in-place contract holds.
+    state._amplitudes = selected._amplitudes  # noqa: SLF001 - intentional internal update
+    return state
+
+
+@dataclasses.dataclass
+class NoiseModel:
+    """Per-gate error probabilities injected after every circuit operation.
+
+    Attributes
+    ----------
+    depolarizing:
+        Probability of a depolarizing error on each qubit touched by a gate.
+    phase_damping:
+        Probability of a dephasing event on each touched qubit.
+    amplitude_damping:
+        Probability of a relaxation event on each touched qubit.
+    readout_error:
+        Probability that a measured bit is flipped at readout time (used by
+        the shot-based segmenter, not by the circuit runner itself).
+    """
+
+    depolarizing: float = 0.0
+    phase_damping: float = 0.0
+    amplitude_damping: float = 0.0
+    readout_error: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("depolarizing", "phase_damping", "amplitude_damping", "readout_error"):
+            _check_probability(getattr(self, name), name)
+
+    @property
+    def is_noiseless(self) -> bool:
+        """True when every error probability is zero."""
+        return (
+            self.depolarizing == 0.0
+            and self.phase_damping == 0.0
+            and self.amplitude_damping == 0.0
+            and self.readout_error == 0.0
+        )
+
+    def channels(self) -> list:
+        """The list of (name, kraus-factory, probability) for non-zero channels."""
+        table = []
+        if self.depolarizing > 0:
+            table.append(("depolarizing", depolarizing_kraus(self.depolarizing)))
+        if self.phase_damping > 0:
+            table.append(("phase-damping", phase_damping_kraus(self.phase_damping)))
+        if self.amplitude_damping > 0:
+            table.append(("amplitude-damping", amplitude_damping_kraus(self.amplitude_damping)))
+        return table
+
+
+class NoisyCircuitRunner:
+    """Execute circuits on the statevector simulator with per-gate noise.
+
+    Each call to :meth:`run` simulates **one trajectory**; expectation values
+    are estimated by averaging trajectories or by sampling shots from each
+    trajectory (see :meth:`sample`).
+    """
+
+    def __init__(self, noise_model: Optional[NoiseModel] = None, seed: SeedLike = None):
+        self.noise_model = noise_model or NoiseModel()
+        self._rng = as_generator(seed)
+
+    def run(self, circuit: QuantumCircuit, state: Optional[Statevector] = None) -> Statevector:
+        """Run one noisy trajectory of ``circuit`` and return the final state."""
+        current = state.copy() if state is not None else Statevector(circuit.num_qubits)
+        if state is not None and state.num_qubits != circuit.num_qubits:
+            raise QuantumError("initial state does not match the circuit width")
+        channels = self.noise_model.channels()
+        for gate in circuit.gates:
+            current.apply_gate(gate.matrix, gate.qubits)
+            for _, kraus in channels:
+                for qubit in gate.qubits:
+                    apply_channel(current, kraus, qubit, self._rng)
+        return current
+
+    def sample(
+        self,
+        circuit: QuantumCircuit,
+        state: Optional[Statevector] = None,
+        shots: int = 1024,
+        trajectories: int = 8,
+    ) -> np.ndarray:
+        """Sample measurement outcomes across several noisy trajectories.
+
+        Returns an integer array of length ``shots``; shots are distributed as
+        evenly as possible over ``trajectories`` independent noisy runs, and
+        readout errors (independent bit flips) are applied when the noise
+        model requests them.
+        """
+        if shots < 1:
+            raise ParameterError("shots must be >= 1")
+        if trajectories < 1:
+            raise ParameterError("trajectories must be >= 1")
+        trajectories = min(trajectories, shots)
+        per_trajectory = [shots // trajectories] * trajectories
+        for i in range(shots - sum(per_trajectory)):
+            per_trajectory[i] += 1
+
+        outcomes = []
+        num_qubits = circuit.num_qubits
+        for count in per_trajectory:
+            final = self.run(circuit, state)
+            probs = final.probabilities()
+            probs = probs / probs.sum()
+            draws = self._rng.choice(probs.size, size=count, p=probs)
+            if self.noise_model.readout_error > 0:
+                flips = self._rng.random((count, num_qubits)) < self.noise_model.readout_error
+                flip_values = (flips * (2 ** np.arange(num_qubits - 1, -1, -1))).sum(axis=1)
+                draws = draws ^ flip_values.astype(draws.dtype)
+            outcomes.append(draws)
+        return np.concatenate(outcomes)

@@ -1,0 +1,82 @@
+"""Quantum Fourier transform and its inverse: dense matrices and circuits.
+
+Conventions follow equations (1)–(5) of the paper (and Nielsen & Chuang):
+
+* ``QFT |x⟩ = (1/√N) Σ_k ω^{x k} |k⟩`` with ``ω = exp(2πi/N)`` and ``N = 2^n``.
+* The IQFT is the Hermitian adjoint, with matrix entries ``ω^{-xk}/√N``.
+* The tensor-product form ``QFT|x⟩ = (1/√N) ⊗_{k=1..n} (|0⟩ + e^{2πi x / 2^k}|1⟩)``
+  identifies qubit 0 (the first tensor factor) with the *most significant*
+  output bit; the circuit builders below therefore include the conventional
+  final qubit-reversal SWAP network.
+
+The paper's 8×8 matrix in equation (11) carries a ``1/8`` prefactor (``1/N``
+rather than ``1/√N``) because the phase-state column vector it multiplies is
+written unnormalized; :mod:`repro.core.iqft_matrix` reproduces exactly that
+scaling for the classical algorithm, while this module keeps the standard
+unitary ``1/√N`` scaling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import QuantumError
+from .circuit import QuantumCircuit
+
+__all__ = ["qft_matrix", "iqft_matrix", "qft_circuit", "iqft_circuit", "omega"]
+
+
+def omega(num_states: int) -> complex:
+    """Primitive ``num_states``-th root of unity ``exp(2πi / num_states)``."""
+    if num_states < 1:
+        raise QuantumError("number of states must be positive")
+    return np.exp(2j * np.pi / num_states)
+
+
+def qft_matrix(num_qubits: int) -> np.ndarray:
+    """Dense unitary QFT matrix on ``num_qubits`` qubits.
+
+    Entry ``(k, x)`` equals ``ω^{kx} / √N`` so that column ``x`` is
+    ``QFT |x⟩``.
+    """
+    if num_qubits < 1:
+        raise QuantumError("QFT needs at least one qubit")
+    dim = 2**num_qubits
+    indices = np.arange(dim)
+    exponent = np.outer(indices, indices) % dim
+    return np.power(omega(dim), exponent) / np.sqrt(dim)
+
+
+def iqft_matrix(num_qubits: int) -> np.ndarray:
+    """Dense unitary inverse-QFT matrix (conjugate transpose of the QFT)."""
+    return qft_matrix(num_qubits).conj().T
+
+
+def qft_circuit(num_qubits: int, do_swaps: bool = True) -> QuantumCircuit:
+    """Build the textbook QFT circuit.
+
+    The circuit applies, for each qubit ``j`` (0 = most significant), a
+    Hadamard followed by controlled-phase gates ``CP(π/2^{k-j})`` controlled by
+    the less-significant qubits, and finally reverses the qubit order with
+    SWAPs (unless ``do_swaps`` is False, in which case the output is the QFT
+    with bit-reversed output ordering).
+    """
+    if num_qubits < 1:
+        raise QuantumError("QFT needs at least one qubit")
+    qc = QuantumCircuit(num_qubits, name=f"qft({num_qubits})")
+    for j in range(num_qubits):
+        qc.h(j)
+        for k in range(j + 1, num_qubits):
+            angle = np.pi / (2 ** (k - j))
+            qc.cp(angle, control=k, target=j)
+    if do_swaps:
+        for j in range(num_qubits // 2):
+            qc.swap(j, num_qubits - 1 - j)
+    return qc
+
+
+def iqft_circuit(num_qubits: int, do_swaps: bool = True) -> QuantumCircuit:
+    """Build the inverse-QFT circuit (adjoint of :func:`qft_circuit`)."""
+    circuit = qft_circuit(num_qubits, do_swaps=do_swaps).inverse()
+    circuit.name = f"iqft({num_qubits})"
+    return circuit

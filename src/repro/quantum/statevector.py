@@ -1,0 +1,212 @@
+"""Dense statevector representation of an ``n``-qubit register.
+
+The state is stored as a contiguous ``complex128`` vector of length ``2**n``.
+Qubit ``0`` is the most significant bit of the basis-state index (big-endian
+within the index), matching the convention used in the paper's equations (2)
+and (11) where the first factor of the tensor product carries the phase
+``e^{i 2πx/2}``.
+
+Gate application reshapes the amplitude vector into a tensor of ``n`` axes and
+contracts the gate against the targeted axes — the standard dense-simulator
+technique, which is O(2^n) memory and O(2^n) work per single-qubit gate and
+never materializes the full ``2^n × 2^n`` operator.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Union
+
+import numpy as np
+
+from ..errors import GateError, QuantumError
+
+__all__ = ["Statevector"]
+
+
+class Statevector:
+    """Amplitude vector of an ``n``-qubit pure state.
+
+    Parameters
+    ----------
+    data:
+        Either an integer number of qubits (the state is initialized to
+        ``|0...0⟩``) or an amplitude vector whose length is a power of two.
+    normalize:
+        When a raw amplitude vector is supplied, rescale it to unit norm.
+    """
+
+    __slots__ = ("_amplitudes", "_num_qubits")
+
+    def __init__(self, data: Union[int, Sequence[complex], np.ndarray], normalize: bool = False):
+        if isinstance(data, (int, np.integer)):
+            n = int(data)
+            if n < 1:
+                raise QuantumError("a register needs at least one qubit")
+            amps = np.zeros(2**n, dtype=np.complex128)
+            amps[0] = 1.0
+        else:
+            amps = np.asarray(data, dtype=np.complex128).reshape(-1).copy()
+            n = int(np.log2(amps.size))
+            if 2**n != amps.size:
+                raise QuantumError(
+                    f"amplitude vector length must be a power of two, got {amps.size}"
+                )
+            if normalize:
+                norm = np.linalg.norm(amps)
+                if norm == 0:
+                    raise QuantumError("cannot normalize the zero vector")
+                amps = amps / norm
+        self._amplitudes = amps
+        self._num_qubits = n
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_basis_state(cls, num_qubits: int, index: int) -> "Statevector":
+        """Return the computational basis state ``|index⟩`` on ``num_qubits``."""
+        if not 0 <= index < 2**num_qubits:
+            raise QuantumError(
+                f"basis index {index} out of range for {num_qubits} qubit(s)"
+            )
+        amps = np.zeros(2**num_qubits, dtype=np.complex128)
+        amps[index] = 1.0
+        return cls(amps)
+
+    @classmethod
+    def from_label(cls, label: str) -> "Statevector":
+        """Return a basis state from a bitstring label such as ``"100"``.
+
+        The leftmost character is qubit 0 (most significant), so
+        ``from_label("100")`` is ``|4⟩`` on three qubits, matching the
+        worked example of equation (4) in the paper.
+        """
+        stripped = label.strip().replace("|", "").replace("⟩", "").replace(">", "")
+        if not stripped or any(c not in "01" for c in stripped):
+            raise QuantumError(f"invalid basis-state label: {label!r}")
+        return cls.from_basis_state(len(stripped), int(stripped, 2))
+
+    @classmethod
+    def uniform_superposition(cls, num_qubits: int) -> "Statevector":
+        """Return ``H^{⊗n} |0...0⟩``, the equal superposition of all states."""
+        dim = 2**num_qubits
+        return cls(np.full(dim, 1.0 / np.sqrt(dim), dtype=np.complex128))
+
+    # ------------------------------------------------------------------ #
+    # Properties
+    # ------------------------------------------------------------------ #
+    @property
+    def num_qubits(self) -> int:
+        """Number of qubits in the register."""
+        return self._num_qubits
+
+    @property
+    def dim(self) -> int:
+        """Dimension of the Hilbert space (``2**num_qubits``)."""
+        return self._amplitudes.size
+
+    @property
+    def amplitudes(self) -> np.ndarray:
+        """Read-only view of the amplitude vector."""
+        view = self._amplitudes.view()
+        view.flags.writeable = False
+        return view
+
+    def copy(self) -> "Statevector":
+        """Deep copy of this state."""
+        return Statevector(self._amplitudes.copy())
+
+    def norm(self) -> float:
+        """Euclidean norm of the amplitude vector (1.0 for a valid state)."""
+        return float(np.linalg.norm(self._amplitudes))
+
+    def is_normalized(self, atol: float = 1e-9) -> bool:
+        """True when the state has unit norm up to ``atol``."""
+        return abs(self.norm() - 1.0) <= atol
+
+    def probabilities(self) -> np.ndarray:
+        """Measurement probabilities ``|amplitude|²`` in the computational basis."""
+        return np.abs(self._amplitudes) ** 2
+
+    def fidelity(self, other: "Statevector") -> float:
+        """Squared overlap ``|⟨self|other⟩|²`` with another state."""
+        if other.dim != self.dim:
+            raise QuantumError("fidelity requires states of equal dimension")
+        return float(abs(np.vdot(self._amplitudes, other._amplitudes)) ** 2)
+
+    def global_phase_aligned(self, other: "Statevector") -> bool:
+        """True when the two states are equal up to a global phase."""
+        return bool(np.isclose(self.fidelity(other), 1.0, atol=1e-9))
+
+    # ------------------------------------------------------------------ #
+    # Evolution
+    # ------------------------------------------------------------------ #
+    def apply_gate(self, gate: np.ndarray, qubits: Union[int, Iterable[int]]) -> "Statevector":
+        """Apply a ``2^k × 2^k`` gate to the listed ``k`` qubits (in place).
+
+        Parameters
+        ----------
+        gate:
+            Unitary matrix acting on ``k`` qubits.
+        qubits:
+            The target qubit indices, most-significant first, matching the
+            tensor-factor order of ``gate``.
+
+        Returns
+        -------
+        Statevector
+            ``self`` (to allow chaining).
+        """
+        targets = [qubits] if isinstance(qubits, (int, np.integer)) else list(qubits)
+        targets = [int(q) for q in targets]
+        k = len(targets)
+        gate = np.asarray(gate, dtype=np.complex128)
+        if gate.shape != (2**k, 2**k):
+            raise GateError(
+                f"gate shape {gate.shape} does not match {k} target qubit(s)"
+            )
+        n = self._num_qubits
+        for q in targets:
+            if not 0 <= q < n:
+                raise GateError(f"qubit index {q} out of range for {n}-qubit register")
+        if len(set(targets)) != k:
+            raise GateError("duplicate target qubit indices")
+
+        tensor = self._amplitudes.reshape((2,) * n)
+        # Move target axes to the front, most significant target first.
+        tensor = np.moveaxis(tensor, targets, range(k))
+        front = tensor.reshape(2**k, -1)
+        front = gate @ front
+        tensor = front.reshape((2,) * n)
+        tensor = np.moveaxis(tensor, range(k), targets)
+        self._amplitudes = np.ascontiguousarray(tensor.reshape(-1))
+        return self
+
+    def apply_unitary(self, unitary: np.ndarray) -> "Statevector":
+        """Apply a full-register unitary (``2^n × 2^n``) in place."""
+        u = np.asarray(unitary, dtype=np.complex128)
+        if u.shape != (self.dim, self.dim):
+            raise GateError(
+                f"unitary shape {u.shape} does not match register dimension {self.dim}"
+            )
+        self._amplitudes = u @ self._amplitudes
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Dunder helpers
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return self.dim
+
+    def __getitem__(self, index: int) -> complex:
+        return complex(self._amplitudes[index])
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Statevector):
+            return NotImplemented
+        return self.dim == other.dim and bool(
+            np.allclose(self._amplitudes, other._amplitudes, atol=1e-12)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Statevector(num_qubits={self._num_qubits}, dim={self.dim})"

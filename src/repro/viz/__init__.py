@@ -1,0 +1,27 @@
+"""Visualization helpers: palettes, overlays, ASCII rendering, unit-circle data.
+
+No plotting library is available offline, so "figures" are produced as (a)
+colour label maps / overlays written to PPM/PNG via the imaging codecs, (b)
+ASCII renderings for quick terminal inspection, and (c) the raw point/series
+data behind the paper's unit-circle and probability-bar figures (Figs 1–3),
+which the corresponding benchmarks print as tables.
+"""
+
+from .palette import label_palette, colorize_labels, overlay_mask
+from .ascii_art import ascii_label_map, ascii_histogram
+from .unit_circle import basis_patterns_points, input_pattern_points, probability_series
+from .export import save_label_map, save_overlay, save_side_by_side
+
+__all__ = [
+    "label_palette",
+    "colorize_labels",
+    "overlay_mask",
+    "ascii_label_map",
+    "ascii_histogram",
+    "basis_patterns_points",
+    "input_pattern_points",
+    "probability_series",
+    "save_label_map",
+    "save_overlay",
+    "save_side_by_side",
+]

@@ -1,0 +1,55 @@
+"""ASCII rendering of label maps and histograms for terminal inspection."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ParameterError
+
+__all__ = ["ascii_label_map", "ascii_histogram"]
+
+_GLYPHS = " .:-=+*#%@&$ABCDEFGH"
+
+
+def ascii_label_map(labels: np.ndarray, max_width: int = 80) -> str:
+    """Render a 2-D label map as a block of characters (one glyph per label).
+
+    The map is downsampled by integer striding when wider than ``max_width``.
+    """
+    arr = np.asarray(labels)
+    if arr.ndim != 2:
+        raise ParameterError("labels must be a 2-D array")
+    if max_width < 4:
+        raise ParameterError("max_width must be at least 4")
+    stride = max(1, int(np.ceil(arr.shape[1] / max_width)))
+    small = arr[::stride, ::stride]
+    unique = np.unique(small)
+    glyph_of = {int(v): _GLYPHS[i % len(_GLYPHS)] for i, v in enumerate(unique)}
+    lines = ["".join(glyph_of[int(v)] for v in row) for row in small]
+    return "\n".join(lines)
+
+
+def ascii_histogram(values: Sequence[float], labels: Sequence[str] = None, width: int = 40) -> str:
+    """Render a horizontal bar chart of non-negative values.
+
+    Used by the Figure-3 benchmark to print the 8-way probability distribution.
+    """
+    vals = np.asarray(list(values), dtype=np.float64)
+    if vals.ndim != 1 or vals.size == 0:
+        raise ParameterError("values must be a non-empty 1-D sequence")
+    if np.any(vals < 0):
+        raise ParameterError("values must be non-negative")
+    if width < 1:
+        raise ParameterError("width must be positive")
+    names = list(labels) if labels is not None else [str(i) for i in range(vals.size)]
+    if len(names) != vals.size:
+        raise ParameterError("labels length does not match values")
+    peak = vals.max() or 1.0
+    name_width = max(len(n) for n in names)
+    lines = []
+    for name, value in zip(names, vals):
+        bar = "#" * int(round(width * value / peak))
+        lines.append(f"{name.rjust(name_width)} | {bar} {value:.4f}")
+    return "\n".join(lines)

@@ -1,0 +1,52 @@
+"""Write segmentation visualizations to disk through the imaging codecs."""
+
+from __future__ import annotations
+
+import os
+from typing import Sequence, Union
+
+import numpy as np
+
+from ..errors import ParameterError
+from ..imaging.image import as_uint8_image, ensure_rgb
+from ..imaging.io_dispatch import write_image
+from .palette import colorize_labels, overlay_mask
+
+__all__ = ["save_label_map", "save_overlay", "save_side_by_side"]
+
+PathLike = Union[str, os.PathLike]
+
+
+def save_label_map(path: PathLike, labels: np.ndarray) -> None:
+    """Write a colourized label map to ``path`` (extension selects the codec)."""
+    write_image(path, as_uint8_image(colorize_labels(labels)))
+
+
+def save_overlay(path: PathLike, image: np.ndarray, mask: np.ndarray, alpha: float = 0.45) -> None:
+    """Write the image with a red mask overlay to ``path``."""
+    write_image(path, as_uint8_image(overlay_mask(image, mask, alpha=alpha)))
+
+
+def save_side_by_side(path: PathLike, panels: Sequence[np.ndarray], gap: int = 4) -> None:
+    """Write several equally-tall images side by side (figure-style montage).
+
+    All panels are converted to RGB uint8; a white vertical gap of ``gap``
+    pixels separates them.  Panels of different heights are rejected rather
+    than resized, to avoid silently distorting comparisons.
+    """
+    if not panels:
+        raise ParameterError("need at least one panel")
+    if gap < 0:
+        raise ParameterError("gap must be non-negative")
+    rgb_panels = [ensure_rgb(as_uint8_image(np.asarray(p))) for p in panels]
+    heights = {p.shape[0] for p in rgb_panels}
+    if len(heights) != 1:
+        raise ParameterError(f"panels must share a height; got heights {sorted(heights)}")
+    height = heights.pop()
+    spacer = np.full((height, gap, 3), 255, dtype=np.uint8)
+    pieces = []
+    for i, panel in enumerate(rgb_panels):
+        if i:
+            pieces.append(spacer)
+        pieces.append(panel)
+    write_image(path, np.concatenate(pieces, axis=1))

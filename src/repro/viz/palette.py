@@ -1,0 +1,80 @@
+"""Colour palettes for label maps and mask overlays."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ParameterError
+
+__all__ = ["label_palette", "colorize_labels", "overlay_mask"]
+
+# A qualitative palette with high mutual contrast; index 0 (background) is dark.
+_BASE_PALETTE = np.array(
+    [
+        [0.10, 0.10, 0.12],
+        [0.90, 0.25, 0.20],
+        [0.20, 0.60, 0.90],
+        [0.25, 0.75, 0.30],
+        [0.95, 0.75, 0.15],
+        [0.65, 0.35, 0.80],
+        [0.95, 0.50, 0.70],
+        [0.45, 0.80, 0.80],
+        [0.98, 0.98, 0.95],
+        [0.55, 0.40, 0.20],
+        [0.35, 0.35, 0.60],
+        [0.75, 0.85, 0.40],
+    ],
+    dtype=np.float64,
+)
+
+
+def label_palette(num_labels: int) -> np.ndarray:
+    """Return an ``(num_labels, 3)`` float palette, cycling hues when needed."""
+    if num_labels < 1:
+        raise ParameterError("num_labels must be >= 1")
+    if num_labels <= _BASE_PALETTE.shape[0]:
+        return _BASE_PALETTE[:num_labels].copy()
+    # Extend by rotating hue via a golden-angle sweep in HSV-ish fashion.
+    extra_count = num_labels - _BASE_PALETTE.shape[0]
+    hues = (np.arange(extra_count) * 0.618033988749895) % 1.0
+    extra = np.stack(
+        [
+            0.5 + 0.5 * np.cos(2 * np.pi * hues),
+            0.5 + 0.5 * np.cos(2 * np.pi * (hues + 1 / 3)),
+            0.5 + 0.5 * np.cos(2 * np.pi * (hues + 2 / 3)),
+        ],
+        axis=-1,
+    )
+    return np.concatenate([_BASE_PALETTE, extra], axis=0)
+
+
+def colorize_labels(labels: np.ndarray, palette: np.ndarray = None) -> np.ndarray:
+    """Map a 2-D integer label map to an RGB image using a palette."""
+    arr = np.asarray(labels)
+    if arr.ndim != 2:
+        raise ParameterError("labels must be a 2-D array")
+    arr = arr.astype(np.int64)
+    if arr.min() < 0:
+        raise ParameterError("labels must be non-negative")
+    needed = int(arr.max()) + 1
+    pal = palette if palette is not None else label_palette(needed)
+    if pal.shape[0] < needed:
+        raise ParameterError("palette has fewer colours than labels")
+    return pal[arr]
+
+
+def overlay_mask(
+    image: np.ndarray, mask: np.ndarray, color=(1.0, 0.1, 0.1), alpha: float = 0.45
+) -> np.ndarray:
+    """Blend a coloured binary mask over an RGB image."""
+    if not 0.0 <= alpha <= 1.0:
+        raise ParameterError("alpha must lie in [0, 1]")
+    img = np.asarray(image, dtype=np.float64)
+    if img.ndim == 2:
+        img = np.stack([img, img, img], axis=-1)
+    m = np.asarray(mask) != 0
+    if m.shape != img.shape[:2]:
+        raise ParameterError("mask shape does not match the image")
+    rgb = np.asarray(color, dtype=np.float64).reshape(1, 1, 3)
+    blended = img * (1.0 - alpha) + rgb * alpha
+    return np.where(m[..., None], blended, img)

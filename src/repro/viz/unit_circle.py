@@ -1,0 +1,64 @@
+"""Unit-circle point sets and probability series behind Figures 1–3.
+
+Figure 1 visualizes each basis state as the set of phase points of the
+corresponding row of the IQFT matrix; Figure 2 shows the phase points of a
+transformed input vector for a random ``(α, β, γ)``; Figure 3 is the 8-way
+probability distribution of that input.  These functions return the raw point
+coordinates / probabilities so the benchmarks can print (and tests can check)
+exactly the data the figures plot.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from ..core.classifier import IQFTClassifier
+from ..core.iqft_matrix import basis_phase_patterns
+from ..core.phase_encoding import phase_vector
+from ..errors import ParameterError
+
+__all__ = ["basis_patterns_points", "input_pattern_points", "probability_series"]
+
+#: The random example used in Figures 2 and 3 of the paper.
+PAPER_EXAMPLE_PHASES: Tuple[float, float, float] = (2.464, 0.025, 0.246)
+
+
+def basis_patterns_points(num_qubits: int = 3) -> Dict[str, np.ndarray]:
+    """Figure 1: for each basis state, the (x, y) points of its pattern.
+
+    Returns a mapping ``bitstring -> (N, 2)`` array of unit-circle coordinates,
+    where ``N = 2^num_qubits``.
+    """
+    if num_qubits < 1:
+        raise ParameterError("num_qubits must be >= 1")
+    angles = basis_phase_patterns(num_qubits)
+    dim = angles.shape[0]
+    width = num_qubits
+    out: Dict[str, np.ndarray] = {}
+    for j in range(dim):
+        pts = np.stack([np.cos(angles[j]), np.sin(angles[j])], axis=-1)
+        out[format(j, f"0{width}b")] = pts
+    return out
+
+
+def input_pattern_points(phases: Sequence[float] = PAPER_EXAMPLE_PHASES) -> np.ndarray:
+    """Figure 2: the unit-circle points of the transformed input vector.
+
+    ``phases`` is ``(α, β, γ)`` (most significant qubit first); the returned
+    ``(2^n, 2)`` array contains the coordinates of each component of the
+    phase vector ``F`` — several points may coincide, exactly as the paper
+    notes for its example.
+    """
+    vec = phase_vector(phases)
+    return np.stack([vec.real, vec.imag], axis=-1)
+
+
+def probability_series(phases: Sequence[float] = PAPER_EXAMPLE_PHASES) -> Dict[str, float]:
+    """Figure 3: the basis-state probability distribution of the input pattern."""
+    phi = np.asarray(phases, dtype=np.float64).reshape(-1)
+    classifier = IQFTClassifier(num_qubits=phi.size)
+    probs = classifier.probabilities(phi)
+    width = phi.size
+    return {format(i, f"0{width}b"): float(p) for i, p in enumerate(probs)}

@@ -1,0 +1,44 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.shapes import make_two_tone_image
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_rgb_uint8(rng) -> np.ndarray:
+    """A small random RGB image in uint8 storage."""
+    return (rng.random((16, 20, 3)) * 255).astype(np.uint8)
+
+
+@pytest.fixture
+def small_rgb_float(rng) -> np.ndarray:
+    """A small random RGB image in float [0, 1] storage."""
+    return rng.random((16, 20, 3))
+
+
+@pytest.fixture
+def small_gray_float(rng) -> np.ndarray:
+    """A small random grayscale image in float [0, 1] storage."""
+    return rng.random((16, 20))
+
+
+@pytest.fixture
+def disk_image():
+    """A clean bright-disk-on-dark-background image with its exact mask."""
+    return make_two_tone_image(shape=(48, 48), noise_sigma=0.0)
+
+
+@pytest.fixture
+def noisy_disk_image():
+    """The disk image with mild Gaussian noise."""
+    return make_two_tone_image(shape=(48, 48), noise_sigma=0.03, seed=3)

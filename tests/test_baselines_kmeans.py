@@ -1,0 +1,111 @@
+"""Unit tests for the from-scratch K-means and the K-means segmenter."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.kmeans import KMeans, KMeansSegmenter
+from repro.datasets.shapes import make_two_tone_image
+from repro.errors import ParameterError, SegmentationError
+from repro.metrics.iou import best_binarized_mean_iou
+
+
+def _two_blobs(rng, separation=5.0, per_cluster=100):
+    a = rng.normal(0.0, 0.3, size=(per_cluster, 2))
+    b = rng.normal(separation, 0.3, size=(per_cluster, 2))
+    return np.concatenate([a, b]), np.concatenate([np.zeros(per_cluster), np.ones(per_cluster)])
+
+
+def test_kmeans_recovers_well_separated_clusters(rng):
+    points, truth = _two_blobs(rng)
+    model = KMeans(n_clusters=2, n_init=3, seed=0)
+    labels = model.fit_predict(points)
+    # Cluster ids are arbitrary; check agreement up to relabeling.
+    agreement = max(np.mean(labels == truth), np.mean(labels == 1 - truth))
+    assert agreement == 1.0
+    assert model.inertia_ is not None and model.inertia_ < 100
+    assert model.cluster_centers_.shape == (2, 2)
+
+
+def test_kmeans_predict_assigns_nearest_center(rng):
+    points, _ = _two_blobs(rng)
+    model = KMeans(n_clusters=2, seed=1).fit(points)
+    near_a = model.predict(np.array([[0.0, 0.0]]))
+    near_b = model.predict(np.array([[5.0, 5.0]]))
+    assert near_a[0] != near_b[0]
+
+
+def test_kmeans_predict_before_fit_raises():
+    with pytest.raises(SegmentationError):
+        KMeans(n_clusters=2).predict(np.zeros((3, 2)))
+
+
+def test_kmeans_one_dimensional_input(rng):
+    data = np.concatenate([rng.normal(0, 0.1, 50), rng.normal(1, 0.1, 50)])
+    labels = KMeans(n_clusters=2, seed=0).fit_predict(data)
+    assert set(labels[:50]) != set(labels[50:])
+
+
+def test_kmeans_more_clusters_than_points_rejected():
+    with pytest.raises(SegmentationError):
+        KMeans(n_clusters=5).fit(np.zeros((3, 2)))
+
+
+def test_kmeans_degenerate_identical_points():
+    data = np.ones((10, 3))
+    model = KMeans(n_clusters=2, n_init=1, seed=0).fit(data)
+    assert model.inertia_ == pytest.approx(0.0)
+
+
+def test_kmeans_deterministic_given_seed(rng):
+    points, _ = _two_blobs(rng, separation=2.0)
+    a = KMeans(n_clusters=3, n_init=2, seed=7).fit_predict(points)
+    b = KMeans(n_clusters=3, n_init=2, seed=7).fit_predict(points)
+    assert np.array_equal(a, b)
+
+
+def test_kmeans_invalid_parameters():
+    with pytest.raises(ParameterError):
+        KMeans(n_clusters=0)
+    with pytest.raises(ParameterError):
+        KMeans(n_init=0)
+    with pytest.raises(ParameterError):
+        KMeans(max_iter=0)
+    with pytest.raises(ParameterError):
+        KMeans(tol=-1.0)
+    with pytest.raises(ParameterError):
+        KMeans().fit(np.zeros((2, 2, 2)))
+
+
+def test_kmeans_inertia_non_increasing_with_more_clusters(rng):
+    points, _ = _two_blobs(rng, separation=3.0)
+    inertia = [
+        KMeans(n_clusters=k, n_init=3, seed=0).fit(points).inertia_ for k in (1, 2, 4)
+    ]
+    assert inertia[0] >= inertia[1] >= inertia[2]
+
+
+def test_segmenter_separates_clean_two_tone_image():
+    image, mask = make_two_tone_image(shape=(40, 40), noise_sigma=0.0)
+    result = KMeansSegmenter(n_clusters=2, n_init=2, seed=0).segment(image)
+    assert result.num_segments == 2
+    miou, _ = best_binarized_mean_iou(result.labels, mask)
+    assert miou > 0.95
+
+
+def test_segmenter_sampling_path_used_for_large_images(rng):
+    image = rng.random((40, 40, 3))
+    seg = KMeansSegmenter(n_clusters=2, n_init=1, seed=0, sample_limit=500)
+    result = seg.segment(image)
+    assert result.labels.shape == (40, 40)
+    assert result.extras["cluster_centers"].shape == (2, 3)
+
+
+def test_segmenter_grayscale_input(small_gray_float):
+    result = KMeansSegmenter(n_clusters=3, n_init=1, seed=0).segment(small_gray_float)
+    assert result.labels.shape == small_gray_float.shape
+    assert result.num_segments <= 3
+
+
+def test_segmenter_invalid_sample_limit():
+    with pytest.raises(ParameterError):
+        KMeansSegmenter(sample_limit=0)

@@ -1,0 +1,128 @@
+"""Unit tests for Otsu, multi-Otsu and the simple thresholding segmenters."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.otsu import (
+    MultiOtsuSegmenter,
+    OtsuSegmenter,
+    multi_otsu_thresholds,
+    otsu_threshold,
+)
+from repro.baselines.threshold import AdaptiveMeanThresholdSegmenter, FixedThresholdSegmenter
+from repro.datasets.shapes import make_two_tone_image
+from repro.errors import ParameterError, SegmentationError
+from repro.metrics.iou import mean_iou
+
+
+def _bimodal_image(rng, low=0.2, high=0.8, sigma=0.02, shape=(40, 40)):
+    base = np.where(rng.random(shape) < 0.5, low, high)
+    return np.clip(base + rng.normal(0, sigma, shape), 0, 1)
+
+
+def test_otsu_threshold_separates_bimodal_modes(rng):
+    # For well-separated modes any threshold in the gap maximizes the
+    # between-class variance; Otsu must pick one that classifies every pixel
+    # of the low mode as background and every pixel of the high mode as
+    # foreground.
+    shape = (40, 40)
+    low_mask = rng.random(shape) < 0.5
+    image = np.clip(
+        np.where(low_mask, 0.2, 0.8) + rng.normal(0, 0.02, shape), 0, 1
+    )
+    threshold = otsu_threshold(image)
+    assert image[low_mask].max() < threshold < image[~low_mask].min()
+
+
+def test_otsu_threshold_is_invariant_to_mode_balance(rng):
+    # Otsu should land between the modes even when one mode dominates.
+    shape = (50, 50)
+    low_mask = rng.random(shape) < 0.85
+    image = np.clip(
+        np.where(low_mask, 0.2, 0.8) + rng.normal(0, 0.02, shape), 0, 1
+    )
+    threshold = otsu_threshold(image)
+    assert image[low_mask].max() < threshold < image[~low_mask].min()
+
+
+def test_otsu_threshold_constant_image_raises():
+    with pytest.raises(SegmentationError):
+        otsu_threshold(np.full((8, 8), 0.5))
+
+
+def test_otsu_segmenter_on_clean_disk():
+    image, mask = make_two_tone_image(shape=(40, 40), noise_sigma=0.0)
+    result = OtsuSegmenter().segment(image)
+    assert set(np.unique(result.labels)).issubset({0, 1})
+    assert mean_iou(result.labels, mask) > 0.95
+    assert 0.0 < result.extras["threshold"] < 1.0
+
+
+def test_otsu_segmenter_constant_image_single_segment():
+    result = OtsuSegmenter().segment(np.full((8, 8), 0.4))
+    assert result.num_segments == 1
+    assert result.extras["threshold"] is None
+
+
+def test_otsu_segmenter_rejects_bad_bins():
+    with pytest.raises(ParameterError):
+        OtsuSegmenter(bins=1)
+
+
+def test_multi_otsu_thresholds_trimodal(rng):
+    shape = (60, 60)
+    choice = rng.integers(0, 3, size=shape)
+    image = np.select([choice == 0, choice == 1, choice == 2], [0.15, 0.5, 0.85])
+    image = np.clip(image + rng.normal(0, 0.02, shape), 0, 1)
+    thresholds = multi_otsu_thresholds(image, classes=3)
+    assert len(thresholds) == 2
+    assert 0.2 < thresholds[0] < 0.45
+    assert 0.55 < thresholds[1] < 0.8
+
+
+def test_multi_otsu_validates_classes():
+    with pytest.raises(ParameterError):
+        multi_otsu_thresholds(np.zeros((4, 4)), classes=1)
+    with pytest.raises(ParameterError):
+        multi_otsu_thresholds(np.zeros((4, 4)), classes=9)
+
+
+def test_multi_otsu_segmenter_band_labels(rng):
+    image = _bimodal_image(rng)
+    result = MultiOtsuSegmenter(classes=3, bins=64).segment(image)
+    assert result.num_segments <= 3
+    assert len(result.extras["thresholds"]) == 2
+
+
+def test_multi_otsu_segmenter_constant_image():
+    result = MultiOtsuSegmenter().segment(np.full((6, 6), 0.3))
+    assert result.num_segments == 1
+
+
+def test_fixed_threshold_segmenter_behaviour(small_gray_float):
+    seg = FixedThresholdSegmenter(threshold=0.5)
+    labels = seg.segment(small_gray_float).labels
+    assert np.array_equal(labels, (small_gray_float > 0.5).astype(int))
+    with pytest.raises(ParameterError):
+        FixedThresholdSegmenter(threshold=1.5)
+
+
+def test_adaptive_mean_handles_illumination_gradient():
+    # A dark-to-bright ramp with small bright squares: a global threshold
+    # merges the bright half of the ramp with the squares; the adaptive method
+    # keeps the ramp as background.
+    height, width = 48, 48
+    ramp = np.tile(np.linspace(0.1, 0.7, width), (height, 1))
+    image = ramp.copy()
+    mask = np.zeros((height, width), dtype=np.int64)
+    for col in (8, 24, 40):
+        image[20:24, col : col + 4] = np.clip(ramp[20:24, col : col + 4] + 0.25, 0, 1)
+        mask[20:24, col : col + 4] = 1
+    adaptive = AdaptiveMeanThresholdSegmenter(window=15, offset=0.05).segment(image).labels
+    global_fixed = FixedThresholdSegmenter(threshold=0.5).segment(image).labels
+    assert mean_iou(adaptive, mask) > mean_iou(global_fixed, mask)
+
+
+def test_adaptive_mean_validates_window():
+    with pytest.raises(ParameterError):
+        AdaptiveMeanThresholdSegmenter(window=4)

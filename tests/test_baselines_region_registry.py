@@ -1,0 +1,113 @@
+"""Unit tests for the region-based segmenters and the method registry."""
+
+import numpy as np
+import pytest
+
+from repro.base import BaseSegmenter
+from repro.baselines.region import ConnectedComponentsSegmenter, RegionGrowingSegmenter
+from repro.baselines.registry import available_segmenters, get_segmenter, register_segmenter
+from repro.datasets.shapes import make_two_tone_image
+from repro.errors import ParameterError
+from repro.imaging import synthesis
+from repro.metrics.iou import best_binarized_mean_iou
+
+
+def test_connected_components_separates_two_disks():
+    shape = (48, 48)
+    mask_a = synthesis.ellipse_mask(shape, (14, 14), (6, 6))
+    mask_b = synthesis.ellipse_mask(shape, (34, 34), (6, 6))
+    image = np.where(mask_a | mask_b, 0.9, 0.1)
+    result = ConnectedComponentsSegmenter().segment(image)
+    # Background + two components.
+    assert result.num_segments == 3
+
+
+def test_connected_components_min_size_filters_specks():
+    shape = (32, 32)
+    blob = synthesis.ellipse_mask(shape, (16, 16), (6, 6))
+    image = np.where(blob, 0.9, 0.1)
+    image[2, 2] = 0.95  # a single-pixel speck
+    with_filter = ConnectedComponentsSegmenter(min_size=4).segment(image)
+    without_filter = ConnectedComponentsSegmenter(min_size=0).segment(image)
+    assert with_filter.num_segments == 2
+    assert without_filter.num_segments == 3
+
+
+def test_connected_components_constant_image():
+    result = ConnectedComponentsSegmenter().segment(np.full((8, 8), 0.5))
+    assert result.num_segments == 1
+
+
+def test_region_growing_recovers_clean_disk():
+    image, mask = make_two_tone_image(shape=(40, 40), noise_sigma=0.0)
+    result = RegionGrowingSegmenter(num_seeds=9, tolerance=0.15).segment(image)
+    miou, _ = best_binarized_mean_iou(result.labels, mask)
+    assert miou > 0.8
+    # Every pixel is assigned to some region.
+    assert result.labels.min() >= 0
+
+
+def test_region_growing_validates_parameters():
+    with pytest.raises(ParameterError):
+        RegionGrowingSegmenter(num_seeds=0)
+    with pytest.raises(ParameterError):
+        RegionGrowingSegmenter(tolerance=0.0)
+    with pytest.raises(ParameterError):
+        RegionGrowingSegmenter(max_rounds=0)
+
+
+def test_registry_lists_all_builtin_methods():
+    names = available_segmenters()
+    for expected in (
+        "iqft-rgb",
+        "iqft-gray",
+        "kmeans",
+        "otsu",
+        "multi-otsu",
+        "fixed-threshold",
+        "adaptive-mean",
+        "connected-components",
+        "region-growing",
+    ):
+        assert expected in names
+
+
+def test_registry_constructs_with_kwargs():
+    segmenter = get_segmenter("kmeans", n_clusters=3, n_init=1, seed=0)
+    assert segmenter.n_clusters == 3
+    assert isinstance(segmenter, BaseSegmenter)
+
+
+def test_registry_unknown_name():
+    with pytest.raises(ParameterError):
+        get_segmenter("does-not-exist")
+
+
+def test_register_custom_segmenter_and_validation():
+    class Dummy(BaseSegmenter):
+        name = "dummy"
+
+        def _segment(self, image):
+            return np.zeros(np.asarray(image).shape[:2], dtype=np.int64)
+
+    register_segmenter("dummy-test", Dummy)
+    assert "dummy-test" in available_segmenters()
+    built = get_segmenter("dummy-test")
+    assert built.segment(np.zeros((4, 4, 3))).num_segments == 1
+    with pytest.raises(ParameterError):
+        register_segmenter("", Dummy)
+    with pytest.raises(ParameterError):
+        register_segmenter("broken", lambda: object()) or get_segmenter("broken")
+
+
+def test_every_registered_method_runs_on_a_small_image(noisy_disk_image):
+    image, _mask = noisy_disk_image
+    for name in available_segmenters():
+        if name in ("dummy-test", "broken"):
+            continue
+        kwargs = {}
+        if name == "kmeans":
+            kwargs = {"n_init": 1, "seed": 0}
+        result = get_segmenter(name, **kwargs).segment(image)
+        assert result.labels.shape == image.shape[:2]
+        assert result.num_segments >= 1

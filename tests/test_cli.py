@@ -1,0 +1,63 @@
+"""Unit tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.imaging.io_dispatch import read_image, write_image
+
+
+def test_parser_requires_subcommand():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args([])
+
+
+def test_cli_segment_writes_label_map(tmp_path, rng):
+    source = tmp_path / "input.png"
+    target = tmp_path / "labels.png"
+    write_image(source, (rng.random((20, 24, 3)) * 255).astype(np.uint8))
+    exit_code = main(["segment", str(source), str(target), "--method", "iqft-rgb"])
+    assert exit_code == 0
+    assert read_image(target).shape == (20, 24, 3)
+
+
+def test_cli_segment_gray_method_and_theta(tmp_path, rng, capsys):
+    source = tmp_path / "input.ppm"
+    target = tmp_path / "labels.ppm"
+    write_image(source, (rng.random((16, 16, 3)) * 255).astype(np.uint8))
+    assert main(["segment", str(source), str(target), "--method", "iqft-gray", "--theta", "6.0"]) == 0
+    out = capsys.readouterr().out
+    assert "iqft-gray" in out
+
+
+def test_cli_evaluate_prints_table(capsys):
+    assert main(["evaluate", "--dataset", "voc", "--samples", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "Average mIOU" in out
+    assert "iqft-rgb" in out
+
+
+def test_cli_experiment_table1(capsys):
+    assert main(["experiment", "table1"]) == 0
+    assert "Threshold value" in capsys.readouterr().out
+
+
+def test_cli_experiment_table2_with_reduced_samples(capsys):
+    assert main(["experiment", "table2", "--samples", "5000"]) == 0
+    assert "number of segments" in capsys.readouterr().out
+
+
+def test_cli_experiment_fig3(capsys):
+    assert main(["experiment", "fig3"]) == 0
+    assert "|100⟩" in capsys.readouterr().out
+
+
+def test_cli_experiment_fig7(capsys):
+    assert main(["experiment", "fig7"]) == 0
+    assert "identical" in capsys.readouterr().out
+
+
+def test_cli_rejects_unknown_experiment():
+    with pytest.raises(SystemExit):
+        main(["experiment", "fig99"])

@@ -1,0 +1,129 @@
+"""Unit tests for configuration, the segmenter base class and the error hierarchy."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.base import BaseSegmenter, SegmentationResult
+from repro.config import ReproConfig, as_generator, configure, get_config
+from repro.errors import (
+    DatasetError,
+    ImageError,
+    MetricError,
+    ParameterError,
+    QuantumError,
+    ReproError,
+    SegmentationError,
+    ShapeError,
+)
+
+
+# --------------------------------------------------------------------------- #
+# Config
+# --------------------------------------------------------------------------- #
+def test_get_config_returns_shared_instance():
+    assert get_config() is get_config()
+    assert isinstance(get_config(), ReproConfig)
+
+
+def test_configure_updates_and_validates():
+    original = get_config().chunk_pixels
+    try:
+        configure(chunk_pixels=1234)
+        assert get_config().chunk_pixels == 1234
+        with pytest.raises(ParameterError):
+            configure(chunk_pixels=0)
+        with pytest.raises(ParameterError):
+            configure(not_a_field=1)
+    finally:
+        configure(chunk_pixels=original)
+
+
+def test_resolved_workers_positive():
+    assert get_config().resolved_workers() >= 1
+    assert ReproConfig(default_workers=3).resolved_workers() == 3
+    with pytest.raises(ParameterError):
+        ReproConfig(default_workers=0)
+
+
+def test_as_generator_variants():
+    gen = np.random.default_rng(5)
+    assert as_generator(gen) is gen
+    a = as_generator(7).random(3)
+    b = as_generator(7).random(3)
+    assert np.array_equal(a, b)
+    assert isinstance(as_generator(None), np.random.Generator)
+    with pytest.raises(ParameterError):
+        as_generator("seed")
+
+
+# --------------------------------------------------------------------------- #
+# BaseSegmenter / SegmentationResult
+# --------------------------------------------------------------------------- #
+class _ConstantSegmenter(BaseSegmenter):
+    name = "constant"
+
+    def _segment(self, image):
+        return np.zeros(np.asarray(image).shape[:2], dtype=np.int64)
+
+
+class _BrokenSegmenter(BaseSegmenter):
+    name = "broken"
+
+    def _segment(self, image):
+        return np.zeros((1, 1), dtype=np.int64)
+
+
+def test_base_segmenter_wraps_result_with_timing(small_rgb_uint8):
+    result = _ConstantSegmenter().segment(small_rgb_uint8)
+    assert isinstance(result, SegmentationResult)
+    assert result.num_segments == 1
+    assert result.method == "constant"
+    assert result.runtime_seconds >= 0.0
+    assert result.shape == small_rgb_uint8.shape[:2]
+
+
+def test_base_segmenter_callable_interface(small_rgb_uint8):
+    assert _ConstantSegmenter()(small_rgb_uint8).num_segments == 1
+
+
+def test_base_segmenter_rejects_bad_inputs(small_rgb_uint8):
+    with pytest.raises(SegmentationError):
+        _ConstantSegmenter().segment(np.zeros(5))
+    with pytest.raises(SegmentationError):
+        _BrokenSegmenter().segment(small_rgb_uint8)
+
+
+def test_base_segmenter_name_override():
+    assert _ConstantSegmenter(name="renamed").name == "renamed"
+
+
+def test_segmentation_result_validates_label_shape():
+    with pytest.raises(SegmentationError):
+        SegmentationResult(labels=np.zeros(4), num_segments=1)
+
+
+# --------------------------------------------------------------------------- #
+# Errors and the public API surface
+# --------------------------------------------------------------------------- #
+def test_error_hierarchy():
+    for exc in (ImageError, QuantumError, SegmentationError, MetricError, DatasetError):
+        assert issubclass(exc, ReproError)
+    assert issubclass(ShapeError, ValueError)
+    assert issubclass(ParameterError, ValueError)
+
+
+def test_public_api_exports_exist():
+    for name in repro.__all__:
+        assert hasattr(repro, name), f"missing export: {name}"
+    assert repro.__version__
+
+
+def test_version_matches_pyproject():
+    import pathlib
+    import re
+
+    pyproject = pathlib.Path(__file__).resolve().parents[1] / "pyproject.toml"
+    match = re.search(r'^version\s*=\s*"([^"]+)"', pyproject.read_text(), re.MULTILINE)
+    assert match is not None
+    assert repro.__version__ == match.group(1)

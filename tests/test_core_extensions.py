@@ -1,0 +1,215 @@
+"""Unit tests for the shot-based, feature-space and post-processed segmenters."""
+
+import numpy as np
+import pytest
+
+from repro.core.feature_segmenter import FEATURE_EXTRACTORS, FeatureIQFTSegmenter
+from repro.core.postprocess import SmoothedSegmenter, majority_smooth, merge_small_segments
+from repro.core.rgb_segmenter import IQFTSegmenter
+from repro.core.sampling_segmenter import (
+    ShotBasedIQFTSegmenter,
+    effective_depolarizing_strength,
+)
+from repro.datasets.shapes import make_two_tone_image
+from repro.errors import ParameterError, ShapeError
+from repro.quantum.noise_models import NoiseModel
+
+
+# --------------------------------------------------------------------------- #
+# Shot-based segmenter
+# --------------------------------------------------------------------------- #
+def test_shot_segmenter_converges_to_exact_labels(small_rgb_float):
+    segmenter = ShotBasedIQFTSegmenter(shots=2048, seed=0)
+    agreement = segmenter.agreement_with_exact(small_rgb_float)
+    assert agreement > 0.9
+
+
+def test_shot_segmenter_agreement_improves_with_shots(disk_image):
+    image, _mask = disk_image
+    few = ShotBasedIQFTSegmenter(shots=1, seed=0).agreement_with_exact(image)
+    many = ShotBasedIQFTSegmenter(shots=512, seed=0).agreement_with_exact(image)
+    assert many >= few
+    assert many > 0.8
+
+
+def test_shot_segmenter_exact_labels_match_reference(small_rgb_float):
+    shot = ShotBasedIQFTSegmenter(shots=8, seed=0)
+    reference = IQFTSegmenter().segment(small_rgb_float).labels
+    assert np.array_equal(shot.exact_labels(small_rgb_float), reference)
+
+
+def test_shot_segmenter_deterministic_given_seed(small_rgb_float):
+    a = ShotBasedIQFTSegmenter(shots=16, seed=5).segment(small_rgb_float).labels
+    b = ShotBasedIQFTSegmenter(shots=16, seed=5).segment(small_rgb_float).labels
+    assert np.array_equal(a, b)
+
+
+def test_shot_segmenter_noise_reduces_agreement(disk_image):
+    image, _mask = disk_image
+    clean = ShotBasedIQFTSegmenter(shots=64, seed=1).agreement_with_exact(image)
+    noisy = ShotBasedIQFTSegmenter(
+        shots=64, seed=1, noise_model=NoiseModel(depolarizing=0.05, readout_error=0.05)
+    ).agreement_with_exact(image)
+    assert noisy <= clean + 0.02  # noise never helps (up to sampling jitter)
+
+
+def test_shot_segmenter_readout_error_path(small_rgb_float):
+    seg = ShotBasedIQFTSegmenter(
+        shots=32, seed=2, noise_model=NoiseModel(readout_error=0.1)
+    )
+    result = seg.segment(small_rgb_float)
+    assert result.labels.shape == small_rgb_float.shape[:2]
+    assert result.extras["shots"] == 32
+    assert result.extras["effective_depolarizing"] == 0.0  # readout only
+
+
+def test_shot_segmenter_validation(small_gray_float):
+    with pytest.raises(ParameterError):
+        ShotBasedIQFTSegmenter(shots=0)
+    with pytest.raises(ParameterError):
+        ShotBasedIQFTSegmenter(thetas=(1.0, 2.0))
+    with pytest.raises(ParameterError):
+        ShotBasedIQFTSegmenter().segment(small_gray_float)
+
+
+def test_effective_depolarizing_strength_properties():
+    assert effective_depolarizing_strength(NoiseModel()) == 0.0
+    weak = effective_depolarizing_strength(NoiseModel(depolarizing=0.001))
+    strong = effective_depolarizing_strength(NoiseModel(depolarizing=0.05))
+    assert 0.0 < weak < strong < 1.0
+    saturated = effective_depolarizing_strength(NoiseModel(depolarizing=1.0))
+    assert saturated == pytest.approx(1.0)
+
+
+# --------------------------------------------------------------------------- #
+# Feature-space segmenter
+# --------------------------------------------------------------------------- #
+def test_feature_segmenter_channels_matches_rgb_segmenter(small_rgb_float):
+    feature = FeatureIQFTSegmenter(features="channels", thetas=np.pi)
+    rgb = IQFTSegmenter(thetas=np.pi)
+    # Channel features reproduce Algorithm 1's partition, though the label
+    # *values* differ because the channel→qubit order is not reversed.
+    a = feature.segment(small_rgb_float).labels
+    b = rgb.segment(small_rgb_float).labels
+    from repro.metrics.clustering import adjusted_rand_index
+
+    assert adjusted_rand_index(a, b) == pytest.approx(1.0)
+
+
+def test_feature_segmenter_builtin_extractors(small_rgb_float):
+    for name in FEATURE_EXTRACTORS:
+        seg = FeatureIQFTSegmenter(features=name, thetas=np.pi)
+        result = seg.segment(small_rgb_float)
+        assert result.labels.shape == small_rgb_float.shape[:2]
+        assert result.extras["extractor"] == name
+        assert result.num_segments <= result.extras["num_classes"]
+
+
+def test_feature_segmenter_custom_extractor_and_theta_count(small_rgb_float):
+    def four_features(image):
+        img = np.asarray(image, dtype=float)
+        mean = img.mean(axis=-1, keepdims=True)
+        return np.concatenate([img, mean], axis=-1)
+
+    seg = FeatureIQFTSegmenter(features=four_features, thetas=(np.pi,) * 4)
+    result = seg.segment(small_rgb_float)
+    assert result.extras["num_classes"] == 16
+    with pytest.raises(ParameterError):
+        FeatureIQFTSegmenter(features=four_features, thetas=(np.pi, np.pi)).segment(
+            small_rgb_float
+        )
+
+
+def test_feature_segmenter_separates_disk_on_hsv():
+    image, mask = make_two_tone_image(shape=(32, 32), noise_sigma=0.0)
+    from repro.metrics.iou import best_binarized_mean_iou
+
+    result = FeatureIQFTSegmenter(features="hsv", thetas=np.pi).segment(image)
+    score, _ = best_binarized_mean_iou(result.labels, mask)
+    assert score > 0.9
+
+
+def test_feature_segmenter_validation(small_gray_float, small_rgb_float):
+    with pytest.raises(ParameterError):
+        FeatureIQFTSegmenter(features="nonexistent")
+    with pytest.raises(ParameterError):
+        FeatureIQFTSegmenter(features=42)
+    with pytest.raises(ShapeError):
+        FeatureIQFTSegmenter(features="hsv").segment(small_gray_float)
+    with pytest.raises(ShapeError):
+        FeatureIQFTSegmenter(features=lambda img: np.zeros((4, 4))).segment(small_rgb_float)
+    with pytest.raises(ParameterError):
+        FeatureIQFTSegmenter(features=lambda img: np.full(img.shape, 2.0)).segment(
+            small_rgb_float
+        )
+    with pytest.raises(ParameterError):
+        FeatureIQFTSegmenter(
+            features=lambda img: np.zeros(img.shape[:2] + (12,)), thetas=np.pi
+        ).segment(small_rgb_float)
+
+
+# --------------------------------------------------------------------------- #
+# Spatial post-processing
+# --------------------------------------------------------------------------- #
+def test_majority_smooth_removes_isolated_pixels():
+    labels = np.zeros((9, 9), dtype=np.int64)
+    labels[4, 4] = 1  # a single-pixel island
+    smoothed = majority_smooth(labels, window=3, iterations=1)
+    assert smoothed[4, 4] == 0
+    assert np.all(smoothed == 0)
+
+
+def test_majority_smooth_preserves_large_regions():
+    labels = np.zeros((12, 12), dtype=np.int64)
+    labels[:, 6:] = 1
+    smoothed = majority_smooth(labels, window=3, iterations=2)
+    assert np.array_equal(smoothed, labels)
+
+
+def test_majority_smooth_constant_map_is_fixed_point():
+    labels = np.full((6, 6), 3, dtype=np.int64)
+    assert np.array_equal(majority_smooth(labels), labels)
+
+
+def test_majority_smooth_validation():
+    with pytest.raises(ParameterError):
+        majority_smooth(np.zeros((4, 4), dtype=int), window=4)
+    with pytest.raises(ParameterError):
+        majority_smooth(np.zeros((4, 4), dtype=int), iterations=-1)
+    with pytest.raises(ParameterError):
+        majority_smooth(np.zeros(4, dtype=int))
+
+
+def test_merge_small_segments_absorbs_fragments():
+    labels = np.zeros((10, 10), dtype=np.int64)
+    labels[:, 5:] = 1
+    labels[2, 2] = 2  # tiny fragment inside region 0
+    labels[7:9, 7:9] = 3  # 4-pixel fragment inside region 1
+    merged = merge_small_segments(labels, min_size=6)
+    assert merged[2, 2] == 0
+    assert np.all(merged[7:9, 7:9] == 1)
+    # Large regions survive untouched.
+    assert set(np.unique(merged)) == {0, 1}
+
+
+def test_merge_small_segments_zero_min_size_is_noop():
+    labels = np.array([[0, 1], [2, 3]])
+    assert np.array_equal(merge_small_segments(labels, min_size=0), labels)
+
+
+def test_smoothed_segmenter_reduces_fragmentation(noisy_disk_image):
+    from repro.experiments.figure5 import label_fragmentation
+
+    image, mask = noisy_disk_image
+    raw = IQFTSegmenter().segment(image)
+    smoothed = SmoothedSegmenter(IQFTSegmenter(), window=3, iterations=2, min_size=8).segment(
+        image
+    )
+    assert label_fragmentation(smoothed.labels) <= label_fragmentation(raw.labels)
+    assert smoothed.method.endswith("+smoothed")
+    assert smoothed.extras["base_method"] == "iqft-rgb"
+
+
+def test_smoothed_segmenter_requires_base_segmenter():
+    with pytest.raises(ParameterError):
+        SmoothedSegmenter(base="not a segmenter")

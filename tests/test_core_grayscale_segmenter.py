@@ -1,0 +1,92 @@
+"""Unit tests for the grayscale IQFT segmenter (Section IV-C)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.threshold import FixedThresholdSegmenter
+from repro.core.grayscale_segmenter import IQFTGrayscaleSegmenter
+from repro.core.thresholds import theta_for_threshold
+from repro.errors import ParameterError
+
+
+def test_binary_output_and_threshold_semantics(small_gray_float):
+    seg = IQFTGrayscaleSegmenter(theta=np.pi)  # threshold 0.5
+    labels = seg.segment(small_gray_float).labels
+    assert set(np.unique(labels)).issubset({0, 1})
+    expected = (small_gray_float > 0.5).astype(np.int64)
+    assert np.array_equal(labels, expected)
+
+
+def test_matches_fixed_threshold_segmenter_for_matched_theta(small_gray_float):
+    threshold = 0.37
+    theta = theta_for_threshold(threshold)
+    iqft = IQFTGrayscaleSegmenter(theta=theta).segment(small_gray_float).labels
+    fixed = FixedThresholdSegmenter(threshold=threshold).segment(small_gray_float).labels
+    assert np.array_equal(iqft, fixed)
+
+
+def test_rgb_input_converted_with_paper_weights(small_rgb_float):
+    from repro.imaging.color import rgb_to_gray
+
+    seg = IQFTGrayscaleSegmenter(theta=np.pi)
+    from_rgb = seg.segment(small_rgb_float).labels
+    from_gray = seg.segment(rgb_to_gray(small_rgb_float)).labels
+    assert np.array_equal(from_rgb, from_gray)
+
+
+def test_uint8_input(small_rgb_uint8):
+    seg = IQFTGrayscaleSegmenter(theta=np.pi)
+    labels = seg.segment(small_rgb_uint8).labels
+    assert labels.shape == small_rgb_uint8.shape[:2]
+
+
+def test_multiband_mode_counts_bands():
+    # θ = 4π has thresholds {1/8, 3/8, 5/8, 7/8}: five bands.
+    gradient = np.linspace(0.0, 1.0, 256).reshape(16, 16)
+    seg = IQFTGrayscaleSegmenter(theta=4 * np.pi, multiband=True)
+    labels = seg.segment(gradient).labels
+    assert set(np.unique(labels)) == {0, 1, 2, 3, 4}
+
+
+def test_multiband_with_no_thresholds_is_single_band():
+    gradient = np.linspace(0.0, 1.0, 64).reshape(8, 8)
+    seg = IQFTGrayscaleSegmenter(theta=np.pi / 4, multiband=True)
+    labels = seg.segment(gradient).labels
+    assert np.all(labels == 0)
+
+
+def test_binary_mode_alternates_across_thresholds():
+    """With θ = 2π the binary label alternates: below 0.25 -> 0, 0.25–0.75 -> 1, above -> 0."""
+    intensities = np.array([[0.1, 0.5, 0.9]])
+    labels = IQFTGrayscaleSegmenter(theta=2 * np.pi).segment(intensities).labels
+    assert labels.tolist() == [[0, 1, 0]]
+
+
+def test_pixel_probabilities_match_equation_14(small_gray_float):
+    theta = 1.3 * np.pi
+    seg = IQFTGrayscaleSegmenter(theta=theta)
+    probs = seg.pixel_probabilities(small_gray_float)
+    expected_p1 = (1.0 + np.cos(small_gray_float * theta)) / 2.0
+    assert np.allclose(probs[..., 0], expected_p1)
+    assert np.allclose(probs.sum(axis=-1), 1.0)
+
+
+def test_thresholds_property_and_with_theta():
+    seg = IQFTGrayscaleSegmenter(theta=2 * np.pi)
+    assert np.allclose(seg.thresholds, [0.25, 0.75])
+    other = seg.with_theta(np.pi)
+    assert np.allclose(other.thresholds, [0.5])
+    assert other.multiband == seg.multiband
+
+
+def test_extras_record_theta_and_thresholds(small_gray_float):
+    result = IQFTGrayscaleSegmenter(theta=np.pi).segment(small_gray_float)
+    assert result.extras["theta"] == pytest.approx(np.pi)
+    assert result.extras["thresholds"] == pytest.approx([0.5])
+
+
+def test_invalid_parameters():
+    with pytest.raises(ParameterError):
+        IQFTGrayscaleSegmenter(theta=0.0)
+    with pytest.raises(ParameterError):
+        IQFTGrayscaleSegmenter(max_value=-1.0)

@@ -1,0 +1,100 @@
+"""Unit tests for the IQFT classification matrix construction."""
+
+import numpy as np
+import pytest
+
+from repro.core.iqft_matrix import (
+    basis_bit_matrix,
+    basis_phase_patterns,
+    bit_reversal_permutation,
+    bit_reversed_index,
+    iqft_classification_matrix,
+    iqft_unitary_matrix,
+    omega,
+)
+from repro.errors import ParameterError
+from repro.quantum.qft import iqft_matrix as quantum_iqft_matrix
+
+
+def test_classification_matrix_entries_match_equation_11():
+    w_matrix = iqft_classification_matrix(3)
+    w = omega(8)
+    for j in (0, 1, 3, 5, 7):
+        for k in (0, 2, 4, 6):
+            assert np.isclose(w_matrix[j, k], w ** (-(j * k)))
+
+
+def test_classification_matrix_row_zero_is_all_ones():
+    w_matrix = iqft_classification_matrix(3)
+    assert np.allclose(w_matrix[0], 1.0)
+    assert np.allclose(w_matrix[:, 0], 1.0)
+
+
+def test_classification_matrix_is_symmetric():
+    w_matrix = iqft_classification_matrix(3)
+    assert np.allclose(w_matrix, w_matrix.T)
+
+
+def test_unitary_matrix_matches_quantum_substrate():
+    assert np.allclose(iqft_unitary_matrix(3), quantum_iqft_matrix(3))
+
+
+def test_unitary_vs_classification_scaling():
+    n = 3
+    assert np.allclose(
+        iqft_unitary_matrix(n) * np.sqrt(2**n), iqft_classification_matrix(n)
+    )
+
+
+@pytest.mark.parametrize("n", [1, 2, 3, 4])
+def test_basis_bit_matrix_contents(n):
+    bits = basis_bit_matrix(n)
+    assert bits.shape == (2**n, n)
+    for index in range(2**n):
+        expected = [(index >> (n - 1 - j)) & 1 for j in range(n)]
+        assert np.array_equal(bits[index], expected)
+
+
+def test_basis_bit_matrix_is_read_only():
+    bits = basis_bit_matrix(2)
+    with pytest.raises(ValueError):
+        bits[0, 0] = 5
+
+
+def test_basis_phase_patterns_row_structure():
+    patterns = basis_phase_patterns(3)
+    assert patterns.shape == (8, 8)
+    # Row 0 is the all-zero-phase pattern; row 4 alternates 0 and π.
+    assert np.allclose(patterns[0], 0.0)
+    assert np.allclose(patterns[4], np.tile([0.0, np.pi], 4))
+    assert np.all((patterns >= 0) & (patterns < 2 * np.pi))
+
+
+def test_bit_reversed_index_examples():
+    assert bit_reversed_index(1, 3) == 4  # 001 -> 100
+    assert bit_reversed_index(4, 3) == 1
+    assert bit_reversed_index(6, 3) == 3  # 110 -> 011
+    assert bit_reversed_index(0, 3) == 0
+    assert bit_reversed_index(7, 3) == 7
+
+
+def test_bit_reversed_index_is_involution():
+    for n in (2, 3, 4):
+        for idx in range(2**n):
+            assert bit_reversed_index(bit_reversed_index(idx, n), n) == idx
+
+
+def test_bit_reversal_permutation_matches_scalar_function():
+    perm = bit_reversal_permutation(3)
+    assert np.array_equal(perm, [bit_reversed_index(i, 3) for i in range(8)])
+
+
+def test_invalid_arguments_raise():
+    with pytest.raises(ParameterError):
+        iqft_classification_matrix(0)
+    with pytest.raises(ParameterError):
+        basis_bit_matrix(-1)
+    with pytest.raises(ParameterError):
+        bit_reversed_index(8, 3)
+    with pytest.raises(ParameterError):
+        omega(0)

@@ -1,0 +1,96 @@
+"""Unit tests for normalization and phase encoding (Algorithm 1 lines 1–3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.phase_encoding import (
+    DEFAULT_THETA,
+    normalize_pixels,
+    phase_vector,
+    phase_vectors,
+    pixel_phases,
+)
+from repro.errors import ParameterError, ShapeError
+
+
+def test_normalize_uint8_divides_by_255():
+    arr = np.array([[0, 128, 255]], dtype=np.uint8)
+    out = normalize_pixels(arr)
+    assert np.allclose(out, [[0.0, 128 / 255, 1.0]])
+
+
+def test_normalize_float_in_unit_range_is_passthrough():
+    arr = np.array([0.0, 0.25, 1.0])
+    assert np.allclose(normalize_pixels(arr), arr)
+
+
+def test_normalize_float_raw_scale_divides_by_max_value():
+    arr = np.array([0.0, 127.5, 255.0])
+    assert np.allclose(normalize_pixels(arr), [0.0, 0.5, 1.0])
+    assert np.allclose(normalize_pixels(arr, max_value=510.0), [0.0, 0.25, 0.5])
+
+
+def test_normalize_rejects_bad_max_value():
+    with pytest.raises(ParameterError):
+        normalize_pixels(np.array([1.0]), max_value=0.0)
+
+
+def test_pixel_phases_rgb_ordering_and_scaling():
+    # One pixel with distinct channels and distinct thetas.
+    pixel = np.array([[[0.5, 1.0, 0.25]]])  # (1, 1, 3): R=0.5, G=1.0, B=0.25
+    thetas = (np.pi, np.pi / 2, 2 * np.pi)
+    phases = pixel_phases(pixel, thetas)
+    # Output order is (α, β, γ) = (B·θ3, G·θ2, R·θ1).
+    assert phases.shape == (1, 1, 3)
+    assert np.allclose(phases[0, 0], [0.25 * 2 * np.pi, 1.0 * np.pi / 2, 0.5 * np.pi])
+
+
+def test_pixel_phases_scalar_theta_treats_input_as_single_channel():
+    gray = np.array([[0.0, 0.5], [1.0, 0.25]])
+    phases = pixel_phases(gray, np.pi)
+    assert phases.shape == (2, 2, 1)
+    assert np.allclose(phases[..., 0], gray * np.pi)
+
+
+def test_pixel_phases_shape_mismatch_raises():
+    with pytest.raises(ShapeError):
+        pixel_phases(np.zeros((4, 4)), (np.pi, np.pi, np.pi))
+
+
+def test_pixel_phases_negative_theta_rejected():
+    with pytest.raises(ParameterError):
+        pixel_phases(np.zeros((2, 2, 3)), (-1.0, 1.0, 1.0))
+
+
+def test_phase_vector_matches_equation_11_layout():
+    alpha, beta, gamma = 0.3, 0.7, 1.9
+    vec = phase_vector([alpha, beta, gamma])
+    expected = np.exp(
+        1j
+        * np.array(
+            [0, gamma, beta, beta + gamma, alpha, alpha + gamma, alpha + beta, alpha + beta + gamma]
+        )
+    )
+    assert np.allclose(vec, expected)
+
+
+def test_phase_vector_single_qubit():
+    vec = phase_vector([1.2])
+    assert np.allclose(vec, [1.0, np.exp(1.2j)])
+
+
+def test_phase_vectors_batched_matches_single(rng):
+    phases = rng.uniform(0, 2 * np.pi, size=(10, 3))
+    batch = phase_vectors(phases)
+    assert batch.shape == (10, 8)
+    for m in range(10):
+        assert np.allclose(batch[m], phase_vector(phases[m]))
+
+
+def test_phase_vectors_rejects_bad_rank():
+    with pytest.raises(ShapeError):
+        phase_vectors(np.zeros((2, 2, 2)))
+
+
+def test_default_theta_is_pi_triple():
+    assert np.allclose(DEFAULT_THETA, (np.pi, np.pi, np.pi))

@@ -1,0 +1,74 @@
+"""Unit tests for the end-to-end segmentation pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.otsu import OtsuSegmenter
+from repro.core.pipeline import SegmentationPipeline
+from repro.core.rgb_segmenter import IQFTSegmenter
+from repro.datasets.shapes import make_two_tone_image
+from repro.errors import ParameterError
+
+
+def test_pipeline_with_ground_truth_scores_easy_image():
+    image, mask = make_two_tone_image(shape=(48, 48), noise_sigma=0.0)
+    pipeline = SegmentationPipeline(IQFTSegmenter())
+    result = pipeline.run(image, ground_truth=mask)
+    assert result.binary.shape == mask.shape
+    assert result.miou is not None and result.miou > 0.95
+    assert set(result.metrics) == {"miou", "pixel_accuracy", "dice"}
+
+
+def test_pipeline_without_ground_truth_uses_unsupervised_binarization():
+    image, _mask = make_two_tone_image(shape=(32, 32))
+    pipeline = SegmentationPipeline(IQFTSegmenter())
+    result = pipeline.run(image)
+    assert result.metrics == {}
+    assert set(np.unique(result.binary)).issubset({0, 1})
+
+
+def test_pipeline_resize_applies_to_image_and_mask():
+    image, mask = make_two_tone_image(shape=(40, 40))
+    pipeline = SegmentationPipeline(IQFTSegmenter(), target_shape=(20, 20))
+    result = pipeline.run(image, ground_truth=mask)
+    assert result.labels.shape == (20, 20)
+    assert result.binary.shape == (20, 20)
+    assert result.miou > 0.8
+
+
+def test_pipeline_grayscale_conversion():
+    image, mask = make_two_tone_image(shape=(32, 32))
+    pipeline = SegmentationPipeline(OtsuSegmenter(), to_grayscale=True)
+    result = pipeline.run(image, ground_truth=mask)
+    assert result.miou > 0.9
+
+
+def test_pipeline_void_mask_is_honoured():
+    image, mask = make_two_tone_image(shape=(32, 32), noise_sigma=0.0)
+    void = np.zeros_like(mask, dtype=bool)
+    void[:4, :] = True
+    pipeline = SegmentationPipeline(IQFTSegmenter())
+    scored = pipeline.run(image, ground_truth=mask, void_mask=void)
+    assert scored.miou is not None
+
+
+def test_run_many_lengths_checked():
+    image, mask = make_two_tone_image(shape=(16, 16))
+    pipeline = SegmentationPipeline(IQFTSegmenter())
+    results = pipeline.run_many([image, image], [mask, mask])
+    assert len(results) == 2
+    with pytest.raises(ParameterError):
+        pipeline.run_many([image], [mask, mask])
+
+
+def test_pipeline_requires_base_segmenter():
+    with pytest.raises(ParameterError):
+        SegmentationPipeline(segmenter="not-a-segmenter")
+
+
+def test_describe_is_json_friendly():
+    pipeline = SegmentationPipeline(IQFTSegmenter(), to_grayscale=True, target_shape=(8, 8))
+    description = pipeline.describe()
+    assert description["segmenter"] == "iqft-rgb"
+    assert description["to_grayscale"] is True
+    assert description["target_shape"] == (8, 8)

@@ -1,0 +1,109 @@
+"""Unit tests for the RGB IQFT segmenter (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.rgb_segmenter import IQFTSegmenter
+from repro.errors import ParameterError, ShapeError
+
+
+def test_output_shape_and_label_range(small_rgb_uint8):
+    result = IQFTSegmenter().segment(small_rgb_uint8)
+    assert result.labels.shape == small_rgb_uint8.shape[:2]
+    assert result.labels.min() >= 0
+    assert result.labels.max() <= 7
+    assert result.method == "iqft-rgb"
+    assert result.runtime_seconds >= 0
+
+
+def test_uint8_and_float_inputs_agree(small_rgb_uint8):
+    as_float = small_rgb_uint8.astype(np.float64) / 255.0
+    labels_uint8 = IQFTSegmenter().segment(small_rgb_uint8).labels
+    labels_float = IQFTSegmenter().segment(as_float).labels
+    assert np.array_equal(labels_uint8, labels_float)
+
+
+def test_scalar_theta_equals_triple(small_rgb_uint8):
+    a = IQFTSegmenter(thetas=np.pi).segment(small_rgb_uint8).labels
+    b = IQFTSegmenter(thetas=(np.pi, np.pi, np.pi)).segment(small_rgb_uint8).labels
+    assert np.array_equal(a, b)
+
+
+def test_quarter_pi_collapses_to_single_segment(small_rgb_uint8):
+    """θ = π/4 keeps every phase within [0, 3π/4], so all pixels match |000⟩."""
+    result = IQFTSegmenter(thetas=np.pi / 4).segment(small_rgb_uint8)
+    assert result.num_segments == 1
+    assert np.all(result.labels == 0)
+
+
+def test_mixed_thetas_give_at_most_two_segments(rng):
+    """The (π/4, π/2, π) configuration of Table II yields two segments."""
+    image = rng.random((40, 40, 3))
+    result = IQFTSegmenter(thetas=(np.pi / 4, np.pi / 2, np.pi)).segment(image)
+    assert result.num_segments <= 2
+
+
+def test_labels_depend_only_on_pixel_value(rng):
+    """The rule is strictly per-pixel: identical pixels get identical labels."""
+    pixel = rng.random(3)
+    image = np.tile(pixel, (6, 7, 1))
+    result = IQFTSegmenter().segment(image)
+    assert result.num_segments == 1
+
+
+def test_permutation_invariance_of_pixels(rng):
+    """Shuffling pixel positions shuffles labels identically (no spatial coupling)."""
+    image = rng.random((8, 8, 3))
+    segmenter = IQFTSegmenter()
+    labels = segmenter.segment(image).labels
+    perm = rng.permutation(64)
+    shuffled = image.reshape(64, 3)[perm].reshape(8, 8, 3)
+    shuffled_labels = segmenter.segment(shuffled).labels
+    assert np.array_equal(labels.reshape(64)[perm], shuffled_labels.reshape(64))
+
+
+def test_store_probabilities_extra(small_rgb_uint8):
+    result = IQFTSegmenter(store_probabilities=True).segment(small_rgb_uint8)
+    probs = result.extras["probabilities"]
+    assert probs.shape == small_rgb_uint8.shape[:2] + (8,)
+    assert np.allclose(probs.sum(axis=-1), 1.0)
+    assert np.array_equal(np.argmax(probs, axis=-1), result.labels)
+
+
+def test_pixel_probabilities_method(small_rgb_float):
+    seg = IQFTSegmenter()
+    probs = seg.pixel_probabilities(small_rgb_float)
+    assert probs.shape == small_rgb_float.shape[:2] + (8,)
+    assert np.allclose(probs.sum(axis=-1), 1.0)
+
+
+def test_normalization_flag_changes_result_for_uint8(small_rgb_uint8):
+    normalized = IQFTSegmenter(normalize=True).segment(small_rgb_uint8).labels
+    raw = IQFTSegmenter(normalize=False).segment(small_rgb_uint8).labels
+    assert not np.array_equal(normalized, raw)
+
+
+def test_with_thetas_returns_configured_copy():
+    seg = IQFTSegmenter(thetas=np.pi, normalize=False)
+    other = seg.with_thetas(np.pi / 2)
+    assert other is not seg
+    assert np.allclose(other.thetas, (np.pi / 2,) * 3)
+    assert other.normalize is False
+
+
+def test_rejects_gray_input_and_bad_thetas(small_gray_float):
+    with pytest.raises(ShapeError):
+        IQFTSegmenter().segment(small_gray_float)
+    with pytest.raises(ParameterError):
+        IQFTSegmenter(thetas=(1.0, 2.0))
+    with pytest.raises(ParameterError):
+        IQFTSegmenter(thetas=-1.0)
+    with pytest.raises(ParameterError):
+        IQFTSegmenter(max_value=0.0)
+
+
+def test_extras_record_configuration(small_rgb_uint8):
+    seg = IQFTSegmenter(thetas=np.pi / 2, normalize=True)
+    result = seg.segment(small_rgb_uint8)
+    assert result.extras["thetas"] == pytest.approx((np.pi / 2,) * 3)
+    assert result.extras["normalize"] is True

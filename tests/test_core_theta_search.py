@@ -1,0 +1,76 @@
+"""Unit tests for segment-count analysis (Table II) and θ tuning (Figure 10)."""
+
+import numpy as np
+import pytest
+
+from repro.core.theta_search import (
+    DEFAULT_THETA_GRID,
+    PAPER_TABLE2_THETAS,
+    max_segments_for_theta,
+    segment_count_table,
+    tune_theta_supervised,
+    tune_theta_unsupervised,
+)
+from repro.datasets.shapes import make_two_tone_image
+from repro.errors import ParameterError
+
+
+def test_paper_table2_reproduced_with_reduced_sampling():
+    """The Table-II counts must match the paper exactly (they are properties of
+    the partition geometry, so even a reduced sample size recovers them)."""
+    expected = (1, 3, 5, 6, 8, 8, 8, 8, 2)
+    table = segment_count_table(num_samples=20_000, seed=3)
+    assert tuple(table[row] for row in table) == expected
+    assert len(table) == len(PAPER_TABLE2_THETAS)
+
+
+def test_max_segments_monotone_cases():
+    assert max_segments_for_theta(np.pi / 4, num_samples=5_000, seed=0) == 1
+    assert max_segments_for_theta(2 * np.pi, num_samples=5_000, seed=0) == 8
+
+
+def test_max_segments_mixed_configuration_is_two():
+    assert max_segments_for_theta((np.pi / 4, np.pi / 2, np.pi), num_samples=5_000, seed=0) == 2
+
+
+def test_max_segments_deterministic_given_seed():
+    a = max_segments_for_theta(np.pi, num_samples=2_000, seed=11)
+    b = max_segments_for_theta(np.pi, num_samples=2_000, seed=11)
+    assert a == b
+
+
+def test_max_segments_invalid_samples():
+    with pytest.raises(ParameterError):
+        max_segments_for_theta(np.pi, num_samples=0)
+
+
+def test_tune_theta_supervised_finds_good_theta():
+    image, mask = make_two_tone_image(shape=(32, 32), noise_sigma=0.0)
+    result = tune_theta_supervised(image, mask)
+    assert set(result.scores) == {float(t) for t in DEFAULT_THETA_GRID}
+    assert result.best_score == max(result.scores.values())
+    assert result.best_score > 0.9  # an easy image must be segmentable well
+
+
+def test_tune_theta_supervised_requires_candidates():
+    image, mask = make_two_tone_image(shape=(16, 16))
+    with pytest.raises(ParameterError):
+        tune_theta_supervised(image, mask, candidates=[])
+
+
+def test_tune_theta_unsupervised_prefers_balanced_two_segment_output():
+    image, _mask = make_two_tone_image(shape=(32, 32), noise_sigma=0.0)
+    result = tune_theta_unsupervised(image, target_segments=2)
+    assert result.best_theta in {float(t) for t in DEFAULT_THETA_GRID}
+    # π/2 on this dark/bright image yields a degenerate single segment and
+    # must not be preferred over a θ that actually splits the disk out.
+    from repro.core.rgb_segmenter import IQFTSegmenter
+
+    chosen = IQFTSegmenter(thetas=result.best_theta).segment(image)
+    assert chosen.num_segments >= 2
+
+
+def test_tune_theta_unsupervised_requires_candidates():
+    image, _ = make_two_tone_image(shape=(16, 16))
+    with pytest.raises(ParameterError):
+        tune_theta_unsupervised(image, candidates=[])

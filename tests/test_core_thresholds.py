@@ -1,0 +1,95 @@
+"""Unit tests for the θ ↔ threshold calculus (equations (14)–(16), Table I)."""
+
+import numpy as np
+import pytest
+
+from repro.core.thresholds import (
+    PAPER_TABLE1_THETAS,
+    classify_intensity,
+    grayscale_class_probabilities,
+    paper_table1,
+    theta_for_threshold,
+    thresholds_for_theta,
+)
+from repro.errors import ParameterError
+
+
+def test_paper_table1_values_reproduced():
+    """Every row of Table I must match to three decimal places."""
+    expected = {
+        3 * np.pi / 4: [2 / 3],
+        np.pi: [0.5],
+        5 * np.pi / 4: [0.4],
+        3 * np.pi / 2: [1 / 3],
+        7 * np.pi / 4: [2 / 7, 6 / 7],
+        2 * np.pi: [0.25, 0.75],
+    }
+    table = paper_table1()
+    assert set(table) == set(PAPER_TABLE1_THETAS)
+    for theta, thresholds in expected.items():
+        assert np.allclose(table[theta], thresholds, atol=1e-9)
+
+
+def test_equation_16_four_thresholds_for_theta_4pi():
+    assert np.allclose(thresholds_for_theta(4 * np.pi), [1 / 8, 3 / 8, 5 / 8, 7 / 8])
+
+
+def test_small_theta_gives_no_threshold():
+    assert thresholds_for_theta(np.pi / 4) == []
+    assert thresholds_for_theta(np.pi / 2) == []
+
+
+def test_threshold_exactly_one_is_excluded():
+    # 3π/2 solves I=1 exactly; the paper's table lists only 0.333.
+    assert np.allclose(thresholds_for_theta(3 * np.pi / 2), [1 / 3])
+
+
+def test_thresholds_sorted_and_in_open_interval():
+    values = thresholds_for_theta(11.7)
+    assert values == sorted(values)
+    assert all(0 < v < 1 for v in values)
+
+
+def test_theta_for_threshold_roundtrip():
+    for threshold in (0.1, 0.25, 0.4465, 0.5, 0.9):
+        theta = theta_for_threshold(threshold)
+        assert any(np.isclose(threshold, t) for t in thresholds_for_theta(theta))
+
+
+def test_figure7_conversion_examples():
+    """The paper's Figure-7 pairs: I_th = 0.4465 ↔ θ = 1.1197π, 0.4911 ↔ 1.0180π."""
+    assert theta_for_threshold(0.4465) / np.pi == pytest.approx(1.1197, abs=2e-4)
+    assert theta_for_threshold(0.4911) / np.pi == pytest.approx(1.0181, abs=2e-4)
+
+
+def test_theta_for_threshold_higher_branches():
+    theta = theta_for_threshold(0.5, k=1, sign=-1)  # multiplier 3
+    assert theta == pytest.approx(3 * np.pi)
+    assert any(np.isclose(0.5, t) for t in thresholds_for_theta(theta))
+
+
+def test_grayscale_probabilities_expand_to_half_angle_form(rng):
+    intensity = rng.random(100)
+    theta = 1.7 * np.pi
+    p1, p2 = grayscale_class_probabilities(intensity, theta)
+    assert np.allclose(p1, (1 + np.cos(intensity * theta)) / 2)
+    assert np.allclose(p2, (1 - np.cos(intensity * theta)) / 2)
+    assert np.allclose(p1 + p2, 1.0)
+
+
+def test_classify_intensity_threshold_rule():
+    labels = classify_intensity(np.array([0.2, 0.5, 0.8]), theta=np.pi)
+    assert labels.tolist() == [0, 0, 1]  # boundary 0.5 goes to class 0
+
+
+def test_invalid_inputs():
+    with pytest.raises(ParameterError):
+        thresholds_for_theta(0.0)
+    with pytest.raises(ParameterError):
+        theta_for_threshold(0.0)
+    with pytest.raises(ParameterError):
+        theta_for_threshold(1.5)
+    with pytest.raises(ParameterError):
+        theta_for_threshold(0.5, sign=2)
+    with pytest.raises(ParameterError):
+        grayscale_class_probabilities(np.array([0.5]), theta=-1.0)

@@ -1,0 +1,75 @@
+"""Unit tests for the directory-based dataset loader."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.datasets.loaders import DirectoryDataset
+from repro.errors import DatasetError
+from repro.imaging.io_dispatch import write_image
+
+
+def _build_tree(root, with_masks=True, with_void=False, count=3, rng=None):
+    rng = rng or np.random.default_rng(0)
+    os.makedirs(os.path.join(root, "images"))
+    if with_masks:
+        os.makedirs(os.path.join(root, "masks"))
+    if with_void:
+        os.makedirs(os.path.join(root, "void"))
+    for i in range(count):
+        stem = f"sample{i:02d}"
+        image = (rng.random((12, 10, 3)) * 255).astype(np.uint8)
+        write_image(os.path.join(root, "images", stem + ".png"), image)
+        if with_masks:
+            mask = ((rng.random((12, 10)) > 0.5) * 255).astype(np.uint8)
+            write_image(os.path.join(root, "masks", stem + ".pgm"), mask)
+        if with_void:
+            void = np.zeros((12, 10), dtype=np.uint8)
+            void[:2] = 255
+            write_image(os.path.join(root, "void", stem + ".pgm"), void)
+
+
+def test_directory_dataset_loads_images_and_masks(tmp_path):
+    _build_tree(str(tmp_path), with_masks=True, with_void=True)
+    data = DirectoryDataset(str(tmp_path))
+    assert len(data) == 3
+    sample = data[0]
+    assert sample.image.shape == (12, 10, 3)
+    assert sample.mask is not None and set(np.unique(sample.mask)).issubset({0, 1})
+    assert sample.void is not None and sample.void[:2].all()
+    assert sample.name == "sample00"
+
+
+def test_directory_dataset_without_masks(tmp_path):
+    _build_tree(str(tmp_path), with_masks=False)
+    data = DirectoryDataset(str(tmp_path))
+    assert data[1].mask is None
+    with pytest.raises(DatasetError):
+        DirectoryDataset(str(tmp_path), require_masks=True)
+
+
+def test_directory_dataset_missing_images_dir(tmp_path):
+    with pytest.raises(DatasetError):
+        DirectoryDataset(str(tmp_path))
+
+
+def test_directory_dataset_empty_images_dir(tmp_path):
+    os.makedirs(tmp_path / "images")
+    with pytest.raises(DatasetError):
+        DirectoryDataset(str(tmp_path))
+
+
+def test_directory_dataset_index_bounds(tmp_path):
+    _build_tree(str(tmp_path), count=2)
+    data = DirectoryDataset(str(tmp_path))
+    with pytest.raises(DatasetError):
+        data[2]
+
+
+def test_directory_dataset_grayscale_image_promoted_to_rgb(tmp_path):
+    os.makedirs(tmp_path / "images")
+    gray = (np.random.default_rng(0).random((8, 8)) * 255).astype(np.uint8)
+    write_image(str(tmp_path / "images" / "g.pgm"), gray)
+    data = DirectoryDataset(str(tmp_path))
+    assert data[0].image.shape == (8, 8, 3)

@@ -1,0 +1,104 @@
+"""Tests for the multispectral dataset and the θ-sensitivity sweep."""
+
+import numpy as np
+import pytest
+
+from repro.core.feature_segmenter import FeatureIQFTSegmenter
+from repro.core.rgb_segmenter import IQFTSegmenter
+from repro.datasets.multispectral import SyntheticMultispectralDataset
+from repro.datasets.shapes import ShapesDataset
+from repro.errors import DatasetError, ExperimentError
+from repro.experiments.theta_sensitivity import (
+    DEFAULT_GRID,
+    format_theta_sensitivity,
+    run_theta_sensitivity,
+)
+from repro.metrics.iou import best_binarized_mean_iou
+
+
+# --------------------------------------------------------------------------- #
+# Multispectral dataset
+# --------------------------------------------------------------------------- #
+def test_multispectral_sample_structure():
+    data = SyntheticMultispectralDataset(num_samples=3, seed=1)
+    sample = data[0]
+    assert sample.image.shape == (96, 96, 3)
+    cube = sample.metadata["bands"]
+    assert cube.shape == (96, 96, 4)
+    assert cube.min() >= 0.0 and cube.max() <= 1.0
+    assert np.allclose(cube[..., :3], sample.image)
+    assert sample.mask.any()
+    assert sample.metadata["band_names"] == ("red", "green", "blue", "nir")
+
+
+def test_multispectral_determinism_and_bounds():
+    a = SyntheticMultispectralDataset(num_samples=2, seed=5)
+    b = SyntheticMultispectralDataset(num_samples=2, seed=5)
+    assert np.array_equal(a[1].metadata["bands"], b[1].metadata["bands"])
+    with pytest.raises(DatasetError):
+        SyntheticMultispectralDataset(num_samples=0)
+    with pytest.raises(DatasetError):
+        a[10]
+
+
+def test_multispectral_nir_separates_vegetation_from_roofs():
+    """Vegetation is NIR-bright while rooftops are NIR-dark — the property the
+    4-band extension exploits."""
+    sample = SyntheticMultispectralDataset(num_samples=1, seed=9)[0]
+    cube = sample.metadata["bands"]
+    buildings = sample.mask.astype(bool)
+    nir = cube[..., 3]
+    assert nir[~buildings].mean() > nir[buildings].mean() + 0.1
+
+
+def test_feature_segmenter_uses_fourth_band():
+    """Segmenting the 4-band cube with 4 qubits separates buildings at least as
+    well as the 3-band RGB segmentation of the same scene."""
+    sample = SyntheticMultispectralDataset(num_samples=1, seed=3)[0]
+    cube = sample.metadata["bands"]
+
+    four_band = FeatureIQFTSegmenter(features=lambda img: cube, thetas=(np.pi,) * 4)
+    rgb = IQFTSegmenter(thetas=np.pi)
+    four_score, _ = best_binarized_mean_iou(four_band.segment(sample.image).labels, sample.mask)
+    rgb_score, _ = best_binarized_mean_iou(rgb.segment(sample.image).labels, sample.mask)
+    assert four_score >= rgb_score - 0.02
+    assert four_score > 0.6
+
+
+# --------------------------------------------------------------------------- #
+# θ-sensitivity sweep
+# --------------------------------------------------------------------------- #
+def test_theta_sensitivity_structure():
+    dataset = ShapesDataset(num_samples=3, size=(32, 32))
+    thetas = (np.pi / 2, np.pi, 2 * np.pi)
+    result = run_theta_sensitivity(dataset=dataset, thetas=thetas, num_images=3)
+    assert result.thetas == [float(t) for t in thetas]
+    assert set(result.average_miou) == set(result.thetas)
+    assert all(0.0 <= v <= 1.0 for v in result.average_miou.values())
+    assert all(1.0 <= v <= 8.0 for v in result.average_segments.values())
+    assert result.best_theta in result.average_miou
+    assert result.average_miou[result.best_theta] == max(result.miou_curve())
+    text = format_theta_sensitivity(result)
+    assert "« best" in text
+
+
+def test_theta_sensitivity_segments_grow_with_theta():
+    dataset = ShapesDataset(num_samples=2, size=(32, 32))
+    result = run_theta_sensitivity(
+        dataset=dataset, thetas=(np.pi / 2, 2 * np.pi), num_images=2
+    )
+    assert (
+        result.average_segments[float(2 * np.pi)]
+        >= result.average_segments[float(np.pi / 2)]
+    )
+
+
+def test_theta_sensitivity_requires_thetas():
+    with pytest.raises(ExperimentError):
+        run_theta_sensitivity(thetas=())
+
+
+def test_default_grid_spans_half_pi_to_two_pi():
+    assert DEFAULT_GRID[0] == pytest.approx(np.pi / 2)
+    assert DEFAULT_GRID[-1] == pytest.approx(2 * np.pi)
+    assert len(DEFAULT_GRID) >= 5

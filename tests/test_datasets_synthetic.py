@@ -1,0 +1,183 @@
+"""Unit tests for the synthetic VOC / xVIEW2 / shapes / balls / random datasets."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.balls import BALL_COLORS, make_balls_image
+from repro.datasets.base import Sample
+from repro.datasets.random_pixels import random_pixel_dataset, random_pixel_image
+from repro.datasets.shapes import ShapesDataset, make_two_tone_image
+from repro.datasets.synthetic_voc import SyntheticVOCDataset
+from repro.datasets.synthetic_xview import SyntheticXView2Dataset
+from repro.errors import DatasetError
+from repro.imaging.color import rgb_to_gray
+
+
+# --------------------------------------------------------------------------- #
+# Sample / Dataset base behaviour
+# --------------------------------------------------------------------------- #
+def test_sample_validation_and_properties(rng):
+    image = rng.random((8, 8, 3))
+    mask = (rng.random((8, 8)) > 0.5).astype(int)
+    sample = Sample(name="s", image=image, mask=mask)
+    assert sample.has_ground_truth
+    assert 0.0 <= sample.foreground_fraction() <= 1.0
+    with pytest.raises(DatasetError):
+        Sample(name="bad", image=rng.random((8, 8)))
+    with pytest.raises(DatasetError):
+        Sample(name="bad", image=image, mask=np.zeros((4, 4)))
+
+
+def test_subset_and_head_views():
+    data = ShapesDataset(num_samples=6)
+    head = data.head(3)
+    assert len(head) == 3
+    assert head[0].name == data[0].name
+    subset = data.subset([5, 1])
+    assert subset[0].name == data[5].name
+    with pytest.raises(DatasetError):
+        data.subset([99])
+
+
+# --------------------------------------------------------------------------- #
+# Synthetic VOC
+# --------------------------------------------------------------------------- #
+def test_voc_dataset_sample_structure():
+    data = SyntheticVOCDataset(num_samples=4, seed=1)
+    assert len(data) == 4
+    sample = data[0]
+    assert sample.image.ndim == 3 and sample.image.shape[2] == 3
+    assert sample.image.min() >= 0.0 and sample.image.max() <= 1.0
+    assert sample.mask.shape == sample.image.shape[:2]
+    assert sample.void.shape == sample.image.shape[:2]
+    assert sample.metadata["dataset"] == data.name
+
+
+def test_voc_dataset_deterministic_and_distinct():
+    a = SyntheticVOCDataset(num_samples=3, seed=9)
+    b = SyntheticVOCDataset(num_samples=3, seed=9)
+    assert np.array_equal(a[1].image, b[1].image)
+    assert not np.array_equal(a[0].image, a[1].image)
+
+
+def test_voc_void_band_surrounds_objects():
+    data = SyntheticVOCDataset(num_samples=2, seed=4, void_width=2)
+    sample = data[0]
+    if sample.mask.any() and not sample.mask.all():
+        assert sample.void.any()
+        # The void band touches the object boundary: every boundary pixel of
+        # the mask is inside the void band.
+        from repro.metrics.boundary import extract_boundary
+
+        boundary = extract_boundary(sample.mask)
+        assert np.all(sample.void[boundary])
+
+
+def test_voc_void_disabled():
+    data = SyntheticVOCDataset(num_samples=1, seed=4, void_width=0)
+    assert not data[0].void.any()
+
+
+def test_voc_fixed_size_and_index_errors():
+    data = SyntheticVOCDataset(num_samples=2, size=(64, 80))
+    assert data[0].image.shape == (64, 80, 3)
+    with pytest.raises(DatasetError):
+        data[5]
+    with pytest.raises(DatasetError):
+        SyntheticVOCDataset(num_samples=0)
+
+
+def test_voc_foreground_fraction_reasonable():
+    data = SyntheticVOCDataset(num_samples=6, seed=2)
+    fractions = [data[i].foreground_fraction() for i in range(6)]
+    assert all(0.0 <= f <= 0.8 for f in fractions)
+    assert any(f > 0.02 for f in fractions)
+
+
+# --------------------------------------------------------------------------- #
+# Synthetic xVIEW2
+# --------------------------------------------------------------------------- #
+def test_xview_dataset_sample_structure():
+    data = SyntheticXView2Dataset(num_samples=3, seed=11)
+    sample = data[0]
+    assert sample.image.shape == (128, 128, 3)
+    assert sample.mask.shape == (128, 128)
+    assert sample.void is None
+    assert sample.mask.any()  # there is always at least one building
+
+
+def test_xview_buildings_brighter_than_vegetation():
+    """Rooftops must be brighter (in gray) than the vegetation background on
+    average — the property the paper's satellite experiment relies on."""
+    data = SyntheticXView2Dataset(num_samples=3, seed=5)
+    for i in range(3):
+        sample = data[i]
+        gray = rgb_to_gray(sample.image)
+        roof_mean = gray[sample.mask.astype(bool)].mean()
+        other_mean = gray[~sample.mask.astype(bool)].mean()
+        assert roof_mean > other_mean
+
+
+def test_xview_determinism_and_validation():
+    a = SyntheticXView2Dataset(num_samples=2, seed=3)
+    b = SyntheticXView2Dataset(num_samples=2, seed=3)
+    assert np.array_equal(a[0].image, b[0].image)
+    with pytest.raises(DatasetError):
+        SyntheticXView2Dataset(num_samples=0)
+    with pytest.raises(DatasetError):
+        SyntheticXView2Dataset(buildings_per_tile=(5, 2))
+    with pytest.raises(DatasetError):
+        SyntheticXView2Dataset(road_period=2)
+
+
+# --------------------------------------------------------------------------- #
+# Shapes, balls, random pixels
+# --------------------------------------------------------------------------- #
+def test_two_tone_image_mask_matches_bright_region():
+    image, mask = make_two_tone_image(shape=(32, 32), noise_sigma=0.0)
+    gray = rgb_to_gray(image)
+    assert gray[mask.astype(bool)].min() > gray[~mask.astype(bool)].max()
+
+
+def test_shapes_dataset_iteration():
+    data = ShapesDataset(num_samples=5, size=(32, 32))
+    names = [s.name for s in data]
+    assert len(set(names)) == 5
+    assert all(s.mask.any() for s in data)
+
+
+def test_balls_image_structure():
+    image, target = make_balls_image()
+    assert image.shape == (120, 240, 3)
+    assert target.sum() > 0
+    num_targets = sum(1 for _, is_target in BALL_COLORS.values() if is_target)
+    assert num_targets == 3
+
+
+def test_balls_target_band_in_grayscale():
+    """Target balls must fall in the (3/8, 5/8) gray band; distractors outside."""
+    image, target = make_balls_image()
+    gray = rgb_to_gray(image)
+    target_values = gray[target]
+    assert target_values.min() > 3 / 8
+    assert target_values.max() < 5 / 8
+    background = gray[~target]
+    distractors = background[(background > 0.05)]  # ignore the dark canvas
+    outside = (distractors < 3 / 8) | (distractors > 5 / 8)
+    assert outside.mean() > 0.95
+
+
+def test_balls_image_validates_size():
+    with pytest.raises(DatasetError):
+        make_balls_image(shape=(50, 60), radius=12)
+
+
+def test_random_pixel_dataset_shapes_and_range():
+    data = random_pixel_dataset(num_samples=1000, seed=1)
+    assert data.shape == (1000, 3)
+    assert data.min() >= 0.0 and data.max() < 1.0
+    image, (h, w) = random_pixel_image(num_samples=1000, seed=1)
+    assert image.shape == (h, w, 3)
+    assert h * w <= 1000
+    with pytest.raises(DatasetError):
+        random_pixel_dataset(num_samples=0)

@@ -1,0 +1,183 @@
+"""Unit tests for the experiment harness (runner, tables and figures)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.shapes import ShapesDataset
+from repro.datasets.synthetic_voc import SyntheticVOCDataset
+from repro.datasets.synthetic_xview import SyntheticXView2Dataset
+from repro.errors import ExperimentError
+from repro.experiments import (
+    format_example_table,
+    format_figure3,
+    format_figure4,
+    format_figure5,
+    format_figure6,
+    format_figure7,
+    format_figure10,
+    format_table1,
+    format_table2,
+    format_table3,
+    run_figure1,
+    run_figure2,
+    run_figure3,
+    run_figure4,
+    run_figure5,
+    run_figure6,
+    run_figure7,
+    run_figure8,
+    run_figure9,
+    run_figure10,
+    run_table1,
+    run_table2,
+    run_table3,
+)
+from repro.experiments.runner import DEFAULT_METHODS, ExperimentRunner, MethodSpec
+from repro.experiments.table1 import PAPER_TABLE1_EXPECTED
+from repro.experiments.table2 import PAPER_TABLE2_EXPECTED
+
+
+# --------------------------------------------------------------------------- #
+# Runner
+# --------------------------------------------------------------------------- #
+def test_runner_scores_every_method_on_every_sample():
+    dataset = ShapesDataset(num_samples=3, size=(32, 32))
+    methods = (
+        MethodSpec(name="otsu", factory="otsu"),
+        MethodSpec(name="iqft-rgb", factory="iqft-rgb", kwargs={"thetas": float(np.pi)}),
+    )
+    table = ExperimentRunner(methods=methods).run(dataset)
+    assert len(table) == 6
+    assert set(table.methods()) == {"otsu", "iqft-rgb"}
+    for method in table.methods():
+        assert table.average_miou(method) > 0.7  # easy shapes
+
+
+def test_runner_limit_and_single_sample():
+    dataset = ShapesDataset(num_samples=5, size=(24, 24))
+    runner = ExperimentRunner(methods=DEFAULT_METHODS[:2])
+    limited = runner.run(dataset, limit=2)
+    assert len(limited) == 4
+    single = runner.run_single(dataset[0])
+    assert len(single) == 2
+
+
+def test_runner_requires_methods_and_ground_truth():
+    with pytest.raises(ExperimentError):
+        ExperimentRunner(methods=())
+    unlabeled = ShapesDataset(num_samples=1, size=(16, 16))[0]
+    unlabeled.mask = None
+    with pytest.raises(ExperimentError):
+        ExperimentRunner(methods=DEFAULT_METHODS[:1]).run_single(unlabeled)
+
+
+def test_method_spec_builds_from_callable():
+    from repro.baselines.otsu import OtsuSegmenter
+
+    spec = MethodSpec(name="my-otsu", factory=OtsuSegmenter)
+    segmenter = spec.build()
+    assert segmenter.name == "my-otsu"
+
+
+# --------------------------------------------------------------------------- #
+# Tables
+# --------------------------------------------------------------------------- #
+def test_table1_matches_paper_values():
+    results = run_table1()
+    text = format_table1(results)
+    for label in PAPER_TABLE1_EXPECTED:
+        assert label in text
+    # Spot-check two rows against the paper numbers.
+    assert "0.667" in text and "0.286, 0.857" in text
+
+
+def test_table2_matches_paper_counts():
+    results = run_table2(num_samples=20_000, seed=1)
+    assert tuple(results.values()) == PAPER_TABLE2_EXPECTED
+    text = format_table2(results)
+    assert "θ1=θ2=θ3" in text
+
+
+def test_table3_structure_and_shape_on_small_datasets():
+    voc = SyntheticVOCDataset(num_samples=4, seed=77)
+    result = run_table3(voc, limit=4)
+    assert set(result.average_miou) == {"kmeans", "otsu", "iqft-rgb", "iqft-gray"}
+    assert set(result.win_rate_vs) == {"kmeans", "otsu", "iqft-gray"}
+    assert all(0.0 <= v <= 1.0 for v in result.average_miou.values())
+    assert all(v >= 0.0 for v in result.average_runtime.values())
+    text = format_table3([result])
+    assert "Average mIOU" in text and result.dataset in text
+
+
+# --------------------------------------------------------------------------- #
+# Figures
+# --------------------------------------------------------------------------- #
+def test_figure1_and_2_data():
+    basis = run_figure1()
+    assert len(basis) == 8
+    pattern = run_figure2()
+    assert pattern.shape == (8, 2)
+
+
+def test_figure3_reports_both_label_conventions():
+    result = run_figure3()
+    assert result.argmax_matrix_convention == "001"
+    assert result.argmax_circuit_convention == "100"  # the paper's labeling
+    assert sum(result.probabilities.values()) == pytest.approx(1.0)
+    assert "|100⟩" in format_figure3(result)
+
+
+def test_figure4_iqft_beats_single_threshold_methods():
+    result = run_figure4()
+    assert result.miou["iqft"] > 0.95
+    assert result.miou["iqft"] > result.miou["otsu"]
+    assert result.miou["iqft"] > result.miou["kmeans"]
+    assert "Figure 4" in format_figure4(result)
+
+
+def test_figure5_unnormalized_fragmentation_is_much_higher():
+    result = run_figure5(num_images=1)
+    # Without normalization the raw 0..255 intensities wrap the phase many
+    # times, so the label map degenerates into salt-and-pepper noise.
+    assert result.fragmentation_unnormalized > 0.6
+    assert result.fragmentation_unnormalized > 3 * result.fragmentation_normalized
+    assert "normalization" in format_figure5(result)
+
+
+def test_figure6_theta_controls_segment_counts():
+    result = run_figure6(num_images=2)
+    for per_theta in result.segment_counts.values():
+        counts = list(per_theta.values())
+        assert counts[0] == 1  # θ = π/4 collapses to one segment
+        assert counts[-1] <= 2  # the mixed configuration yields at most two
+        assert max(counts) <= 8
+    assert "Figure 6" in format_figure6(result)
+
+
+def test_figure7_equivalence_holds_exactly():
+    result = run_figure7(num_images=2)
+    assert result.all_identical
+    assert "identical on all images: True" in format_figure7(result)
+
+
+def test_figure8_and_9_select_examples():
+    records8 = run_figure8(num_examples=2, pool_size=3)
+    records9 = run_figure9(
+        dataset=SyntheticXView2Dataset(num_samples=3, size=(64, 64)),
+        num_examples=2,
+        pool_size=3,
+    )
+    assert len(records8) == 2 and len(records9) == 2
+    assert records8[0].margin >= records8[1].margin
+    text = format_example_table(records9, "Figure 9")
+    assert "IQFT margin" in text
+    assert format_example_table([], "empty").endswith("(no examples selected)")
+
+
+def test_figure10_tuning_never_hurts():
+    result = run_figure10(pool_size=4, num_worst=2)
+    assert len(result.records) == 2
+    for record in result.records:
+        assert record.miou_tuned >= record.miou_default - 1e-9
+    assert result.mean_improvement >= 0.0
+    assert "Figure 10" in format_figure10(result)

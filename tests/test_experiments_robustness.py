@@ -1,0 +1,75 @@
+"""Unit tests for the robustness experiment sweeps."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.shapes import ShapesDataset
+from repro.errors import ExperimentError
+from repro.experiments.robustness import (
+    format_noise_robustness,
+    format_shot_convergence,
+    run_noise_robustness,
+    run_shot_convergence,
+)
+from repro.experiments.runner import MethodSpec
+from repro.quantum.noise_models import NoiseModel
+
+_FAST_METHODS = (
+    MethodSpec(name="otsu", factory="otsu"),
+    MethodSpec(name="iqft-rgb", factory="iqft-rgb", kwargs={"thetas": float(np.pi)}),
+)
+
+
+def test_noise_robustness_structure_and_degradation():
+    dataset = ShapesDataset(num_samples=3, size=(32, 32), noise_sigma=0.0)
+    result = run_noise_robustness(
+        dataset=dataset,
+        levels=(0.0, 0.25),
+        noise_kind="gaussian",
+        methods=_FAST_METHODS,
+        num_images=3,
+    )
+    assert set(result.miou) == {"otsu", "iqft-rgb"}
+    for values in result.miou.values():
+        assert len(values) == 2
+        assert all(0.0 <= v <= 1.0 for v in values)
+        # Heavy noise cannot help on clean shapes.
+        assert values[1] <= values[0] + 0.05
+    text = format_noise_robustness(result)
+    assert "gaussian=0.25" in text
+
+
+def test_noise_robustness_salt_pepper_and_validation():
+    dataset = ShapesDataset(num_samples=2, size=(24, 24))
+    result = run_noise_robustness(
+        dataset=dataset,
+        levels=(0.0, 0.1),
+        noise_kind="salt-pepper",
+        methods=_FAST_METHODS,
+        num_images=2,
+    )
+    assert result.noise_kind == "salt-pepper"
+    with pytest.raises(ExperimentError):
+        run_noise_robustness(dataset=dataset, noise_kind="poisson", methods=_FAST_METHODS)
+
+
+def test_shot_convergence_improves_with_shots():
+    dataset = ShapesDataset(num_samples=1, size=(32, 32), noise_sigma=0.0)
+    result = run_shot_convergence(
+        dataset=dataset,
+        shots=(1, 256),
+        noise_model=NoiseModel(phase_damping=0.02),
+    )
+    assert set(result.agreement) == {"ideal", "noisy"}
+    for scenario in ("ideal", "noisy"):
+        assert result.agreement[scenario][-1] >= result.agreement[scenario][0]
+    assert result.agreement["ideal"][-1] > 0.8
+    assert 0.0 <= result.exact_miou <= 1.0
+    text = format_shot_convergence(result)
+    assert "label agreement" in text and "exact (∞ shots)" in text
+
+
+def test_shot_convergence_ideal_only_when_noise_model_is_none():
+    dataset = ShapesDataset(num_samples=1, size=(24, 24))
+    result = run_shot_convergence(dataset=dataset, shots=(4,), noise_model=None)
+    assert set(result.agreement) == {"ideal"}

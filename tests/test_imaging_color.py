@@ -1,0 +1,86 @@
+"""Unit tests for colour conversions (including the paper's equation (17))."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.imaging.color import (
+    GRAY_WEIGHTS,
+    denormalize_intensities,
+    gray_to_rgb,
+    hsv_to_rgb,
+    normalize_intensities,
+    rgb_to_gray,
+    rgb_to_hsv,
+)
+
+
+def test_gray_weights_match_equation_17():
+    assert np.allclose(GRAY_WEIGHTS, [0.2125, 0.7154, 0.0721])
+    assert GRAY_WEIGHTS.sum() == pytest.approx(1.0, abs=1e-10)
+
+
+def test_rgb_to_gray_on_pure_channels():
+    image = np.zeros((1, 3, 3))
+    image[0, 0, 0] = 1.0  # pure red
+    image[0, 1, 1] = 1.0  # pure green
+    image[0, 2, 2] = 1.0  # pure blue
+    gray = rgb_to_gray(image)
+    assert np.allclose(gray[0], GRAY_WEIGHTS)
+
+
+def test_rgb_to_gray_uint8_input():
+    image = np.full((2, 2, 3), 255, dtype=np.uint8)
+    assert np.allclose(rgb_to_gray(image), 1.0)
+
+
+def test_rgb_to_gray_passthrough_for_gray_input(small_gray_float):
+    assert np.allclose(rgb_to_gray(small_gray_float), small_gray_float)
+
+
+def test_gray_to_rgb_replicates_channels(small_gray_float):
+    rgb = gray_to_rgb(small_gray_float)
+    for c in range(3):
+        assert np.allclose(rgb[..., c], small_gray_float)
+
+
+def test_hsv_round_trip(rng):
+    rgb = rng.random((8, 9, 3))
+    recovered = hsv_to_rgb(rgb_to_hsv(rgb))
+    assert np.allclose(recovered, rgb, atol=1e-9)
+
+
+def test_hsv_of_primary_colors():
+    image = np.array([[[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]]])
+    hsv = rgb_to_hsv(image)
+    assert np.allclose(hsv[0, :, 1], 1.0)  # full saturation
+    assert np.allclose(hsv[0, :, 2], 1.0)  # full value
+    assert np.allclose(hsv[0, :, 0], [0.0, 1 / 3, 2 / 3])  # hues at 0°, 120°, 240°
+
+
+def test_hsv_gray_pixel_has_zero_saturation():
+    image = np.full((1, 1, 3), 0.42)
+    hsv = rgb_to_hsv(image)
+    assert hsv[0, 0, 1] == pytest.approx(0.0)
+    assert hsv[0, 0, 2] == pytest.approx(0.42)
+
+
+def test_hsv_requires_rgb_shape(small_gray_float):
+    with pytest.raises(ShapeError):
+        rgb_to_hsv(small_gray_float)
+    with pytest.raises(ShapeError):
+        hsv_to_rgb(small_gray_float)
+
+
+def test_normalize_and_denormalize_round_trip():
+    raw = np.array([0.0, 63.75, 255.0])
+    normalized = normalize_intensities(raw)
+    assert np.allclose(normalized, [0.0, 0.25, 1.0])
+    assert np.allclose(denormalize_intensities(normalized), raw)
+
+
+def test_normalize_rejects_negative_and_bad_max():
+    with pytest.raises(ShapeError):
+        normalize_intensities(np.array([-1.0]))
+    with pytest.raises(ShapeError):
+        normalize_intensities(np.array([1.0]), max_value=0.0)

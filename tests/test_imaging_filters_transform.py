@@ -1,0 +1,143 @@
+"""Unit tests for spatial filters and geometric transforms."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError, ShapeError
+from repro.imaging.filters import (
+    box_blur,
+    convolve2d,
+    gaussian_blur,
+    gaussian_kernel_1d,
+    median_filter,
+    sobel_magnitude,
+)
+from repro.imaging.transform import crop, flip, pad, resize
+
+
+# --------------------------------------------------------------------------- #
+# Filters
+# --------------------------------------------------------------------------- #
+def test_gaussian_kernel_normalized_and_symmetric():
+    kernel = gaussian_kernel_1d(1.5)
+    assert kernel.sum() == pytest.approx(1.0)
+    assert np.allclose(kernel, kernel[::-1])
+    with pytest.raises(ParameterError):
+        gaussian_kernel_1d(0.0)
+
+
+def test_blurs_preserve_constant_images():
+    const = np.full((12, 12), 0.37)
+    assert np.allclose(box_blur(const, 3), 0.37)
+    assert np.allclose(gaussian_blur(const, 2.0), 0.37)
+    assert np.allclose(median_filter(const, 3), 0.37)
+
+
+def test_blur_reduces_variance(rng):
+    image = rng.random((32, 32))
+    assert gaussian_blur(image, 2.0).var() < image.var()
+    assert box_blur(image, 5).var() < image.var()
+
+
+def test_blur_applies_per_channel(rng):
+    image = rng.random((16, 16, 3))
+    blurred = gaussian_blur(image, 1.0)
+    assert blurred.shape == image.shape
+    for c in range(3):
+        assert np.allclose(blurred[..., c], gaussian_blur(image[..., c], 1.0))
+
+
+def test_median_filter_removes_impulse():
+    image = np.zeros((9, 9))
+    image[4, 4] = 1.0
+    assert median_filter(image, 3)[4, 4] == 0.0
+
+
+def test_box_and_median_validate_window():
+    with pytest.raises(ParameterError):
+        box_blur(np.zeros((4, 4)), 2)
+    with pytest.raises(ParameterError):
+        median_filter(np.zeros((4, 4)), 4)
+
+
+def test_convolve2d_identity_kernel(rng):
+    image = rng.random((10, 10))
+    kernel = np.zeros((3, 3))
+    kernel[1, 1] = 1.0
+    assert np.allclose(convolve2d(image, kernel), image)
+    with pytest.raises(ShapeError):
+        convolve2d(image, np.zeros(3))
+
+
+def test_sobel_detects_vertical_edge():
+    image = np.zeros((16, 16))
+    image[:, 8:] = 1.0
+    magnitude = sobel_magnitude(image)
+    assert magnitude.shape == (16, 16)
+    # The strongest response sits on the edge columns.
+    edge_mean = magnitude[:, 7:9].mean()
+    flat_mean = magnitude[:, :4].mean()
+    assert edge_mean > 10 * max(flat_mean, 1e-12)
+
+
+def test_sobel_rgb_input_reduced_to_single_channel(rng):
+    assert sobel_magnitude(rng.random((8, 8, 3))).shape == (8, 8)
+
+
+# --------------------------------------------------------------------------- #
+# Transforms
+# --------------------------------------------------------------------------- #
+def test_resize_constant_image_stays_constant():
+    const = np.full((10, 14), 0.6)
+    out = resize(const, (5, 7))
+    assert out.shape == (5, 7)
+    assert np.allclose(out, 0.6)
+
+
+def test_resize_nearest_preserves_label_values():
+    labels = np.array([[0.0, 1.0], [1.0, 0.0]])
+    out = resize(labels, (4, 4), method="nearest")
+    assert set(np.unique(out)).issubset({0.0, 1.0})
+
+
+def test_resize_rgb_and_bad_arguments(rng):
+    image = rng.random((8, 6, 3))
+    out = resize(image, (16, 12))
+    assert out.shape == (16, 12, 3)
+    with pytest.raises(ParameterError):
+        resize(image, (0, 4))
+    with pytest.raises(ParameterError):
+        resize(image, (4, 4), method="bicubic")
+
+
+def test_resize_identity_shape_close_to_input(rng):
+    image = rng.random((9, 9))
+    assert np.allclose(resize(image, (9, 9)), image, atol=1e-12)
+
+
+def test_crop_bounds_and_content(rng):
+    image = rng.random((10, 10))
+    out = crop(image, 2, 3, 4, 5)
+    assert out.shape == (4, 5)
+    assert np.allclose(out, image[2:6, 3:8])
+    with pytest.raises(ShapeError):
+        crop(image, 8, 8, 4, 4)
+    with pytest.raises(ParameterError):
+        crop(image, -1, 0, 2, 2)
+
+
+def test_pad_constant(rng):
+    image = rng.random((4, 4, 3))
+    out = pad(image, 2, value=0.5)
+    assert out.shape == (8, 8, 3)
+    assert np.allclose(out[0, 0], 0.5)
+    with pytest.raises(ParameterError):
+        pad(image, -1)
+
+
+def test_flip_axes(rng):
+    image = rng.random((4, 6))
+    assert np.allclose(flip(image, "horizontal"), image[:, ::-1])
+    assert np.allclose(flip(image, "vertical"), image[::-1])
+    with pytest.raises(ParameterError):
+        flip(image, "diagonal")

@@ -1,0 +1,171 @@
+"""Unit tests for histograms, noise models and the synthesis primitives."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.imaging import synthesis
+from repro.imaging.histogram import cumulative_histogram, histogram, histogram_equalize
+from repro.imaging.noise import add_gaussian_noise, add_salt_pepper_noise, add_speckle_noise
+
+
+# --------------------------------------------------------------------------- #
+# Histograms
+# --------------------------------------------------------------------------- #
+def test_histogram_counts_and_density(rng):
+    image = rng.random((20, 20))
+    counts, centers = histogram(image, bins=32)
+    assert counts.sum() == pytest.approx(400)
+    assert centers.shape == (32,)
+    density, _ = histogram(image, bins=32, density=True)
+    assert density.sum() == pytest.approx(1.0)
+
+
+def test_histogram_rgb_uses_channel_mean():
+    image = np.zeros((4, 4, 3))
+    image[..., 0] = 0.9  # mean intensity 0.3
+    counts, centers = histogram(image, bins=10)
+    # All pixels share the mean intensity 0.3 (modulo float rounding at the
+    # bin edge), so a single bin holds all 16 counts.
+    assert counts.max() == 16
+    assert counts[2] + counts[3] == 16
+    with pytest.raises(ParameterError):
+        histogram(image, bins=1)
+
+
+def test_cumulative_histogram_monotone(rng):
+    cdf, _ = cumulative_histogram(rng.random((15, 15)), bins=64)
+    assert np.all(np.diff(cdf) >= -1e-12)
+    assert cdf[-1] == pytest.approx(1.0)
+
+
+def test_histogram_equalize_flattens_distribution(rng):
+    skewed = rng.random((64, 64)) ** 3  # heavily dark-skewed
+    equalized = histogram_equalize(skewed)
+    # After equalization, the CDF should be much closer to the diagonal.
+    cdf_before, _ = cumulative_histogram(skewed, bins=32)
+    cdf_after, _ = cumulative_histogram(equalized, bins=32)
+    diagonal = np.linspace(1 / 32, 1.0, 32)
+    assert np.abs(cdf_after - diagonal).mean() < np.abs(cdf_before - diagonal).mean()
+
+
+def test_histogram_equalize_rgb_shape(rng):
+    out = histogram_equalize(rng.random((8, 8, 3)))
+    assert out.shape == (8, 8, 3)
+    assert out.min() >= 0 and out.max() <= 1
+
+
+# --------------------------------------------------------------------------- #
+# Noise
+# --------------------------------------------------------------------------- #
+def test_gaussian_noise_statistics(rng):
+    image = np.full((64, 64), 0.5)
+    noisy = add_gaussian_noise(image, sigma=0.05, seed=1)
+    assert noisy.shape == image.shape
+    assert 0.03 < noisy.std() < 0.07
+    assert np.allclose(add_gaussian_noise(image, sigma=0.0), image)
+    with pytest.raises(ParameterError):
+        add_gaussian_noise(image, sigma=-1)
+
+
+def test_gaussian_noise_deterministic_given_seed():
+    image = np.full((16, 16), 0.5)
+    a = add_gaussian_noise(image, sigma=0.1, seed=42)
+    b = add_gaussian_noise(image, sigma=0.1, seed=42)
+    assert np.array_equal(a, b)
+
+
+def test_salt_pepper_noise_fraction_and_values():
+    image = np.full((100, 100), 0.5)
+    noisy = add_salt_pepper_noise(image, amount=0.1, seed=0)
+    corrupted = np.count_nonzero(noisy != 0.5)
+    assert 700 < corrupted < 1300  # ~10% of 10,000
+    assert set(np.unique(noisy)).issubset({0.0, 0.5, 1.0})
+    with pytest.raises(ParameterError):
+        add_salt_pepper_noise(image, amount=1.5)
+
+
+def test_salt_pepper_rgb_corrupts_whole_pixels(rng):
+    image = rng.random((20, 20, 3)) * 0.5 + 0.25
+    noisy = add_salt_pepper_noise(image, amount=0.2, seed=1)
+    changed = np.any(noisy != image, axis=-1)
+    for pixel in noisy[changed].reshape(-1, 3):
+        assert np.all(pixel == 0.0) or np.all(pixel == 1.0)
+
+
+def test_speckle_noise_multiplicative():
+    image = np.zeros((32, 32))
+    # Zero image stays zero under multiplicative noise.
+    assert np.allclose(add_speckle_noise(image, sigma=0.3, seed=0), 0.0)
+    bright = np.full((32, 32), 0.8)
+    noisy = add_speckle_noise(bright, sigma=0.1, seed=0)
+    assert noisy.std() > 0.02
+
+
+# --------------------------------------------------------------------------- #
+# Synthesis
+# --------------------------------------------------------------------------- #
+def test_gradients_and_fields():
+    ramp = synthesis.linear_gradient((4, 8), 0.0, 1.0, axis="horizontal")
+    assert ramp.shape == (4, 8)
+    assert ramp[0, 0] == 0.0 and ramp[0, -1] == 1.0
+    vert = synthesis.linear_gradient((6, 3), 1.0, 0.0, axis="vertical")
+    assert vert[0, 0] == 1.0 and vert[-1, 0] == 0.0
+    radial = synthesis.radial_gradient((9, 9))
+    assert radial[4, 4] == pytest.approx(1.0)
+    assert synthesis.constant_field((3, 3), 0.5).mean() == 0.5
+
+
+def test_correlated_noise_range_and_determinism():
+    a = synthesis.correlated_noise((32, 32), scale=4.0, seed=5)
+    b = synthesis.correlated_noise((32, 32), scale=4.0, seed=5)
+    assert np.array_equal(a, b)
+    assert a.min() >= 0.0 and a.max() <= 1.0
+
+
+def test_ellipse_and_rectangle_masks():
+    ellipse = synthesis.ellipse_mask((21, 21), (10, 10), (5, 8))
+    assert ellipse[10, 10] and not ellipse[0, 0]
+    assert ellipse.sum() > 0
+    rect = synthesis.rectangle_mask((10, 10), 2, 3, 4, 5)
+    assert rect.sum() == 20
+    clipped = synthesis.rectangle_mask((10, 10), 8, 8, 5, 5)
+    assert clipped.sum() == 4
+
+
+def test_polygon_mask_square():
+    square = synthesis.polygon_mask((20, 20), [(5, 5), (5, 15), (15, 15), (15, 5)])
+    assert square[10, 10]
+    assert not square[2, 2]
+    # Roughly a 10x10 interior.
+    assert 80 <= square.sum() <= 121
+    with pytest.raises(ParameterError):
+        synthesis.polygon_mask((10, 10), [(0, 0), (1, 1)])
+
+
+def test_blob_mask_contains_center_and_is_deterministic():
+    a = synthesis.blob_mask((40, 40), (20, 20), radius=8, seed=3)
+    b = synthesis.blob_mask((40, 40), (20, 20), radius=8, seed=3)
+    assert np.array_equal(a, b)
+    assert a[20, 20]
+    with pytest.raises(ParameterError):
+        synthesis.blob_mask((10, 10), (5, 5), radius=-1)
+
+
+def test_checkerboard_and_stripes():
+    board = synthesis.checkerboard((8, 8), cell=2)
+    assert board[0, 0] == 0.0 and board[0, 2] == 1.0
+    bands = synthesis.stripes((4, 16), period=8)
+    assert bands.min() >= 0.0 and bands.max() <= 1.0
+
+
+def test_composite_and_colorize():
+    background = np.zeros((5, 5, 3))
+    mask = synthesis.rectangle_mask((5, 5), 1, 1, 2, 2)
+    out = synthesis.composite(background, [(mask, (1.0, 0.0, 0.0))])
+    assert np.allclose(out[1, 1], [1.0, 0.0, 0.0])
+    assert np.allclose(out[0, 0], [0.0, 0.0, 0.0])
+    colored = synthesis.colorize_mask(mask, (0.0, 1.0, 0.0))
+    assert np.allclose(colored[1, 1], [0.0, 1.0, 0.0])
+    with pytest.raises(ParameterError):
+        synthesis.composite(np.zeros((5, 5)), [(mask, (1, 0, 0))])

@@ -1,0 +1,83 @@
+"""Unit tests for the Image container and dtype helpers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.imaging.image import Image, as_float_image, as_uint8_image, ensure_gray, ensure_rgb
+
+
+def test_as_float_image_uint8_roundtrip():
+    arr = np.array([[0, 128, 255]], dtype=np.uint8)
+    out = as_float_image(arr)
+    assert out.dtype == np.float64
+    assert np.allclose(out, [[0.0, 128 / 255, 1.0]])
+
+
+def test_as_float_image_clips_out_of_range_floats():
+    arr = np.array([[-0.5, 0.5, 1.5]])
+    assert np.allclose(as_float_image(arr), [[0.0, 0.5, 1.0]])
+
+
+def test_as_uint8_image_rounds():
+    arr = np.array([[0.0, 0.5, 1.0]])
+    assert np.array_equal(as_uint8_image(arr), np.array([[0, 128, 255]], dtype=np.uint8))
+
+
+def test_uint8_float_roundtrip_is_exact():
+    original = np.arange(256, dtype=np.uint8).reshape(16, 16)
+    assert np.array_equal(as_uint8_image(as_float_image(original)), original)
+
+
+def test_single_channel_third_axis_is_squeezed():
+    arr = np.zeros((4, 5, 1), dtype=np.uint8)
+    assert as_float_image(arr).shape == (4, 5)
+
+
+def test_invalid_shapes_rejected():
+    with pytest.raises(ShapeError):
+        as_float_image(np.zeros((2, 2, 4)))
+    with pytest.raises(ShapeError):
+        as_float_image(np.zeros(7))
+
+
+def test_ensure_rgb_and_gray():
+    gray = np.array([[0.2, 0.8]])
+    rgb = ensure_rgb(gray)
+    assert rgb.shape == (1, 2, 3)
+    assert np.allclose(rgb[..., 0], gray)
+    back = ensure_gray(rgb)
+    assert np.allclose(back, gray)
+
+
+def test_image_properties(small_rgb_uint8):
+    img = Image(small_rgb_uint8, name="sample")
+    assert img.is_rgb and not img.is_gray
+    assert img.height == 16 and img.width == 20
+    assert img.num_pixels == 320
+    assert "sample" in repr(img)
+
+
+def test_image_conversions_round_trip(small_rgb_uint8):
+    img = Image(small_rgb_uint8)
+    float_img = img.to_float()
+    assert float_img.pixels.dtype == np.float64
+    assert img.to_uint8() == img
+    assert float_img.to_uint8() == img
+
+
+def test_image_copy_is_deep(small_rgb_uint8):
+    img = Image(small_rgb_uint8, metadata={"k": 1})
+    clone = img.copy()
+    clone.pixels[0, 0, 0] = 99
+    clone.metadata["k"] = 2
+    assert img.pixels[0, 0, 0] == small_rgb_uint8[0, 0, 0]
+    assert img.metadata["k"] == 1
+
+
+def test_image_equality_and_to_rgb(small_gray_float):
+    a = Image(small_gray_float)
+    b = Image(small_gray_float.copy())
+    assert a == b
+    assert a.to_rgb().is_rgb
+    assert a != Image(np.zeros_like(small_gray_float))

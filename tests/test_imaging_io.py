@@ -1,0 +1,169 @@
+"""Unit tests for the PPM/PGM, PNG and BMP codecs and the dispatcher."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.errors import ImageDecodeError, ImageEncodeError, ShapeError
+from repro.imaging.io_bmp import read_bmp, write_bmp
+from repro.imaging.io_dispatch import read_image, write_image
+from repro.imaging.io_png import read_png, write_png
+from repro.imaging.io_ppm import read_pgm, read_ppm, write_pgm, write_ppm
+
+
+@pytest.fixture
+def rgb_image(rng):
+    return (rng.random((13, 17, 3)) * 255).astype(np.uint8)
+
+
+@pytest.fixture
+def gray_image(rng):
+    return (rng.random((11, 9)) * 255).astype(np.uint8)
+
+
+# --------------------------------------------------------------------------- #
+# PPM / PGM
+# --------------------------------------------------------------------------- #
+def test_ppm_binary_round_trip(tmp_path, rgb_image):
+    path = tmp_path / "img.ppm"
+    write_ppm(path, rgb_image)
+    assert np.array_equal(read_ppm(path), rgb_image)
+
+
+def test_ppm_ascii_round_trip(tmp_path, rgb_image):
+    path = tmp_path / "img_ascii.ppm"
+    write_ppm(path, rgb_image, ascii=True)
+    assert np.array_equal(read_ppm(path), rgb_image)
+
+
+def test_pgm_round_trip(tmp_path, gray_image):
+    path = tmp_path / "img.pgm"
+    write_pgm(path, gray_image)
+    assert np.array_equal(read_pgm(path), gray_image)
+
+
+def test_pgm_ascii_round_trip_with_comments(gray_image):
+    buffer = io.BytesIO()
+    write_pgm(buffer, gray_image, ascii=True)
+    data = buffer.getvalue().replace(b"P2\n", b"P2\n# a comment line\n")
+    assert np.array_equal(read_pgm(data), gray_image)
+
+
+def test_ppm_write_accepts_gray_by_replication(tmp_path, gray_image):
+    path = tmp_path / "gray_as_rgb.ppm"
+    write_ppm(path, gray_image)
+    out = read_ppm(path)
+    assert out.shape == gray_image.shape + (3,)
+    assert np.array_equal(out[..., 0], gray_image)
+
+
+def test_pgm_rejects_rgb(tmp_path, rgb_image):
+    with pytest.raises(ShapeError):
+        write_pgm(tmp_path / "x.pgm", rgb_image)
+
+
+def test_netpbm_decode_errors():
+    with pytest.raises(ImageDecodeError):
+        read_ppm(b"NOTAPNM")
+    with pytest.raises(ImageDecodeError):
+        read_ppm(b"P6\n4 4\n255\n\x00")  # truncated payload
+    with pytest.raises(ImageDecodeError):
+        read_ppm(b"P6\n4")  # truncated header
+
+
+def test_netpbm_16bit_is_rescaled():
+    header = b"P5\n2 1\n65535\n"
+    payload = np.array([0, 65535], dtype=">u2").tobytes()
+    out = read_pgm(header + payload)
+    assert np.array_equal(out, np.array([[0, 255]], dtype=np.uint8))
+
+
+# --------------------------------------------------------------------------- #
+# PNG
+# --------------------------------------------------------------------------- #
+def test_png_rgb_round_trip(tmp_path, rgb_image):
+    path = tmp_path / "img.png"
+    write_png(path, rgb_image)
+    assert np.array_equal(read_png(path), rgb_image)
+
+
+def test_png_gray_round_trip(tmp_path, gray_image):
+    path = tmp_path / "img_gray.png"
+    write_png(path, gray_image)
+    assert np.array_equal(read_png(path), gray_image)
+
+
+def test_png_in_memory_round_trip(rgb_image):
+    buffer = io.BytesIO()
+    write_png(buffer, rgb_image)
+    assert np.array_equal(read_png(buffer.getvalue()), rgb_image)
+
+
+def test_png_bad_signature_and_crc(rgb_image):
+    with pytest.raises(ImageDecodeError):
+        read_png(b"not a png at all")
+    buffer = io.BytesIO()
+    write_png(buffer, rgb_image)
+    corrupted = bytearray(buffer.getvalue())
+    corrupted[-8] ^= 0xFF  # flip a byte inside the IEND chunk CRC region
+    with pytest.raises(ImageDecodeError):
+        read_png(bytes(corrupted))
+
+
+def test_png_rejects_bad_shape():
+    with pytest.raises(ShapeError):
+        write_png(io.BytesIO(), np.zeros((3, 3, 4), dtype=np.uint8))
+
+
+# --------------------------------------------------------------------------- #
+# BMP
+# --------------------------------------------------------------------------- #
+def test_bmp_round_trip(tmp_path, rgb_image):
+    path = tmp_path / "img.bmp"
+    write_bmp(path, rgb_image)
+    assert np.array_equal(read_bmp(path), rgb_image)
+
+
+def test_bmp_gray_input_is_replicated(tmp_path, gray_image):
+    path = tmp_path / "gray.bmp"
+    write_bmp(path, gray_image)
+    out = read_bmp(path)
+    assert np.array_equal(out[..., 1], gray_image)
+
+
+def test_bmp_odd_width_padding(tmp_path, rng):
+    image = (rng.random((5, 3, 3)) * 255).astype(np.uint8)  # stride needs padding
+    path = tmp_path / "odd.bmp"
+    write_bmp(path, image)
+    assert np.array_equal(read_bmp(path), image)
+
+
+def test_bmp_decode_errors():
+    with pytest.raises(ImageDecodeError):
+        read_bmp(b"XX" + b"\x00" * 60)
+    with pytest.raises(ImageDecodeError):
+        read_bmp(b"tiny")
+
+
+# --------------------------------------------------------------------------- #
+# Dispatcher
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("ext", [".ppm", ".png", ".bmp"])
+def test_dispatch_round_trip(tmp_path, rgb_image, ext):
+    path = tmp_path / f"img{ext}"
+    write_image(path, rgb_image)
+    assert np.array_equal(read_image(path), rgb_image)
+
+
+def test_dispatch_pgm(tmp_path, gray_image):
+    path = tmp_path / "img.pgm"
+    write_image(path, gray_image)
+    assert np.array_equal(read_image(path), gray_image)
+
+
+def test_dispatch_unknown_extension(tmp_path, rgb_image):
+    with pytest.raises(ImageEncodeError):
+        write_image(tmp_path / "img.jpg", rgb_image)
+    with pytest.raises(ImageDecodeError):
+        read_image(tmp_path / "img.jpg")

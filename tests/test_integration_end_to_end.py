@@ -1,0 +1,93 @@
+"""End-to-end integration tests across subsystem boundaries.
+
+These tests exercise realistic user journeys: generate a dataset sample, write
+it to disk with the codecs, load it back through the directory loader, segment
+it with several methods through the pipeline, score it, and render/export the
+results — verifying that data survives every hand-off unchanged.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.baselines.registry import get_segmenter
+from repro.core.pipeline import SegmentationPipeline
+from repro.core.rgb_segmenter import IQFTSegmenter
+from repro.datasets.loaders import DirectoryDataset
+from repro.datasets.synthetic_voc import SyntheticVOCDataset
+from repro.experiments.runner import ExperimentRunner, MethodSpec
+from repro.imaging.image import as_uint8_image
+from repro.imaging.io_dispatch import read_image, write_image
+from repro.parallel.executor import ThreadExecutor
+from repro.parallel.tiling import tile_map
+from repro.viz.export import save_label_map, save_overlay, save_side_by_side
+
+
+def test_dataset_to_disk_to_loader_roundtrip(tmp_path):
+    """A synthetic sample written as PNG and re-loaded scores identically."""
+    sample = SyntheticVOCDataset(num_samples=1, seed=123)[0]
+    os.makedirs(tmp_path / "images")
+    os.makedirs(tmp_path / "masks")
+    os.makedirs(tmp_path / "void")
+    write_image(tmp_path / "images" / "s.png", as_uint8_image(sample.image))
+    write_image(tmp_path / "masks" / "s.png", as_uint8_image(sample.mask.astype(float)))
+    write_image(tmp_path / "void" / "s.png", as_uint8_image(sample.void.astype(float)))
+
+    loaded = DirectoryDataset(str(tmp_path))[0]
+    assert np.array_equal(loaded.mask, sample.mask)
+    assert np.array_equal(loaded.void, sample.void)
+
+    pipeline = SegmentationPipeline(IQFTSegmenter())
+    original_score = pipeline.run(sample.image, sample.mask, sample.void).miou
+    loaded_score = pipeline.run(loaded.image, loaded.mask, loaded.void).miou
+    # PNG stores 8-bit pixels, so scores agree up to quantization effects.
+    assert loaded_score == pytest.approx(original_score, abs=0.02)
+
+
+def test_runner_with_thread_executor_matches_serial():
+    dataset = SyntheticVOCDataset(num_samples=3, seed=9, size=(48, 64))
+    methods = (
+        MethodSpec(name="otsu", factory="otsu"),
+        MethodSpec(name="iqft-rgb", factory="iqft-rgb"),
+    )
+    serial = ExperimentRunner(methods=methods).run(dataset)
+    threaded = ExperimentRunner(methods=methods, executor=ThreadExecutor(2)).run(dataset)
+    for method in ("otsu", "iqft-rgb"):
+        assert serial.average_miou(method) == pytest.approx(threaded.average_miou(method))
+
+
+def test_tiled_parallel_segmentation_of_large_synthetic_tile():
+    sample = SyntheticVOCDataset(num_samples=1, seed=55, size=(96, 96))[0]
+    segmenter = IQFTSegmenter()
+    whole = segmenter.segment(sample.image).labels
+    tiled = tile_map(
+        lambda block: segmenter.segment(block).labels,
+        sample.image,
+        tile_shape=(32, 32),
+        executor=ThreadExecutor(2),
+    )
+    assert np.array_equal(whole, tiled)
+
+
+def test_full_visual_export_chain(tmp_path):
+    sample = SyntheticVOCDataset(num_samples=1, seed=77, size=(48, 48))[0]
+    result = IQFTSegmenter().segment(sample.image)
+    labels_path = tmp_path / "labels.png"
+    overlay_path = tmp_path / "overlay.png"
+    montage_path = tmp_path / "montage.ppm"
+    save_label_map(labels_path, result.labels)
+    save_overlay(overlay_path, sample.image, sample.mask)
+    save_side_by_side(montage_path, [sample.image, result.labels.astype(float) / 7.0])
+    for path in (labels_path, overlay_path, montage_path):
+        assert read_image(path).ndim == 3
+
+
+def test_every_registered_method_through_the_pipeline(noisy_disk_image):
+    image, mask = noisy_disk_image
+    for name in ("iqft-rgb", "iqft-gray", "otsu", "kmeans", "fixed-threshold"):
+        kwargs = {"n_init": 1, "seed": 0} if name == "kmeans" else {}
+        pipeline = SegmentationPipeline(get_segmenter(name, **kwargs))
+        outcome = pipeline.run(image, ground_truth=mask)
+        assert outcome.miou is not None
+        assert outcome.miou > 0.55, f"{name} failed on the easy disk image"

@@ -1,0 +1,98 @@
+"""Integration tests: the classical IQFT-inspired algorithm vs a genuine quantum simulation.
+
+The paper's Algorithm 1 is *inspired by* the IQFT; these tests establish that
+the classical implementation is in fact exactly the measurement statistics of
+the corresponding quantum circuit: encode the pixel into relative phases with
+Hadamard + phase gates, run the textbook IQFT circuit, and read out the
+computational-basis probabilities.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.classifier import IQFTClassifier
+from repro.core.grayscale_segmenter import IQFTGrayscaleSegmenter
+from repro.core.phase_encoding import pixel_phases
+from repro.core.rgb_segmenter import IQFTSegmenter
+from repro.quantum.circuit import QuantumCircuit
+from repro.quantum.encoding import encode_gray_state, encode_pixel_state, phase_encoding_circuit
+from repro.quantum.measurement import argmax_basis_state, probabilities
+from repro.quantum.qft import iqft_circuit, iqft_matrix
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_rgb_pixel_probabilities_match_circuit_simulation(seed):
+    rng = np.random.default_rng(seed)
+    rgb = rng.random(3)
+    thetas = (np.pi, np.pi, np.pi)
+
+    # Classical path (Algorithm 1).
+    classifier = IQFTClassifier(3)
+    phases = pixel_phases(rgb[np.newaxis, np.newaxis, :], thetas).reshape(3)
+    classical = classifier.probabilities(phases)
+
+    # Quantum path: prepare the phase state and run the IQFT circuit.
+    state = encode_pixel_state(rgb, thetas)
+    final = iqft_circuit(3).run(state)
+    quantum = probabilities(final)
+
+    assert np.allclose(classical, quantum, atol=1e-10)
+    assert int(np.argmax(classical)) == argmax_basis_state(final)
+
+
+def test_full_encode_plus_iqft_circuit_matches_classifier(rng):
+    """Building one circuit (encoding followed by IQFT) gives the same result."""
+    rgb = rng.random(3)
+    thetas = (np.pi / 2, np.pi, 3 * np.pi / 2)
+    phases = pixel_phases(rgb[np.newaxis, np.newaxis, :], thetas).reshape(3)
+
+    encode = phase_encoding_circuit(phases)
+    circuit = encode.compose(iqft_circuit(3))
+    quantum = probabilities(circuit.run())
+    classical = IQFTClassifier(3).probabilities(phases)
+    assert np.allclose(classical, quantum, atol=1e-10)
+
+
+def test_grayscale_probabilities_match_single_qubit_circuit(rng):
+    intensity = float(rng.random())
+    theta = 1.3 * np.pi
+    seg = IQFTGrayscaleSegmenter(theta=theta)
+    classical = seg.pixel_probabilities(np.array([[intensity]]))[0, 0]
+
+    state = encode_gray_state(intensity, theta)
+    quantum = probabilities(iqft_circuit(1).run(state))
+    assert np.allclose(classical, quantum, atol=1e-12)
+
+
+def test_whole_image_labels_match_per_pixel_circuit_argmax(rng):
+    """Segment a tiny image classically and verify every pixel against the circuit."""
+    image = rng.random((3, 4, 3))
+    thetas = (np.pi, np.pi, np.pi)
+    labels = IQFTSegmenter(thetas=thetas).segment(image).labels
+    circuit = iqft_circuit(3)
+    for r in range(3):
+        for c in range(4):
+            state = encode_pixel_state(image[r, c], thetas)
+            assert labels[r, c] == argmax_basis_state(circuit.run(state))
+
+
+def test_iqft_circuit_matrix_equals_classifier_scaling():
+    """The classifier's matrix is the circuit unitary times √N (eq. 11 scaling)."""
+    classifier = IQFTClassifier(3)
+    assert np.allclose(classifier.matrix / np.sqrt(8), iqft_matrix(3))
+
+
+def test_measurement_sampling_concentrates_on_classical_argmax(rng):
+    """Finite-shot sampling from the circuit recovers the classical label."""
+    from repro.quantum.measurement import sample_counts
+
+    rgb = np.array([0.9, 0.2, 0.1])
+    thetas = (2 * np.pi, 2 * np.pi, 2 * np.pi)
+    phases = pixel_phases(rgb[np.newaxis, np.newaxis, :], thetas).reshape(3)
+    label = int(IQFTClassifier(3).classify(phases[np.newaxis, :])[0])
+
+    state = encode_pixel_state(rgb, thetas)
+    final = iqft_circuit(3).run(state)
+    counts = sample_counts(final, shots=4096, seed=3)
+    most_common = max(counts, key=counts.get)
+    assert int(most_common, 2) == label

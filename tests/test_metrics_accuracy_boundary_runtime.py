@@ -1,0 +1,104 @@
+"""Unit tests for accuracy metrics, boundary F1, and timing helpers."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import MetricError
+from repro.metrics.accuracy import (
+    dice_coefficient,
+    pixel_accuracy,
+    precision_recall_f1,
+    specificity,
+)
+from repro.metrics.boundary import boundary_f1, extract_boundary
+from repro.metrics.runtime import Timer, time_callable
+
+
+def test_pixel_accuracy_values():
+    gt = np.array([[1, 1, 0, 0]])
+    pred = np.array([[1, 0, 1, 0]])
+    assert pixel_accuracy(pred, gt) == 0.5
+    assert pixel_accuracy(gt, gt) == 1.0
+
+
+def test_precision_recall_f1_basic():
+    gt = np.array([[1, 1, 0, 0]])
+    pred = np.array([[1, 0, 0, 0]])
+    precision, recall, f1 = precision_recall_f1(pred, gt)
+    assert precision == 1.0
+    assert recall == 0.5
+    assert f1 == pytest.approx(2 / 3)
+
+
+def test_precision_recall_degenerate_conventions():
+    empty = np.zeros((2, 2), dtype=int)
+    ones = np.ones((2, 2), dtype=int)
+    precision, recall, f1 = precision_recall_f1(empty, ones)
+    assert precision == 1.0 and recall == 0.0 and f1 == 0.0
+    precision, recall, f1 = precision_recall_f1(empty, empty)
+    assert precision == 1.0 and recall == 1.0 and f1 == 1.0
+
+
+def test_dice_relates_to_iou():
+    gt = np.array([[1, 1, 0, 0]])
+    pred = np.array([[1, 0, 1, 0]])
+    dice = dice_coefficient(pred, gt)
+    assert dice == pytest.approx(0.5)  # 2·1 / (2·1 + 1 + 1)
+    assert dice_coefficient(gt, gt) == 1.0
+
+
+def test_specificity():
+    gt = np.array([[1, 0, 0, 0]])
+    pred = np.array([[1, 1, 0, 0]])
+    assert specificity(pred, gt) == pytest.approx(2 / 3)
+    assert specificity(np.ones((2, 2), dtype=int), np.ones((2, 2), dtype=int)) == 1.0
+
+
+def test_extract_boundary_of_square():
+    mask = np.zeros((8, 8), dtype=int)
+    mask[2:6, 2:6] = 1
+    boundary = extract_boundary(mask)
+    assert boundary.sum() == 12  # perimeter of a 4x4 block (8-connectivity erosion)
+    assert not boundary[3, 3]
+    assert extract_boundary(np.zeros((4, 4), dtype=int)).sum() == 0
+    with pytest.raises(MetricError):
+        extract_boundary(np.zeros(5))
+
+
+def test_boundary_f1_exact_and_shifted():
+    mask = np.zeros((16, 16), dtype=int)
+    mask[4:12, 4:12] = 1
+    assert boundary_f1(mask, mask) == 1.0
+    shifted = np.roll(mask, 1, axis=1)
+    assert boundary_f1(shifted, mask, tolerance=2) == 1.0
+    assert boundary_f1(shifted, mask, tolerance=0) < 1.0
+
+
+def test_boundary_f1_degenerate_cases():
+    empty = np.zeros((8, 8), dtype=int)
+    full_squares = np.zeros((8, 8), dtype=int)
+    full_squares[2:6, 2:6] = 1
+    assert boundary_f1(empty, empty) == 1.0
+    assert boundary_f1(empty, full_squares) == 0.0
+    with pytest.raises(MetricError):
+        boundary_f1(full_squares, full_squares, tolerance=-1)
+
+
+def test_timer_accumulates_laps():
+    timer = Timer()
+    for _ in range(3):
+        with timer:
+            time.sleep(0.001)
+    assert len(timer.laps) == 3
+    assert timer.elapsed >= 0.003
+    assert timer.mean_lap == pytest.approx(timer.elapsed / 3)
+    timer.reset()
+    assert timer.elapsed == 0.0 and timer.laps == []
+
+
+def test_time_callable_returns_result_and_duration():
+    result, seconds = time_callable(sum, range(100))
+    assert result == 4950
+    assert seconds >= 0.0

@@ -1,0 +1,104 @@
+"""Unit and property tests for the partition-comparison metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.errors import MetricError
+from repro.metrics.clustering import (
+    adjusted_rand_index,
+    contingency_table,
+    normalized_mutual_information,
+    variation_of_information,
+)
+
+_label_maps = hnp.arrays(
+    dtype=np.int64,
+    shape=st.tuples(st.integers(2, 10), st.integers(2, 10)),
+    elements=st.integers(0, 5),
+)
+
+
+def test_contingency_table_counts():
+    a = np.array([[0, 0, 1], [1, 2, 2]])
+    b = np.array([[0, 1, 1], [1, 0, 0]])
+    table = contingency_table(a, b)
+    assert table.shape == (3, 2)
+    assert table.sum() == 6
+    assert table[0, 0] == 1 and table[0, 1] == 1
+    assert table[2, 0] == 2
+
+
+def test_contingency_table_shape_mismatch():
+    with pytest.raises(MetricError):
+        contingency_table(np.zeros((2, 2), dtype=int), np.zeros((3, 3), dtype=int))
+
+
+def test_identical_partitions_score_perfectly():
+    labels = np.array([[0, 0, 1, 2], [1, 1, 2, 2]])
+    assert adjusted_rand_index(labels, labels) == pytest.approx(1.0)
+    assert normalized_mutual_information(labels, labels) == pytest.approx(1.0)
+    assert variation_of_information(labels, labels) == pytest.approx(0.0, abs=1e-9)
+
+
+def test_metrics_invariant_to_label_permutation():
+    labels = np.array([[0, 0, 1, 2], [1, 1, 2, 2]])
+    permuted = (labels + 3) % 5  # a bijective relabeling
+    assert adjusted_rand_index(labels, permuted) == pytest.approx(1.0)
+    assert normalized_mutual_information(labels, permuted) == pytest.approx(1.0)
+    assert variation_of_information(labels, permuted) == pytest.approx(0.0, abs=1e-9)
+
+
+def test_independent_partitions_score_low(rng):
+    a = rng.integers(0, 4, size=(40, 40))
+    b = rng.integers(0, 4, size=(40, 40))
+    assert abs(adjusted_rand_index(a, b)) < 0.05
+    assert normalized_mutual_information(a, b) < 0.05
+    assert variation_of_information(a, b) > 1.0
+
+
+def test_single_cluster_conventions():
+    flat = np.zeros((4, 4), dtype=int)
+    split = np.arange(16).reshape(4, 4) % 2
+    assert adjusted_rand_index(flat, flat) == 1.0
+    assert normalized_mutual_information(flat, flat) == 1.0
+    assert normalized_mutual_information(flat, split) == 0.0
+
+
+def test_void_mask_excludes_pixels():
+    a = np.array([[0, 0, 1, 1]])
+    b = np.array([[0, 0, 1, 0]])
+    void = np.array([[False, False, False, True]])
+    assert adjusted_rand_index(a, b, void_mask=void) == pytest.approx(1.0)
+    assert adjusted_rand_index(a, b) < 1.0
+
+
+def test_too_few_pixels_raises():
+    with pytest.raises(MetricError):
+        adjusted_rand_index(np.zeros((1, 1), dtype=int), np.zeros((1, 1), dtype=int))
+
+
+@given(_label_maps)
+@settings(max_examples=40, deadline=None)
+def test_property_self_comparison(labels):
+    assert adjusted_rand_index(labels, labels) == pytest.approx(1.0)
+    assert variation_of_information(labels, labels) == pytest.approx(0.0, abs=1e-9)
+    assert normalized_mutual_information(labels, labels) == pytest.approx(1.0)
+
+
+@given(_label_maps, _label_maps)
+@settings(max_examples=40, deadline=None)
+def test_property_symmetry_and_ranges(a, b):
+    if a.shape != b.shape:
+        return
+    ari = adjusted_rand_index(a, b)
+    nmi = normalized_mutual_information(a, b)
+    vi = variation_of_information(a, b)
+    assert -1.0 <= ari <= 1.0 + 1e-12
+    assert -1e-12 <= nmi <= 1.0 + 1e-12
+    assert vi >= 0.0
+    assert adjusted_rand_index(b, a) == pytest.approx(ari)
+    assert normalized_mutual_information(b, a) == pytest.approx(nmi)
+    assert variation_of_information(b, a) == pytest.approx(vi)

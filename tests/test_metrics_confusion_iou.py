@@ -1,0 +1,109 @@
+"""Unit tests for confusion matrices and IOU/mIOU (equations (18)–(19))."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MetricError
+from repro.metrics.confusion import binary_confusion, confusion_matrix
+from repro.metrics.iou import best_binarized_mean_iou, iou, mean_iou, per_class_iou
+
+
+def test_confusion_matrix_counts():
+    gt = np.array([[0, 0, 1], [1, 2, 2]])
+    pred = np.array([[0, 1, 1], [1, 2, 0]])
+    cm = confusion_matrix(pred, gt)
+    assert cm.shape == (3, 3)
+    assert cm[0, 0] == 1 and cm[0, 1] == 1
+    assert cm[1, 1] == 2
+    assert cm[2, 2] == 1 and cm[2, 0] == 1
+    assert cm.sum() == 6
+
+
+def test_confusion_matrix_void_exclusion():
+    gt = np.array([[0, 1], [1, 1]])
+    pred = np.array([[0, 0], [1, 1]])
+    void = np.array([[False, True], [False, False]])
+    cm = confusion_matrix(pred, gt, void_mask=void)
+    assert cm.sum() == 3
+    assert cm[1, 0] == 0  # the mistaken pixel was void
+
+
+def test_confusion_matrix_validation():
+    with pytest.raises(MetricError):
+        confusion_matrix(np.zeros((2, 2), dtype=int), np.zeros((3, 3), dtype=int))
+    with pytest.raises(MetricError):
+        confusion_matrix(np.full((2, 2), -1), np.zeros((2, 2), dtype=int))
+    with pytest.raises(MetricError):
+        confusion_matrix(
+            np.zeros((2, 2), dtype=int),
+            np.zeros((2, 2), dtype=int),
+            void_mask=np.ones((2, 2), dtype=bool),
+        )
+    with pytest.raises(MetricError):
+        confusion_matrix(np.full((2, 2), 5), np.zeros((2, 2), dtype=int), num_classes=3)
+
+
+def test_binary_confusion_counts():
+    gt = np.array([[1, 1, 0, 0]])
+    pred = np.array([[1, 0, 1, 0]])
+    tp, fp, fn, tn = binary_confusion(pred, gt)
+    assert (tp, fp, fn, tn) == (1, 1, 1, 1)
+
+
+def test_iou_perfect_and_disjoint():
+    mask = np.array([[1, 1], [0, 0]])
+    assert iou(mask, mask) == 1.0
+    assert iou(mask, 1 - mask) == 0.0
+    assert iou(np.zeros_like(mask), np.zeros_like(mask)) == 1.0  # both empty
+
+
+def test_iou_half_overlap():
+    gt = np.array([[1, 1, 0, 0]])
+    pred = np.array([[1, 0, 1, 0]])
+    assert iou(pred, gt) == pytest.approx(1 / 3)
+
+
+def test_mean_iou_is_average_of_fg_and_bg():
+    gt = np.array([[1, 1, 0, 0]])
+    pred = np.array([[1, 0, 1, 0]])
+    fg = iou(pred, gt)
+    bg = iou(1 - pred, 1 - gt)
+    assert mean_iou(pred, gt) == pytest.approx((fg + bg) / 2)
+
+
+def test_mean_iou_void_pixels_excluded():
+    gt = np.array([[1, 1, 0, 0]])
+    pred = np.array([[1, 0, 1, 0]])
+    void = np.array([[False, True, True, False]])
+    # With the two mistaken pixels voided, the prediction is perfect.
+    assert mean_iou(pred, gt, void_mask=void) == 1.0
+
+
+def test_mean_iou_binarizes_nonbinary_inputs():
+    gt = np.array([[2, 3, 0, 0]])  # non-zero = foreground
+    pred = np.array([[1, 1, 0, 0]])
+    assert mean_iou(pred, gt) == 1.0
+
+
+def test_per_class_iou_with_absent_class():
+    gt = np.array([[0, 0], [1, 1]])
+    pred = np.array([[0, 0], [1, 1]])
+    values = per_class_iou(pred, gt, num_classes=3)
+    assert np.allclose(values, [1.0, 1.0, 1.0])  # class 2 absent from both
+
+
+def test_best_binarized_mean_iou_on_multiway_prediction():
+    gt = np.array([[1, 1, 0, 0], [1, 1, 0, 0]])
+    pred = np.array([[2, 2, 5, 7], [2, 2, 5, 7]])
+    score, binary = best_binarized_mean_iou(pred, gt)
+    assert score == 1.0
+    assert np.array_equal(binary, gt)
+
+
+def test_mean_iou_all_void_raises():
+    with pytest.raises(MetricError):
+        mean_iou(
+            np.zeros((2, 2), dtype=int),
+            np.zeros((2, 2), dtype=int),
+            void_mask=np.ones((2, 2), dtype=bool),
+        )

@@ -1,0 +1,78 @@
+"""Unit tests for score aggregation and text-table rendering."""
+
+import pytest
+
+from repro.errors import MetricError
+from repro.metrics.report import MethodScore, ResultTable, format_table
+
+
+def _toy_table():
+    table = ResultTable()
+    table.extend(
+        [
+            MethodScore(method="a", sample="img0", miou=0.8, runtime_seconds=0.1),
+            MethodScore(method="a", sample="img1", miou=0.05, runtime_seconds=0.2),
+            MethodScore(method="b", sample="img0", miou=0.6, runtime_seconds=0.01),
+            MethodScore(method="b", sample="img1", miou=0.5, runtime_seconds=0.02),
+        ]
+    )
+    return table
+
+
+def test_average_miou_and_runtime():
+    table = _toy_table()
+    assert table.average_miou("a") == pytest.approx(0.425)
+    assert table.average_runtime("b") == pytest.approx(0.015)
+    assert len(table) == 4
+
+
+def test_methods_in_insertion_order():
+    assert _toy_table().methods() == ["a", "b"]
+
+
+def test_failure_rate_threshold():
+    table = _toy_table()
+    assert table.failure_rate("a", threshold=0.1) == 0.5
+    assert table.failure_rate("b", threshold=0.1) == 0.0
+
+
+def test_win_rate_pairwise():
+    table = _toy_table()
+    assert table.win_rate("a", "b") == 0.5  # wins img0, loses img1
+    assert table.win_rate("b", "a") == 0.5
+
+
+def test_win_rate_requires_common_samples():
+    table = ResultTable(
+        [
+            MethodScore(method="a", sample="x", miou=0.5, runtime_seconds=0.1),
+            MethodScore(method="b", sample="y", miou=0.5, runtime_seconds=0.1),
+        ]
+    )
+    with pytest.raises(MetricError):
+        table.win_rate("a", "b")
+
+
+def test_unknown_method_raises():
+    with pytest.raises(MetricError):
+        _toy_table().average_miou("missing")
+
+
+def test_summary_and_to_text():
+    table = _toy_table()
+    summary = table.summary()
+    assert set(summary) == {"a", "b"}
+    assert set(summary["a"]) == {"miou", "runtime", "failure_rate"}
+    text = table.to_text(title="Toy results")
+    assert "Toy results" in text
+    assert "0.4250" in text
+    assert "Average mIOU" in text
+
+
+def test_format_table_alignment_and_validation():
+    text = format_table("T", ["col1", "c2"], [["a", "b"], ["longer", "x"]])
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert all(len(line) == len(lines[2]) for line in lines[2:4])
+    with pytest.raises(MetricError):
+        format_table("T", ["one"], [["a", "b"]])

@@ -1,0 +1,185 @@
+"""Unit tests for executors, tiling, chunking and schedulers."""
+
+import numpy as np
+import pytest
+
+from repro.core.rgb_segmenter import IQFTSegmenter
+from repro.errors import ParallelError
+from repro.parallel.chunking import chunked_apply, iter_chunks
+from repro.parallel.executor import (
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    get_executor,
+)
+from repro.parallel.scheduler import DynamicScheduler, StaticScheduler, WorkItem
+from repro.parallel.tiling import Tile, assemble_tiles, split_into_tiles, tile_map
+
+
+def _square(x):
+    return x * x
+
+
+# --------------------------------------------------------------------------- #
+# Executors
+# --------------------------------------------------------------------------- #
+def test_serial_executor_preserves_order():
+    assert SerialExecutor().map(_square, [3, 1, 2]) == [9, 1, 4]
+
+
+def test_thread_executor_matches_serial():
+    items = list(range(20))
+    assert ThreadExecutor(max_workers=4).map(_square, items) == [i * i for i in items]
+    assert ThreadExecutor(max_workers=1).map(_square, []) == []
+
+
+def test_process_executor_matches_serial_or_falls_back():
+    items = list(range(10))
+    executor = ProcessExecutor(max_workers=2)
+    assert executor.map(_square, items) == [i * i for i in items]
+
+
+def test_starmap():
+    assert SerialExecutor().starmap(lambda a, b: a + b, [(1, 2), (3, 4)]) == [3, 7]
+
+
+def test_get_executor_factory_and_validation():
+    assert isinstance(get_executor("serial"), SerialExecutor)
+    assert isinstance(get_executor("thread", max_workers=2), ThreadExecutor)
+    assert isinstance(get_executor("process", max_workers=2), ProcessExecutor)
+    with pytest.raises(ParallelError):
+        get_executor("gpu")
+    with pytest.raises(ParallelError):
+        ThreadExecutor(max_workers=0)
+    with pytest.raises(ParallelError):
+        ProcessExecutor(chunksize=0)
+
+
+# --------------------------------------------------------------------------- #
+# Tiling
+# --------------------------------------------------------------------------- #
+def test_split_and_assemble_roundtrip(rng):
+    image = rng.random((37, 53, 3))
+    tiles = split_into_tiles(image, (16, 16))
+    assert sum(t.data.shape[0] * t.data.shape[1] for t in tiles) == 37 * 53
+    rebuilt = assemble_tiles(tiles, image.shape, dtype=image.dtype)
+    assert np.array_equal(rebuilt, image)
+
+
+def test_split_validates_inputs(rng):
+    with pytest.raises(ParallelError):
+        split_into_tiles(rng.random(10), (4, 4))
+    with pytest.raises(ParallelError):
+        split_into_tiles(rng.random((10, 10)), (0, 4))
+
+
+def test_assemble_detects_gaps():
+    tiles = [Tile(data=np.zeros((2, 2)), row=0, col=0)]
+    with pytest.raises(ParallelError):
+        assemble_tiles(tiles, (4, 4))
+    with pytest.raises(ParallelError):
+        assemble_tiles([], (2, 2))
+
+
+def test_tile_map_identity(rng):
+    image = rng.random((20, 30))
+    out = tile_map(lambda block: block * 2, image, tile_shape=(7, 9))
+    assert np.allclose(out, image * 2)
+
+
+def test_tile_map_segmentation_equals_whole_image(rng):
+    """Per-pixel segmentation must be invariant to tiling (scatter/gather)."""
+    image = rng.random((24, 40, 3))
+    segmenter = IQFTSegmenter()
+    whole = segmenter.segment(image).labels
+    tiled = tile_map(lambda block: segmenter.segment(block).labels, image, tile_shape=(10, 16))
+    assert np.array_equal(whole, tiled)
+
+
+def test_tile_map_with_thread_executor(rng):
+    image = rng.random((16, 16))
+    out = tile_map(lambda b: b + 1, image, tile_shape=(8, 8), executor=ThreadExecutor(2))
+    assert np.allclose(out, image + 1)
+
+
+def test_tile_map_rejects_shape_changing_function(rng):
+    with pytest.raises(ParallelError):
+        tile_map(lambda block: block[:1], rng.random((8, 8)), tile_shape=(4, 4))
+
+
+# --------------------------------------------------------------------------- #
+# Chunking
+# --------------------------------------------------------------------------- #
+def test_iter_chunks_covers_range_exactly():
+    spans = list(iter_chunks(10, 3))
+    assert spans == [(0, 3), (3, 6), (6, 9), (9, 10)]
+    assert list(iter_chunks(0, 4)) == []
+    with pytest.raises(ParallelError):
+        list(iter_chunks(5, 0))
+    with pytest.raises(ParallelError):
+        list(iter_chunks(-1, 2))
+
+
+def test_chunked_apply_matches_direct(rng):
+    data = rng.random((101, 3))
+    direct = data @ np.ones(3)
+    chunked = chunked_apply(lambda block: block @ np.ones(3), data, chunk_size=17)
+    assert np.allclose(direct, chunked)
+
+
+def test_chunked_apply_2d_output(rng):
+    data = rng.random((50, 4))
+    out = chunked_apply(lambda block: block * 2, data, chunk_size=8)
+    assert out.shape == data.shape
+    assert np.allclose(out, data * 2)
+
+
+def test_chunked_apply_validates_row_preservation(rng):
+    with pytest.raises(ParallelError):
+        chunked_apply(lambda block: block[:1], rng.random((10, 2)), chunk_size=5)
+
+
+def test_chunked_apply_empty_input():
+    out = chunked_apply(lambda block: block, np.zeros((0, 3)))
+    assert out.shape[0] == 0
+
+
+# --------------------------------------------------------------------------- #
+# Schedulers
+# --------------------------------------------------------------------------- #
+def test_static_scheduler_partitions_contiguously():
+    scheduler = StaticScheduler(num_workers=3)
+    blocks = scheduler.assign(list("abcdefg"))
+    assert [len(b) for b in blocks] == [3, 3, 1]
+    assert [item.payload for item in blocks[0]] == ["a", "b", "c"]
+    assert all(isinstance(item, WorkItem) for block in blocks for item in block)
+
+
+def test_static_scheduler_run_preserves_order():
+    scheduler = StaticScheduler(num_workers=4)
+    assert scheduler.run(_square, [5, 4, 3, 2, 1]) == [25, 16, 9, 4, 1]
+    assert scheduler.run(_square, []) == []
+
+
+def test_dynamic_scheduler_matches_static():
+    items = list(range(25))
+    static = StaticScheduler(num_workers=3).run(_square, items)
+    dynamic = DynamicScheduler(num_workers=3).run(_square, items)
+    assert static == dynamic
+
+
+def test_dynamic_scheduler_propagates_exceptions():
+    def boom(x):
+        if x == 3:
+            raise ValueError("boom")
+        return x
+
+    with pytest.raises(ValueError):
+        DynamicScheduler(num_workers=2).run(boom, list(range(6)))
+
+
+def test_scheduler_validation():
+    with pytest.raises(ParallelError):
+        StaticScheduler(num_workers=0)
+    with pytest.raises(ParallelError):
+        DynamicScheduler(num_workers=0)

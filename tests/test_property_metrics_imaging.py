@@ -1,0 +1,135 @@
+"""Property-based tests for metric identities and imaging round-trips."""
+
+import io
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.labels import binarize_by_overlap, relabel_consecutive
+from repro.imaging.io_png import read_png, write_png
+from repro.imaging.io_ppm import read_ppm, write_ppm
+from repro.metrics.accuracy import dice_coefficient, pixel_accuracy
+from repro.metrics.iou import iou, mean_iou
+
+_binary_masks = hnp.arrays(
+    dtype=np.int64,
+    shape=st.tuples(st.integers(2, 12), st.integers(2, 12)),
+    elements=st.integers(0, 1),
+)
+
+_label_maps = hnp.arrays(
+    dtype=np.int64,
+    shape=st.tuples(st.integers(2, 10), st.integers(2, 10)),
+    elements=st.integers(0, 7),
+)
+
+
+@given(_binary_masks)
+@settings(max_examples=60, deadline=None)
+def test_metrics_perfect_on_identical_masks(mask):
+    assert iou(mask, mask) == 1.0
+    assert mean_iou(mask, mask) == 1.0
+    assert pixel_accuracy(mask, mask) == 1.0
+    assert dice_coefficient(mask, mask) == 1.0
+
+
+@given(_binary_masks, _binary_masks)
+@settings(max_examples=60, deadline=None)
+def test_metric_ranges_and_symmetries(a, b):
+    if a.shape != b.shape:
+        return
+    for value in (iou(a, b), mean_iou(a, b), pixel_accuracy(a, b), dice_coefficient(a, b)):
+        assert 0.0 <= value <= 1.0
+    # IOU and Dice are symmetric in prediction/ground-truth for binary masks.
+    assert iou(a, b) == iou(b, a)
+    assert dice_coefficient(a, b) == dice_coefficient(b, a)
+    assert mean_iou(a, b) == mean_iou(b, a)
+
+
+@given(_binary_masks)
+@settings(max_examples=40, deadline=None)
+def test_complement_invariance_of_mean_iou(mask):
+    """mIOU treats foreground and background symmetrically, so complementing
+    both the prediction and the ground truth leaves it unchanged."""
+    other = 1 - mask
+    assert mean_iou(mask, other) == mean_iou(other, mask)
+    assert mean_iou(mask, mask) == mean_iou(other, other)
+
+
+@given(_binary_masks, _binary_masks)
+@settings(max_examples=40, deadline=None)
+def test_dice_iou_relationship(a, b):
+    if a.shape != b.shape:
+        return
+    j = iou(a, b)
+    d = dice_coefficient(a, b)
+    # Dice = 2J/(1+J); allow exact-equality edge cases when both are 1.
+    assert np.isclose(d, 2 * j / (1 + j), atol=1e-12)
+
+
+@given(_label_maps, _binary_masks)
+@settings(max_examples=40, deadline=None)
+def test_binarized_overlap_pixel_accuracy_dominates_constant_predictions(pred, gt):
+    """Majority-overlap binarization maximizes per-segment pixel agreement, so
+    its overall pixel accuracy is at least that of the best constant
+    (all-foreground or all-background) prediction."""
+    if pred.shape != gt.shape:
+        return
+    binary = binarize_by_overlap(pred, gt)
+    score = pixel_accuracy(binary, gt)
+    trivial_bg = pixel_accuracy(np.zeros_like(gt), gt)
+    trivial_fg = pixel_accuracy(np.ones_like(gt), gt)
+    assert score >= max(trivial_bg, trivial_fg) - 1e-12
+
+
+@given(_label_maps)
+@settings(max_examples=40, deadline=None)
+def test_relabel_consecutive_preserves_partition_structure(labels):
+    out = relabel_consecutive(labels)
+    assert out.min() == 0
+    assert out.max() == len(np.unique(labels)) - 1
+    # Pixel pairs agree on equality before and after relabeling.
+    flat_in = labels.reshape(-1)
+    flat_out = out.reshape(-1)
+    same_in = flat_in[:, None] == flat_in[None, :]
+    same_out = flat_out[:, None] == flat_out[None, :]
+    assert np.array_equal(same_in, same_out)
+
+
+_uint8_rgb = hnp.arrays(
+    dtype=np.uint8,
+    shape=st.tuples(st.integers(1, 12), st.integers(1, 12), st.just(3)),
+    elements=st.integers(0, 255),
+)
+
+_uint8_gray = hnp.arrays(
+    dtype=np.uint8,
+    shape=st.tuples(st.integers(1, 12), st.integers(1, 12)),
+    elements=st.integers(0, 255),
+)
+
+
+@given(_uint8_rgb)
+@settings(max_examples=30, deadline=None)
+def test_png_round_trip_property(image):
+    buffer = io.BytesIO()
+    write_png(buffer, image)
+    assert np.array_equal(read_png(buffer.getvalue()), image)
+
+
+@given(_uint8_gray)
+@settings(max_examples=30, deadline=None)
+def test_png_gray_round_trip_property(image):
+    buffer = io.BytesIO()
+    write_png(buffer, image)
+    assert np.array_equal(read_png(buffer.getvalue()), image)
+
+
+@given(_uint8_rgb)
+@settings(max_examples=30, deadline=None)
+def test_ppm_round_trip_property(image):
+    buffer = io.BytesIO()
+    write_ppm(buffer, image)
+    assert np.array_equal(read_ppm(buffer.getvalue()), image)

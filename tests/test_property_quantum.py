@@ -1,0 +1,90 @@
+"""Property-based tests for the quantum substrate invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.quantum.circuit import QuantumCircuit
+from repro.quantum.encoding import phase_product_state
+from repro.quantum.gates import hadamard, is_unitary, phase_gate
+from repro.quantum.qft import iqft_circuit, qft_circuit, qft_matrix
+from repro.quantum.statevector import Statevector
+
+_phase_lists = st.lists(
+    st.floats(min_value=-2 * np.pi, max_value=2 * np.pi, allow_nan=False),
+    min_size=1,
+    max_size=4,
+)
+
+_amplitudes = hnp.arrays(
+    dtype=np.float64,
+    shape=st.sampled_from([2, 4, 8]),
+    elements=st.floats(min_value=-1.0, max_value=1.0, allow_nan=False),
+).filter(lambda a: np.linalg.norm(a) > 1e-3)
+
+
+@given(_phase_lists)
+@settings(max_examples=50, deadline=None)
+def test_phase_product_states_are_normalized(phases):
+    state = phase_product_state(phases)
+    assert state.is_normalized()
+    assert np.allclose(np.abs(state.amplitudes), 1.0 / np.sqrt(state.dim))
+
+
+@given(_amplitudes, st.floats(min_value=0, max_value=2 * np.pi, allow_nan=False), st.integers(0, 2))
+@settings(max_examples=50, deadline=None)
+def test_gate_application_preserves_norm_and_is_linear(amps, phi, qubit):
+    state = Statevector(amps.astype(complex), normalize=True)
+    qubit = qubit % state.num_qubits
+    before = state.norm()
+    state.apply_gate(phase_gate(phi), qubit).apply_gate(hadamard(), qubit)
+    assert np.isclose(state.norm(), before, atol=1e-9)
+
+
+@given(_amplitudes)
+@settings(max_examples=40, deadline=None)
+def test_qft_then_iqft_is_identity(amps):
+    state = Statevector(amps.astype(complex), normalize=True)
+    n = state.num_qubits
+    roundtrip = iqft_circuit(n).run(qft_circuit(n).run(state))
+    assert np.allclose(roundtrip.amplitudes, state.amplitudes, atol=1e-9)
+
+
+@given(_amplitudes)
+@settings(max_examples=40, deadline=None)
+def test_qft_preserves_probability_mass(amps):
+    state = Statevector(amps.astype(complex), normalize=True)
+    transformed = qft_circuit(state.num_qubits).run(state)
+    assert np.isclose(transformed.probabilities().sum(), 1.0, atol=1e-9)
+
+
+@given(st.integers(min_value=1, max_value=4))
+@settings(max_examples=8, deadline=None)
+def test_qft_matrix_unitarity_property(n):
+    assert is_unitary(qft_matrix(n))
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["h", "p"]),
+            st.integers(min_value=0, max_value=2),
+            st.floats(min_value=0, max_value=np.pi, allow_nan=False),
+        ),
+        min_size=1,
+        max_size=8,
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_random_circuits_are_unitary_and_invertible(ops):
+    qc = QuantumCircuit(3)
+    for name, qubit, param in ops:
+        if name == "h":
+            qc.h(qubit)
+        else:
+            qc.p(param, qubit)
+    matrix = qc.to_matrix()
+    assert is_unitary(matrix)
+    inverse = qc.inverse().to_matrix()
+    assert np.allclose(matrix @ inverse, np.eye(8), atol=1e-9)

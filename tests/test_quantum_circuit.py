@@ -1,0 +1,89 @@
+"""Unit tests for the QuantumCircuit container."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GateError, QuantumError
+from repro.quantum.circuit import Gate, QuantumCircuit
+from repro.quantum.gates import hadamard, is_unitary
+from repro.quantum.statevector import Statevector
+
+
+def test_builder_methods_chain_and_record():
+    qc = QuantumCircuit(2).h(0).p(0.5, 1).cp(0.25, 0, 1).swap(0, 1).x(0)
+    assert len(qc) == 5
+    assert [g.name for g in qc] == ["h", "p", "cp", "swap", "x"]
+    assert qc.count_ops() == {"h": 1, "p": 1, "cp": 1, "swap": 1, "x": 1}
+
+
+def test_invalid_qubit_indices_rejected():
+    qc = QuantumCircuit(2)
+    with pytest.raises(GateError):
+        qc.h(2)
+    with pytest.raises(GateError):
+        qc.cp(0.1, 1, 1)
+
+
+def test_append_validates_matrix_shape():
+    qc = QuantumCircuit(2)
+    with pytest.raises(GateError):
+        qc.append(Gate("bad", np.eye(4), (0,)))
+
+
+def test_run_default_initial_state():
+    qc = QuantumCircuit(1).h(0)
+    out = qc.run()
+    assert np.allclose(out.amplitudes, np.array([1, 1]) / np.sqrt(2))
+
+
+def test_run_does_not_mutate_input_state():
+    qc = QuantumCircuit(1).x(0)
+    initial = Statevector(1)
+    qc.run(initial)
+    assert np.isclose(initial[0], 1.0)
+
+
+def test_run_rejects_mismatched_state():
+    with pytest.raises(QuantumError):
+        QuantumCircuit(2).run(Statevector(1))
+
+
+def test_to_matrix_single_hadamard():
+    qc = QuantumCircuit(1).h(0)
+    assert np.allclose(qc.to_matrix(), hadamard())
+
+
+def test_to_matrix_is_unitary_for_random_circuit():
+    qc = QuantumCircuit(3)
+    qc.h(0).p(0.3, 1).cp(0.7, 0, 2).swap(1, 2).h(2).p(1.1, 0)
+    assert is_unitary(qc.to_matrix())
+
+
+def test_inverse_composes_to_identity():
+    qc = QuantumCircuit(2).h(0).cp(0.9, 0, 1).p(0.4, 1)
+    identity = qc.compose(qc.inverse()).to_matrix()
+    assert np.allclose(identity, np.eye(4), atol=1e-10)
+
+
+def test_compose_requires_same_width():
+    with pytest.raises(QuantumError):
+        QuantumCircuit(2).compose(QuantumCircuit(3))
+
+
+def test_depth_accounts_for_parallel_gates():
+    qc = QuantumCircuit(2).h(0).h(1)  # parallel layer
+    assert qc.depth() == 1
+    qc.cp(0.1, 0, 1)
+    assert qc.depth() == 2
+
+
+def test_gate_dagger_inverts_parameters():
+    gate = Gate("p", np.diag([1, np.exp(1j * 0.5)]).astype(complex), (0,), (0.5,))
+    dag = gate.dagger()
+    assert dag.params == (-0.5,)
+    assert np.allclose(dag.matrix, gate.matrix.conj().T)
+
+
+def test_circuit_needs_at_least_one_qubit():
+    with pytest.raises(QuantumError):
+        QuantumCircuit(0)

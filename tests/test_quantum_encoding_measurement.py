@@ -1,0 +1,105 @@
+"""Unit tests for pixel phase encoding and measurement utilities."""
+
+import numpy as np
+import pytest
+
+from repro.errors import QuantumError
+from repro.quantum.encoding import (
+    encode_gray_state,
+    encode_pixel_state,
+    phase_encoding_circuit,
+    phase_product_state,
+)
+from repro.quantum.measurement import (
+    argmax_basis_state,
+    basis_label,
+    measure,
+    probabilities,
+    sample_counts,
+)
+
+
+def test_phase_product_state_amplitudes():
+    phases = [0.3, 1.1, 2.2]
+    state = phase_product_state(phases)
+    assert state.num_qubits == 3
+    assert state.is_normalized()
+    # Amplitude of |b0 b1 b2⟩ is exp(i Σ b_j φ_j)/√8.
+    for index in range(8):
+        bits = [(index >> (2 - j)) & 1 for j in range(3)]
+        expected = np.exp(1j * sum(b * p for b, p in zip(bits, phases))) / np.sqrt(8)
+        assert np.isclose(state[index], expected)
+
+
+def test_phase_encoding_circuit_matches_direct_state():
+    phases = [0.7, 2.9]
+    direct = phase_product_state(phases)
+    via_circuit = phase_encoding_circuit(phases).run()
+    assert np.allclose(direct.amplitudes, via_circuit.amplitudes, atol=1e-12)
+
+
+def test_phase_product_state_requires_phases():
+    with pytest.raises(QuantumError):
+        phase_product_state([])
+
+
+def test_encode_pixel_state_channel_to_qubit_mapping():
+    # R -> γ (least significant), B -> α (most significant).
+    thetas = (np.pi, np.pi / 2, np.pi / 4)
+    rgb = (1.0, 1.0, 1.0)
+    state = encode_pixel_state(rgb, thetas)
+    expected = phase_product_state([np.pi / 4, np.pi / 2, np.pi])
+    assert np.allclose(state.amplitudes, expected.amplitudes)
+
+
+def test_encode_pixel_state_validates_lengths():
+    with pytest.raises(QuantumError):
+        encode_pixel_state((0.1, 0.2), (np.pi, np.pi, np.pi))
+
+
+def test_encode_gray_state():
+    state = encode_gray_state(0.5, theta=np.pi)
+    assert np.isclose(state[0], 1 / np.sqrt(2))
+    assert np.isclose(state[1], np.exp(1j * np.pi * 0.5) / np.sqrt(2))
+
+
+def test_probabilities_normalized_and_argmax():
+    state = phase_product_state([0.0, 0.0])  # aligns with |00⟩ pattern of IQFT? just check sum
+    probs = probabilities(state)
+    assert np.isclose(probs.sum(), 1.0)
+    assert argmax_basis_state(state) == int(np.argmax(probs))
+
+
+def test_probabilities_rejects_zero_state():
+    with pytest.raises(QuantumError):
+        probabilities(np.zeros(4, dtype=complex))
+
+
+def test_measure_deterministic_on_basis_state():
+    from repro.quantum.statevector import Statevector
+
+    state = Statevector.from_basis_state(3, 5)
+    outcomes = measure(state, shots=50, seed=1)
+    assert np.all(outcomes == 5)
+
+
+def test_measure_requires_positive_shots():
+    from repro.quantum.statevector import Statevector
+
+    with pytest.raises(QuantumError):
+        measure(Statevector(1), shots=0)
+
+
+def test_sample_counts_totals_and_labels():
+    from repro.quantum.statevector import Statevector
+
+    state = Statevector.uniform_superposition(2)
+    counts = sample_counts(state, shots=200, seed=7)
+    assert sum(counts.values()) == 200
+    assert set(counts).issubset({"00", "01", "10", "11"})
+
+
+def test_basis_label_width_and_bounds():
+    assert basis_label(5, 3) == "101"
+    with pytest.raises(QuantumError):
+        basis_label(8, 3)

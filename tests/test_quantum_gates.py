@@ -1,0 +1,94 @@
+"""Unit tests for the gate library."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GateError
+from repro.quantum.gates import (
+    controlled,
+    hadamard,
+    identity_gate,
+    is_unitary,
+    pauli_x,
+    pauli_y,
+    pauli_z,
+    phase_gate,
+    rz_gate,
+    swap_matrix,
+)
+
+
+@pytest.mark.parametrize(
+    "gate",
+    [hadamard(), pauli_x(), pauli_y(), pauli_z(), phase_gate(0.7), rz_gate(1.3), swap_matrix()],
+)
+def test_standard_gates_are_unitary(gate):
+    assert is_unitary(gate)
+
+
+def test_hadamard_squares_to_identity():
+    h = hadamard()
+    assert np.allclose(h @ h, np.eye(2))
+
+
+def test_pauli_algebra():
+    x, y, z = pauli_x(), pauli_y(), pauli_z()
+    assert np.allclose(x @ y, 1j * z)
+    assert np.allclose(x @ x, np.eye(2))
+    assert np.allclose(y @ y, np.eye(2))
+    assert np.allclose(z @ z, np.eye(2))
+
+
+def test_phase_gate_pi_is_pauli_z():
+    assert np.allclose(phase_gate(np.pi), pauli_z())
+
+
+def test_phase_gate_zero_is_identity():
+    assert np.allclose(phase_gate(0.0), np.eye(2))
+
+
+def test_rz_differs_from_phase_by_global_phase():
+    theta = 0.83
+    p = phase_gate(theta)
+    rz = rz_gate(theta)
+    ratio = p @ np.linalg.inv(rz)
+    # Must be a scalar multiple of the identity with unit modulus.
+    scalar = ratio[0, 0]
+    assert np.isclose(abs(scalar), 1.0)
+    assert np.allclose(ratio, scalar * np.eye(2))
+
+
+def test_identity_gate_dimension():
+    assert identity_gate(4).shape == (4, 4)
+    with pytest.raises(GateError):
+        identity_gate(0)
+
+
+def test_swap_matrix_swaps_basis_states():
+    swap = swap_matrix()
+    ket01 = np.zeros(4)
+    ket01[1] = 1.0  # |01⟩
+    ket10 = np.zeros(4)
+    ket10[2] = 1.0  # |10⟩
+    assert np.allclose(swap @ ket01, ket10)
+    assert np.allclose(swap @ ket10, ket01)
+
+
+def test_controlled_phase_structure():
+    cp = controlled(phase_gate(np.pi / 2))
+    assert cp.shape == (4, 4)
+    # Control=0 block is identity.
+    assert np.allclose(cp[:2, :2], np.eye(2))
+    # Control=1 block applies the phase.
+    assert np.isclose(cp[3, 3], np.exp(1j * np.pi / 2))
+    assert is_unitary(cp)
+
+
+def test_controlled_rejects_wrong_shape():
+    with pytest.raises(GateError):
+        controlled(np.eye(3))
+
+
+def test_is_unitary_rejects_non_square_and_non_unitary():
+    assert not is_unitary(np.ones((2, 3)))
+    assert not is_unitary(np.array([[1.0, 1.0], [0.0, 1.0]]))

@@ -1,0 +1,128 @@
+"""Unit tests for the qubit noise channels and the noisy circuit runner."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError, QuantumError
+from repro.quantum.circuit import QuantumCircuit
+from repro.quantum.gates import hadamard
+from repro.quantum.noise_models import (
+    NoiseModel,
+    NoisyCircuitRunner,
+    amplitude_damping_kraus,
+    apply_channel,
+    depolarizing_kraus,
+    phase_damping_kraus,
+)
+from repro.quantum.qft import iqft_circuit
+from repro.quantum.statevector import Statevector
+
+
+@pytest.mark.parametrize(
+    "factory", [depolarizing_kraus, phase_damping_kraus, amplitude_damping_kraus]
+)
+@pytest.mark.parametrize("probability", [0.0, 0.1, 0.5, 1.0])
+def test_kraus_operators_are_trace_preserving(factory, probability):
+    kraus = factory(probability)
+    total = sum(k.conj().T @ k for k in kraus)
+    assert np.allclose(total, np.eye(2), atol=1e-12)
+
+
+@pytest.mark.parametrize(
+    "factory", [depolarizing_kraus, phase_damping_kraus, amplitude_damping_kraus]
+)
+def test_kraus_rejects_invalid_probability(factory):
+    with pytest.raises(ParameterError):
+        factory(-0.1)
+    with pytest.raises(ParameterError):
+        factory(1.5)
+
+
+def test_apply_channel_preserves_normalization(rng):
+    state = Statevector(rng.normal(size=4) + 1j * rng.normal(size=4), normalize=True)
+    apply_channel(state, depolarizing_kraus(0.3), qubit=1, rng=rng)
+    assert state.is_normalized()
+
+
+def test_apply_channel_zero_probability_is_identity(rng):
+    state = Statevector(rng.normal(size=4) + 1j * rng.normal(size=4), normalize=True)
+    before = state.amplitudes.copy()
+    apply_channel(state, phase_damping_kraus(0.0), qubit=0, rng=rng)
+    assert np.allclose(state.amplitudes, before)
+
+
+def test_apply_channel_requires_operators(rng):
+    with pytest.raises(QuantumError):
+        apply_channel(Statevector(1), [], qubit=0, rng=rng)
+
+
+def test_amplitude_damping_full_strength_resets_to_zero_state(rng):
+    state = Statevector.from_basis_state(1, 1)  # |1⟩
+    apply_channel(state, amplitude_damping_kraus(1.0), qubit=0, rng=rng)
+    assert np.isclose(abs(state[0]), 1.0)
+
+
+def test_noise_model_validation_and_flags():
+    assert NoiseModel().is_noiseless
+    model = NoiseModel(depolarizing=0.01, phase_damping=0.02)
+    assert not model.is_noiseless
+    assert {name for name, _ in model.channels()} == {"depolarizing", "phase-damping"}
+    with pytest.raises(ParameterError):
+        NoiseModel(readout_error=1.5)
+
+
+def test_noiseless_runner_matches_exact_circuit(rng):
+    circuit = iqft_circuit(3)
+    state = Statevector(rng.normal(size=8) + 1j * rng.normal(size=8), normalize=True)
+    exact = circuit.run(state)
+    noisy = NoisyCircuitRunner(NoiseModel(), seed=0).run(circuit, state)
+    assert np.allclose(exact.amplitudes, noisy.amplitudes, atol=1e-12)
+
+
+def test_noisy_runner_keeps_states_normalized():
+    circuit = QuantumCircuit(2).h(0).cp(0.7, 0, 1).h(1)
+    runner = NoisyCircuitRunner(NoiseModel(depolarizing=0.2, phase_damping=0.1), seed=3)
+    out = runner.run(circuit)
+    assert out.is_normalized()
+
+
+def test_noisy_runner_rejects_mismatched_state():
+    with pytest.raises(QuantumError):
+        NoisyCircuitRunner().run(iqft_circuit(2), Statevector(3))
+
+
+def test_strong_dephasing_degrades_phase_information():
+    """With heavy dephasing the IQFT no longer concentrates probability on the
+    encoded basis state — the error channel hits exactly what the algorithm
+    relies on."""
+    from repro.quantum.encoding import phase_product_state
+
+    # Phases encoding basis state |101⟩ exactly.
+    j = 5
+    phases = [2 * np.pi * j * 4 / 8, 2 * np.pi * j * 2 / 8, 2 * np.pi * j / 8]
+    state = phase_product_state(phases)
+    circuit = iqft_circuit(3)
+
+    ideal = circuit.run(state).probabilities()
+    assert np.isclose(ideal[j], 1.0)
+
+    runner = NoisyCircuitRunner(NoiseModel(phase_damping=0.5), seed=11)
+    trials = [runner.run(circuit, state).probabilities()[j] for _ in range(20)]
+    assert np.mean(trials) < 0.95
+
+
+def test_sampling_distributes_shots_and_applies_readout_error():
+    circuit = QuantumCircuit(2)  # identity circuit: always measures |00⟩ ideally
+    runner = NoisyCircuitRunner(NoiseModel(), seed=0)
+    clean = runner.sample(circuit, shots=64, trajectories=4)
+    assert clean.shape == (64,)
+    assert np.all(clean == 0)
+
+    noisy_runner = NoisyCircuitRunner(NoiseModel(readout_error=0.5), seed=0)
+    flipped = noisy_runner.sample(circuit, shots=256, trajectories=2)
+    assert np.count_nonzero(flipped) > 0
+
+    with pytest.raises(ParameterError):
+        runner.sample(circuit, shots=0)
+    with pytest.raises(ParameterError):
+        runner.sample(circuit, shots=4, trajectories=0)

@@ -1,0 +1,81 @@
+"""Unit tests for the QFT/IQFT matrices and circuits."""
+
+import numpy as np
+import pytest
+
+from repro.errors import QuantumError
+from repro.quantum.gates import is_unitary
+from repro.quantum.qft import iqft_circuit, iqft_matrix, omega, qft_circuit, qft_matrix
+from repro.quantum.statevector import Statevector
+
+
+@pytest.mark.parametrize("n", [1, 2, 3, 4])
+def test_qft_matrix_is_unitary(n):
+    assert is_unitary(qft_matrix(n))
+
+
+@pytest.mark.parametrize("n", [1, 2, 3])
+def test_iqft_matrix_is_inverse_of_qft(n):
+    product = iqft_matrix(n) @ qft_matrix(n)
+    assert np.allclose(product, np.eye(2**n), atol=1e-12)
+
+
+def test_qft_matrix_entries_match_definition():
+    n = 3
+    dim = 2**n
+    mat = qft_matrix(n)
+    w = omega(dim)
+    for k in (0, 1, 5, 7):
+        for x in (0, 2, 3, 6):
+            assert np.isclose(mat[k, x], w ** (k * x) / np.sqrt(dim))
+
+
+def test_qft_of_zero_state_is_uniform_superposition():
+    mat = qft_matrix(3)
+    column = mat[:, 0]
+    assert np.allclose(column, np.full(8, 1 / np.sqrt(8)))
+
+
+def test_qft_of_state_four_matches_paper_equation_4():
+    """QFT|100⟩ = (1/√8)(|000⟩ − |001⟩ + |010⟩ − ... − |111⟩) (paper eq. (4))."""
+    column = qft_matrix(3)[:, 4]
+    expected = np.array([1, -1, 1, -1, 1, -1, 1, -1]) / np.sqrt(8)
+    assert np.allclose(column, expected)
+
+
+@pytest.mark.parametrize("n", [1, 2, 3])
+def test_qft_circuit_matches_matrix(n):
+    assert np.allclose(qft_circuit(n).to_matrix(), qft_matrix(n), atol=1e-10)
+
+
+@pytest.mark.parametrize("n", [1, 2, 3])
+def test_iqft_circuit_matches_matrix(n):
+    assert np.allclose(iqft_circuit(n).to_matrix(), iqft_matrix(n), atol=1e-10)
+
+
+def test_iqft_circuit_inverts_qft_circuit():
+    n = 3
+    state = Statevector(np.arange(1, 9, dtype=float), normalize=True)
+    transformed = qft_circuit(n).run(state)
+    recovered = iqft_circuit(n).run(transformed)
+    assert np.allclose(recovered.amplitudes, state.amplitudes, atol=1e-10)
+
+
+def test_qft_circuit_without_swaps_is_bit_reversed():
+    n = 3
+    from repro.core.iqft_matrix import bit_reversal_permutation
+
+    perm = bit_reversal_permutation(n)
+    no_swap = qft_circuit(n, do_swaps=False).to_matrix()
+    full = qft_matrix(n)
+    assert np.allclose(no_swap[perm, :], full, atol=1e-10)
+
+
+def test_omega_and_bad_inputs():
+    assert np.isclose(omega(4), 1j)
+    with pytest.raises(QuantumError):
+        omega(0)
+    with pytest.raises(QuantumError):
+        qft_matrix(0)
+    with pytest.raises(QuantumError):
+        qft_circuit(0)

@@ -1,0 +1,129 @@
+"""Unit tests for the statevector simulator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GateError, QuantumError
+from repro.quantum.gates import hadamard, pauli_x, phase_gate, swap_matrix
+from repro.quantum.statevector import Statevector
+
+
+def test_default_initialization_is_all_zero_state():
+    state = Statevector(3)
+    assert state.num_qubits == 3
+    assert state.dim == 8
+    assert np.isclose(state[0], 1.0)
+    assert np.allclose(state.amplitudes[1:], 0.0)
+
+
+def test_from_basis_state_and_label_agree():
+    a = Statevector.from_basis_state(3, 4)
+    b = Statevector.from_label("100")
+    assert a == b
+
+
+def test_from_label_rejects_garbage():
+    with pytest.raises(QuantumError):
+        Statevector.from_label("10a")
+
+
+def test_invalid_amplitude_length_rejected():
+    with pytest.raises(QuantumError):
+        Statevector([1.0, 0.0, 0.0])
+
+
+def test_normalization_flag():
+    state = Statevector([3.0, 4.0], normalize=True)
+    assert state.is_normalized()
+    assert np.isclose(state.probabilities()[0], 9.0 / 25.0)
+
+
+def test_normalize_zero_vector_rejected():
+    with pytest.raises(QuantumError):
+        Statevector([0.0, 0.0], normalize=True)
+
+
+def test_uniform_superposition_probabilities():
+    state = Statevector.uniform_superposition(3)
+    assert np.allclose(state.probabilities(), 1.0 / 8.0)
+
+
+def test_apply_hadamard_single_qubit():
+    state = Statevector(1).apply_gate(hadamard(), 0)
+    assert np.allclose(state.amplitudes, np.array([1, 1]) / np.sqrt(2))
+
+
+def test_apply_x_flips_target_qubit_only():
+    state = Statevector(2).apply_gate(pauli_x(), 1)  # |00⟩ -> |01⟩
+    assert np.isclose(state[1], 1.0)
+    state = Statevector(2).apply_gate(pauli_x(), 0)  # |00⟩ -> |10⟩
+    assert np.isclose(state[2], 1.0)
+
+
+def test_apply_two_qubit_gate_on_selected_pair():
+    # Prepare |10⟩ on qubits (0, 1) of a 3-qubit register and swap them.
+    state = Statevector(3).apply_gate(pauli_x(), 0)  # |100⟩
+    state.apply_gate(swap_matrix(), [0, 1])  # -> |010⟩
+    assert np.isclose(state[2], 1.0)
+
+
+def test_apply_gate_wrong_shape_rejected():
+    with pytest.raises(GateError):
+        Statevector(2).apply_gate(np.eye(4), 0)
+
+
+def test_apply_gate_duplicate_qubits_rejected():
+    with pytest.raises(GateError):
+        Statevector(2).apply_gate(swap_matrix(), [0, 0])
+
+
+def test_apply_gate_out_of_range_rejected():
+    with pytest.raises(GateError):
+        Statevector(2).apply_gate(hadamard(), 5)
+
+
+def test_apply_unitary_full_register():
+    unitary = np.kron(hadamard(), np.eye(2))
+    state = Statevector(2).apply_unitary(unitary)
+    expected = Statevector(2).apply_gate(hadamard(), 0)
+    assert state == expected
+
+
+def test_apply_unitary_shape_mismatch():
+    with pytest.raises(GateError):
+        Statevector(2).apply_unitary(np.eye(3))
+
+
+def test_gate_application_preserves_norm(rng):
+    amps = rng.normal(size=8) + 1j * rng.normal(size=8)
+    state = Statevector(amps, normalize=True)
+    state.apply_gate(phase_gate(1.234), 1).apply_gate(hadamard(), 2)
+    assert state.is_normalized()
+
+
+def test_fidelity_and_global_phase():
+    a = Statevector.from_basis_state(2, 1)
+    b = Statevector(np.exp(1j * 0.4) * a.amplitudes)
+    assert np.isclose(a.fidelity(b), 1.0)
+    assert a.global_phase_aligned(b)
+    c = Statevector.from_basis_state(2, 2)
+    assert np.isclose(a.fidelity(c), 0.0)
+
+
+def test_fidelity_dimension_mismatch():
+    with pytest.raises(QuantumError):
+        Statevector(1).fidelity(Statevector(2))
+
+
+def test_copy_is_independent():
+    state = Statevector(1)
+    clone = state.copy()
+    clone.apply_gate(pauli_x(), 0)
+    assert np.isclose(state[0], 1.0)
+    assert np.isclose(clone[1], 1.0)
+
+
+def test_amplitudes_view_is_read_only():
+    state = Statevector(1)
+    with pytest.raises(ValueError):
+        state.amplitudes[0] = 5.0

@@ -1,0 +1,142 @@
+"""Unit tests for the visualization helpers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.imaging.io_dispatch import read_image
+from repro.viz.ascii_art import ascii_histogram, ascii_label_map
+from repro.viz.export import save_label_map, save_overlay, save_side_by_side
+from repro.viz.palette import colorize_labels, label_palette, overlay_mask
+from repro.viz.unit_circle import (
+    basis_patterns_points,
+    input_pattern_points,
+    probability_series,
+)
+
+
+# --------------------------------------------------------------------------- #
+# Palette / overlay
+# --------------------------------------------------------------------------- #
+def test_label_palette_sizes_and_uniqueness():
+    small = label_palette(8)
+    assert small.shape == (8, 3)
+    assert len({tuple(np.round(c, 6)) for c in small}) == 8
+    big = label_palette(40)
+    assert big.shape == (40, 3)
+    assert big.min() >= 0.0 and big.max() <= 1.0
+    with pytest.raises(ParameterError):
+        label_palette(0)
+
+
+def test_colorize_labels_maps_each_label_to_one_color():
+    labels = np.array([[0, 1], [1, 2]])
+    rgb = colorize_labels(labels)
+    assert rgb.shape == (2, 2, 3)
+    assert np.allclose(rgb[0, 1], rgb[1, 0])
+    assert not np.allclose(rgb[0, 0], rgb[1, 1])
+    with pytest.raises(ParameterError):
+        colorize_labels(np.array([[-1, 0]]))
+    with pytest.raises(ParameterError):
+        colorize_labels(np.zeros(4, dtype=int))
+
+
+def test_overlay_mask_blends_only_masked_pixels(rng):
+    image = rng.random((6, 6, 3))
+    mask = np.zeros((6, 6), dtype=int)
+    mask[2:4, 2:4] = 1
+    out = overlay_mask(image, mask, color=(1, 0, 0), alpha=0.5)
+    assert np.allclose(out[0, 0], image[0, 0])
+    assert not np.allclose(out[2, 2], image[2, 2])
+    with pytest.raises(ParameterError):
+        overlay_mask(image, mask, alpha=2.0)
+    with pytest.raises(ParameterError):
+        overlay_mask(image, np.zeros((3, 3)))
+
+
+# --------------------------------------------------------------------------- #
+# ASCII rendering
+# --------------------------------------------------------------------------- #
+def test_ascii_label_map_dimensions_and_glyphs():
+    labels = np.tile(np.array([[0, 1]]), (4, 4))
+    art = ascii_label_map(labels, max_width=20)
+    lines = art.splitlines()
+    assert len(lines) == 4
+    assert len(set(lines[0])) == 2
+    with pytest.raises(ParameterError):
+        ascii_label_map(np.zeros(5, dtype=int))
+
+
+def test_ascii_label_map_downsamples_wide_maps():
+    labels = np.zeros((10, 400), dtype=int)
+    art = ascii_label_map(labels, max_width=40)
+    assert max(len(line) for line in art.splitlines()) <= 80
+
+
+def test_ascii_histogram_output():
+    text = ascii_histogram([0.1, 0.4, 0.0], labels=["a", "b", "c"], width=10)
+    lines = text.splitlines()
+    assert len(lines) == 3
+    assert "0.4000" in lines[1]
+    assert lines[1].count("#") == 10
+    with pytest.raises(ParameterError):
+        ascii_histogram([])
+    with pytest.raises(ParameterError):
+        ascii_histogram([0.1, -0.2])
+    with pytest.raises(ParameterError):
+        ascii_histogram([0.1], labels=["a", "b"])
+
+
+# --------------------------------------------------------------------------- #
+# Unit-circle figure data (Figures 1–3)
+# --------------------------------------------------------------------------- #
+def test_basis_patterns_points_structure():
+    points = basis_patterns_points(3)
+    assert set(points) == {format(i, "03b") for i in range(8)}
+    for pts in points.values():
+        assert pts.shape == (8, 2)
+        assert np.allclose(np.hypot(pts[:, 0], pts[:, 1]), 1.0)
+    # |000⟩ has all its points at (1, 0); |100⟩ alternates between (1,0) and (-1,0).
+    assert np.allclose(points["000"], np.tile([1.0, 0.0], (8, 1)))
+    assert np.allclose(points["100"][1], [-1.0, 0.0], atol=1e-12)
+
+
+def test_input_pattern_points_on_unit_circle():
+    pts = input_pattern_points((2.464, 0.025, 0.246))
+    assert pts.shape == (8, 2)
+    assert np.allclose(np.hypot(pts[:, 0], pts[:, 1]), 1.0)
+    assert np.allclose(pts[0], [1.0, 0.0])
+
+
+def test_probability_series_sums_to_one():
+    series = probability_series((2.464, 0.025, 0.246))
+    assert len(series) == 8
+    assert sum(series.values()) == pytest.approx(1.0)
+
+
+# --------------------------------------------------------------------------- #
+# Export
+# --------------------------------------------------------------------------- #
+def test_save_label_map_and_overlay(tmp_path, rng):
+    labels = rng.integers(0, 4, size=(10, 12))
+    path = tmp_path / "labels.png"
+    save_label_map(path, labels)
+    assert read_image(path).shape == (10, 12, 3)
+
+    image = rng.random((10, 12, 3))
+    overlay_path = tmp_path / "overlay.ppm"
+    save_overlay(overlay_path, image, labels > 1)
+    assert read_image(overlay_path).shape == (10, 12, 3)
+
+
+def test_save_side_by_side(tmp_path, rng):
+    a = rng.random((10, 8, 3))
+    b = rng.integers(0, 255, size=(10, 6), dtype=np.uint8)
+    path = tmp_path / "panel.png"
+    save_side_by_side(path, [a, b], gap=2)
+    out = read_image(path)
+    assert out.shape == (10, 8 + 2 + 6, 3)
+    with pytest.raises(ParameterError):
+        save_side_by_side(tmp_path / "x.png", [])
+    with pytest.raises(ParameterError):
+        save_side_by_side(tmp_path / "y.png", [a, rng.random((5, 5, 3))])
