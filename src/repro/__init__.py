@@ -33,6 +33,7 @@ from .core import (
     tune_theta_supervised,
     tune_theta_unsupervised,
 )
+from .engine import BatchSegmentationEngine
 from .quantum import NoiseModel
 from .baselines import (
     KMeansSegmenter,
@@ -66,6 +67,7 @@ __all__ = [
     "FeatureIQFTSegmenter",
     "SmoothedSegmenter",
     "NoiseModel",
+    "BatchSegmentationEngine",
     "SegmentationPipeline",
     "thresholds_for_theta",
     "theta_for_threshold",

@@ -73,6 +73,13 @@ class BaseSegmenter(abc.ABC):
     #: Human-readable method name (overridden by subclasses).
     name: str = "base"
 
+    #: True when the labelling rule is a pure per-pixel function of that
+    #: pixel's value.  Pointwise methods can be tiled and stitched with
+    #: results identical to whole-image processing; methods with global or
+    #: neighbourhood state (clustering, global thresholds, region growing)
+    #: must leave this False so the batch engine never tiles them.
+    pointwise: bool = False
+
     def __init__(self, name: Optional[str] = None):
         if name is not None:
             self.name = name

@@ -1,20 +1,25 @@
 """Command-line interface.
 
-Three subcommands::
+Four subcommands::
 
     repro-segment segment  INPUT OUTPUT [--method iqft-rgb] [--theta 3.1416]
+    repro-segment batch    INPUT_DIR [--report report.json] [--method ...]
     repro-segment evaluate [--dataset voc|xview2] [--samples 20] [--methods ...]
     repro-segment experiment NAME   # table1, table2, table3, fig3, fig4, ...
 
 ``segment`` reads an image file (PPM/PGM/PNG/BMP), runs one method and writes
-the colourized label map; ``evaluate`` runs the Table-III sweep on a synthetic
-dataset and prints the summary table; ``experiment`` regenerates a specific
+the colourized label map; ``batch`` runs the batched engine over a directory
+of images (LUT fast path, optional tiling and process parallelism) and writes
+a JSON report; ``evaluate`` runs the Table-III sweep on a synthetic dataset
+and prints the summary table; ``experiment`` regenerates a specific
 table/figure and prints it.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 from typing import List, Optional
 
@@ -54,6 +59,27 @@ def build_parser() -> argparse.ArgumentParser:
     seg.add_argument("--method", default="iqft-rgb", help="registered method name")
     seg.add_argument("--theta", type=float, default=float(np.pi), help="angle parameter θ")
 
+    bat = sub.add_parser(
+        "batch", help="segment every image in a directory through the batch engine"
+    )
+    bat.add_argument(
+        "input_dir",
+        help="directory of images (.ppm/.pgm/.png/.bmp); incompatible images "
+        "are recorded as per-image errors in the report (exit code 1)",
+    )
+    bat.add_argument("--report", default=None, help="write the JSON report here (default: stdout)")
+    bat.add_argument("--method", default="iqft-rgb", help="registered method name")
+    bat.add_argument("--theta", type=float, default=float(np.pi), help="angle parameter θ")
+    bat.add_argument("--gt-dir", default=None, help="directory of same-named ground-truth masks")
+    bat.add_argument("--executor", choices=("serial", "thread", "process"), default="serial")
+    bat.add_argument(
+        "--tile", type=int, nargs=2, metavar=("H", "W"), default=None,
+        help="always tile images into H×W tiles (default: auto-tile ≥4 Mpx images)",
+    )
+    bat.add_argument("--no-lut", action="store_true", help="disable the LUT fast path")
+    bat.add_argument("--seed", type=int, default=None, help="seed for stochastic methods")
+    bat.add_argument("--limit", type=int, default=None, help="only process the first N images")
+
     ev = sub.add_parser("evaluate", help="run the Table-III sweep on a synthetic dataset")
     ev.add_argument("--dataset", choices=("voc", "xview2"), default="voc")
     ev.add_argument("--samples", type=int, default=10)
@@ -84,6 +110,161 @@ def _cmd_segment(args: argparse.Namespace) -> int:
         f"runtime={result.runtime_seconds:.3f}s -> {args.output}"
     )
     return 0
+
+
+_IMAGE_EXTENSIONS = (".ppm", ".pgm", ".pnm", ".png", ".bmp")
+
+#: Methods whose factory accepts a ``seed`` keyword (stochastic methods).
+_SEEDED_METHODS = frozenset({"kmeans", "iqft-rgb-shots"})
+
+
+def _load_binary_mask(path: str) -> np.ndarray:
+    """Read a ground-truth image and collapse it to a {0, 1} mask."""
+    from .imaging.color import rgb_to_gray
+    from .imaging.io_dispatch import read_image
+
+    arr = read_image(path)
+    if arr.ndim == 3:
+        arr = rgb_to_gray(arr)
+        return (arr > 0.5).astype(np.int64)
+    if arr.dtype == np.uint8:
+        return (arr > 127).astype(np.int64)
+    return (arr.astype(np.float64) > 0.5).astype(np.int64)
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    from .baselines.registry import get_segmenter
+    from .engine import BatchSegmentationEngine
+    from .imaging.io_dispatch import read_image
+    from .parallel.executor import get_executor
+
+    if not os.path.isdir(args.input_dir):
+        print(f"error: {args.input_dir!r} is not a directory", file=sys.stderr)
+        return 2
+    names = sorted(
+        entry
+        for entry in os.listdir(args.input_dir)
+        if entry.lower().endswith(_IMAGE_EXTENSIONS)
+    )
+    if args.limit is not None:
+        names = names[: max(0, int(args.limit))]
+    if not names:
+        print(f"error: no supported images found in {args.input_dir!r}", file=sys.stderr)
+        return 2
+
+    kwargs = {}
+    if args.method in ("iqft-rgb", "iqft-rgb-shots", "iqft-features"):
+        kwargs["thetas"] = args.theta
+    elif args.method == "iqft-gray":
+        kwargs["theta"] = args.theta
+    theta_used = float(args.theta) if kwargs else None
+    if args.seed is not None and args.method in _SEEDED_METHODS:
+        kwargs["seed"] = args.seed
+    try:
+        segmenter = get_segmenter(args.method, **kwargs)
+        engine = BatchSegmentationEngine(
+            segmenter,
+            use_lut=not args.no_lut,
+            tiling="always" if args.tile else "auto",
+            tile_shape=tuple(args.tile) if args.tile else (512, 512),
+            executor=get_executor(args.executor),
+        )
+    except ValueError as exc:  # ParameterError is a ValueError
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    # Load images with per-file isolation: an unreadable file becomes a
+    # per-image error entry, exactly like a segmentation failure would.
+    loaded = []  # (name, image, ground_truth) for readable files
+    load_errors = {}
+    for name in names:
+        try:
+            image = read_image(os.path.join(args.input_dir, name))
+            ground_truth = None
+            if args.gt_dir is not None:
+                mask_path = os.path.join(args.gt_dir, name)
+                if os.path.exists(mask_path):
+                    ground_truth = _load_binary_mask(mask_path)
+            loaded.append((name, image, ground_truth))
+        except Exception as exc:  # noqa: BLE001 - batch isolation
+            load_errors[name] = exc
+
+    results = engine.map(
+        [image for _, image, _ in loaded],
+        [ground_truth for _, _, ground_truth in loaded],
+        return_errors=True,
+    )
+    outcome = dict(load_errors)
+    outcome.update({name: result for (name, _, _), result in zip(loaded, results)})
+
+    entries = []
+    failures = 0
+    for name in names:
+        result = outcome[name]
+        if isinstance(result, Exception):
+            failures += 1
+            entries.append(
+                {"file": name, "error": f"{type(result).__name__}: {result}"}
+            )
+            continue
+        seg = result.segmentation
+        entry = {
+            "file": name,
+            "shape": [int(v) for v in seg.labels.shape],
+            "num_segments": int(seg.num_segments),
+            "fast_path": str(seg.extras.get("fast_path", "direct")),
+            "runtime_seconds": float(seg.runtime_seconds),
+            "metrics": {key: float(value) for key, value in result.metrics.items()},
+        }
+        entries.append(entry)
+
+    succeeded = [entry for entry in entries if "error" not in entry]
+    scored = [entry for entry in succeeded if entry["metrics"]]
+    summary = {
+        "num_failed": failures,
+        "total_runtime_seconds": float(
+            sum(entry["runtime_seconds"] for entry in succeeded)
+        ),
+        "mean_num_segments": (
+            float(np.mean([entry["num_segments"] for entry in succeeded]))
+            if succeeded
+            else None
+        ),
+        "mean_miou": (
+            float(np.mean([entry["metrics"]["miou"] for entry in scored])) if scored else None
+        ),
+        "mean_pixel_accuracy": (
+            float(np.mean([entry["metrics"]["pixel_accuracy"] for entry in scored]))
+            if scored
+            else None
+        ),
+        "mean_dice": (
+            float(np.mean([entry["metrics"]["dice"] for entry in scored])) if scored else None
+        ),
+    }
+    report = {
+        "schema": "repro-batch-report/v1",
+        "method": args.method,
+        "parameters": {"theta": theta_used, "seed": args.seed},
+        "engine": engine.describe(),
+        "num_images": len(entries),
+        "images": entries,
+        "summary": summary,
+    }
+    payload = json.dumps(report, indent=2, sort_keys=True)
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as fh:
+            fh.write(payload + "\n")
+    else:
+        print(payload)
+    miou_text = f"{summary['mean_miou']:.4f}" if summary["mean_miou"] is not None else "n/a"
+    print(
+        f"batch: {len(succeeded)}/{len(entries)} image(s) ok, method={args.method}, "
+        f"mean mIOU={miou_text}, total runtime={summary['total_runtime_seconds']:.3f}s"
+        + (f" -> {args.report}" if args.report else ""),
+        file=sys.stderr if not args.report else sys.stdout,
+    )
+    return 1 if failures else 0
 
 
 def _cmd_evaluate(args: argparse.Namespace) -> int:
@@ -156,6 +337,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     if args.command == "segment":
         return _cmd_segment(args)
+    if args.command == "batch":
+        return _cmd_batch(args)
     if args.command == "evaluate":
         return _cmd_evaluate(args)
     if args.command == "experiment":

@@ -31,6 +31,15 @@ from .phase_encoding import (
     DEFAULT_THETA,
 )
 from .classifier import IQFTClassifier
+from .lut import (
+    grayscale_label_lut,
+    grayscale_probability_lut,
+    lut_eligible,
+    lut_cache_info,
+    clear_lut_cache,
+    pack_rgb_codes,
+    unpack_rgb_codes,
+)
 from .rgb_segmenter import IQFTSegmenter
 from .grayscale_segmenter import IQFTGrayscaleSegmenter
 from .thresholds import (
@@ -74,6 +83,13 @@ __all__ = [
     "IQFTClassifier",
     "IQFTSegmenter",
     "IQFTGrayscaleSegmenter",
+    "grayscale_label_lut",
+    "grayscale_probability_lut",
+    "lut_eligible",
+    "lut_cache_info",
+    "clear_lut_cache",
+    "pack_rgb_codes",
+    "unpack_rgb_codes",
     "thresholds_for_theta",
     "theta_for_threshold",
     "grayscale_class_probabilities",

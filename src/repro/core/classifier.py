@@ -131,6 +131,25 @@ class IQFTClassifier:
         labels = np.argmax(probs, axis=-1)
         return labels.astype(np.int64)
 
+    def classify_unique(self, phases: np.ndarray) -> np.ndarray:
+        """Classify with row-level deduplication (standalone utility).
+
+        Quantized inputs produce massively redundant phase batches; this
+        classifies each *distinct* row once and scatters the labels back,
+        which is exactly equivalent to :meth:`classify` because the rule is a
+        pure per-row function.  The image segmenters use specialised versions
+        of the same idea (the 256-entry value table and the packed-colour
+        palette in their ``labels_from_lut`` hooks); use this one for raw
+        phase batches that don't come from 8-bit images.  Worst case (all
+        rows distinct) it degrades to one extra sort.
+        """
+        arr = self._as_batch(phases, self._num_qubits)
+        uniq, inverse = np.unique(arr, axis=0, return_inverse=True)
+        labels = self.classify(uniq)[np.asarray(inverse).reshape(-1)]
+        if np.asarray(phases).ndim == 1:
+            return labels[0]
+        return labels
+
     # ------------------------------------------------------------------ #
     def classify_reference(self, phases: np.ndarray) -> np.ndarray:
         """Per-sample Python-loop implementation of Algorithm 1.

@@ -22,6 +22,7 @@ from ..base import BaseSegmenter
 from ..errors import ParameterError
 from ..imaging.color import rgb_to_gray
 from .classifier import IQFTClassifier
+from .lut import grayscale_label_lut, lut_eligible
 from .phase_encoding import normalize_pixels
 from .thresholds import thresholds_for_theta
 
@@ -53,6 +54,7 @@ class IQFTGrayscaleSegmenter(BaseSegmenter):
     """
 
     name = "iqft-gray"
+    pointwise = True
 
     def __init__(
         self,
@@ -124,6 +126,41 @@ class IQFTGrayscaleSegmenter(BaseSegmenter):
             return np.zeros_like(binary)
         bands = np.digitize(intensity, thresholds, right=False)
         return bands.astype(np.int64)
+
+    def labels_from_lut(
+        self, image: np.ndarray, extras: Optional[Dict[str, Any]] = None
+    ) -> Optional[np.ndarray]:
+        """LUT fast path: exact labels via a 256-entry value table, or ``None``.
+
+        Eligible inputs are 2-D integer images (see
+        :func:`repro.core.lut.lut_eligible`); everything else — float images,
+        RGB input routed through the grayscale conversion — returns ``None``
+        so callers fall back to :meth:`segment`.  When the table applies, the
+        result is bit-identical to the matrix path because the table itself is
+        built by the exact classifier.  Diagnostics go into the caller-owned
+        ``extras`` dict when one is passed (so concurrent callers sharing this
+        segmenter don't race on its internal state).
+        """
+        arr = np.asarray(image)
+        if arr.ndim != 2 or not lut_eligible(arr, normalize=self.normalize):
+            return None
+        lut = grayscale_label_lut(
+            theta=self.theta,
+            normalize=self.normalize,
+            max_value=self.max_value,
+            multiband=self.multiband,
+            uint8_values=arr.dtype == np.uint8,
+        )
+        info = {
+            "theta": self.theta,
+            "thresholds": self.thresholds,
+            "multiband": self.multiband,
+            "fast_path": "lut",
+        }
+        self._last_extras = info
+        if extras is not None:
+            extras.update(info)
+        return lut[arr]
 
     def _extras(self) -> Dict[str, Any]:
         return dict(self._last_extras)

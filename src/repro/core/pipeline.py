@@ -101,19 +101,23 @@ class SegmentationPipeline:
             arr = (arr > 0.5).astype(np.int64)
         return arr
 
-    def run(
+    def score(
         self,
-        image: np.ndarray,
+        result: SegmentationResult,
         ground_truth: Optional[np.ndarray] = None,
         void_mask: Optional[np.ndarray] = None,
     ) -> PipelineResult:
-        """Segment one image and (optionally) score it against a binary mask."""
-        prepared = self._prepare(image)
+        """Binarize an existing segmentation and score it against a raw mask.
+
+        ``ground_truth`` / ``void_mask`` are given in *input* coordinates (the
+        same preprocessing as :meth:`run` is applied to them here).  Splitting
+        this out of :meth:`run` lets the batch engine substitute its fast label
+        paths while reusing the exact evaluation protocol.
+        """
         gt = self._prepare_mask(ground_truth)
         void = self._prepare_mask(void_mask)
         void_bool = void.astype(bool) if void is not None else None
 
-        result = self.segmenter.segment(prepared)
         if gt is not None:
             binary = binarize_by_overlap(result.labels, gt, void_bool)
         else:
@@ -126,23 +130,38 @@ class SegmentationPipeline:
             metrics["dice"] = dice_coefficient(binary, gt, void_mask=void_bool)
         return PipelineResult(segmentation=result, binary=binary, metrics=metrics)
 
+    def run(
+        self,
+        image: np.ndarray,
+        ground_truth: Optional[np.ndarray] = None,
+        void_mask: Optional[np.ndarray] = None,
+    ) -> PipelineResult:
+        """Segment one image and (optionally) score it against a binary mask."""
+        prepared = self._prepare(image)
+        result = self.segmenter.segment(prepared)
+        return self.score(result, ground_truth, void_mask)
+
     def run_many(
         self,
         images,
         ground_truths=None,
         void_masks=None,
+        executor=None,
+        use_lut: bool = True,
     ) -> list:
-        """Run the pipeline over an iterable of images (serial convenience).
+        """Run the pipeline over an iterable of images (batched).
 
-        For process-parallel execution across images use
-        :mod:`repro.parallel.executor` with :meth:`run` as the mapped function.
+        Delegates to :class:`repro.engine.BatchSegmentationEngine`, which takes
+        the exact-equivalent LUT fast path for quantized inputs and can spread
+        the batch over an executor (``executor=get_executor("process")`` for
+        process parallelism; the default stays serial and deterministic).
         """
-        images = list(images)
-        gts = list(ground_truths) if ground_truths is not None else [None] * len(images)
-        voids = list(void_masks) if void_masks is not None else [None] * len(images)
-        if not (len(images) == len(gts) == len(voids)):
-            raise ParameterError("images, ground_truths and void_masks lengths differ")
-        return [self.run(img, gt, void) for img, gt, void in zip(images, gts, voids)]
+        from ..engine import BatchSegmentationEngine  # local import: engine builds on pipeline
+
+        engine = BatchSegmentationEngine.from_pipeline(
+            self, use_lut=use_lut, executor=executor
+        )
+        return engine.map(images, ground_truths, void_masks)
 
     def describe(self) -> Dict[str, Any]:
         """A JSON-friendly description of the pipeline configuration."""

@@ -23,6 +23,7 @@ import numpy as np
 from ..base import BaseSegmenter
 from ..errors import ParameterError, ShapeError
 from .classifier import IQFTClassifier
+from .lut import lut_eligible, pack_rgb_codes, unpack_rgb_codes
 from .phase_encoding import DEFAULT_THETA, normalize_pixels, pixel_phases
 
 __all__ = ["IQFTSegmenter"]
@@ -54,6 +55,7 @@ class IQFTSegmenter(BaseSegmenter):
     """
 
     name = "iqft-rgb"
+    pointwise = True
 
     def __init__(
         self,
@@ -139,6 +141,47 @@ class IQFTSegmenter(BaseSegmenter):
         else:
             labels = self._classifier.classify(flat)
         return labels.reshape(height, width)
+
+    def labels_from_lut(
+        self, image: np.ndarray, extras: Optional[Dict[str, Any]] = None
+    ) -> Optional[np.ndarray]:
+        """Palette-LUT fast path: exact labels via per-colour lookup, or ``None``.
+
+        The 3-qubit rule is a pure function of the ``(R, G, B)`` triple, so an
+        8-bit image only needs one classifier evaluation per *distinct colour*
+        (its palette) instead of one per pixel.  Colours are deduplicated on
+        packed 24-bit codes, classified through the exact
+        phase-encoding + matmul path, and scattered back — bit-identical to
+        :meth:`segment` by construction.  Non-integer or out-of-range input
+        returns ``None`` (callers fall back to the matrix path), as does
+        ``store_probabilities`` mode: the fast path computes no per-pixel
+        probability maps, so it must not swallow that contract.  Diagnostics
+        go into the caller-owned ``extras`` dict when one is passed.
+        """
+        if self.store_probabilities:
+            return None
+        arr = np.asarray(image)
+        if arr.ndim != 3 or arr.shape[2] != 3:
+            return None
+        if not lut_eligible(arr, normalize=self.normalize):
+            return None
+        codes = pack_rgb_codes(arr)
+        palette, inverse = np.unique(codes, return_inverse=True)
+        # Preserve the raw dtype so the palette rows take the exact same
+        # normalization branch as the full image would.
+        colors = unpack_rgb_codes(palette).astype(arr.dtype).reshape(-1, 1, 3)
+        phases = self._phases(colors).reshape(-1, self._classifier.num_qubits)
+        palette_labels = self._classifier.classify(phases)
+        info = {
+            "thetas": self._thetas,
+            "normalize": self.normalize,
+            "fast_path": "palette-lut",
+            "palette_size": int(palette.size),
+        }
+        self._last_extras = info
+        if extras is not None:
+            extras.update(info)
+        return palette_labels[np.asarray(inverse).reshape(-1)].reshape(arr.shape[:2])
 
     def _extras(self) -> Dict[str, Any]:
         return dict(self._last_extras)

@@ -11,6 +11,7 @@ the scatter/gather collectives shown in the mpi4py guide.
 from __future__ import annotations
 
 import dataclasses
+import functools
 from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -87,6 +88,12 @@ def assemble_tiles(
     return out
 
 
+def _apply_to_tile(func: Callable[[np.ndarray], np.ndarray], tile: Tile) -> np.ndarray:
+    # Module-level (not a closure) so that tile_map work items stay picklable
+    # and can be scattered across a ProcessExecutor.
+    return func(tile.data)
+
+
 def tile_map(
     func: Callable[[np.ndarray], np.ndarray],
     image: np.ndarray,
@@ -104,7 +111,7 @@ def tile_map(
     arr = np.asarray(image)
     tiles = split_into_tiles(arr, tile_shape)
     runner = executor or SerialExecutor()
-    results = runner.map(lambda tile: func(tile.data), tiles)
+    results = runner.map(functools.partial(_apply_to_tile, func), tiles)
     out_tiles = []
     for tile, result in zip(tiles, results):
         result = np.asarray(result)

@@ -1,0 +1,90 @@
+"""Property tests: the LUT fast path is bit-identical to the matrix path.
+
+Equation (15) of the paper says the segmentation rule is a pure function of
+the raw pixel value, so labelling through a per-value table must agree with
+the per-pixel matrix product *exactly* — not approximately — for every image
+and every θ.  Hypothesis searches for counterexamples over random uint8
+images across the paper's angle regimes θ ∈ {π/2, π, 2π, 4π}.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro import BatchSegmentationEngine, IQFTGrayscaleSegmenter, IQFTSegmenter
+
+_THETAS = (np.pi / 2, np.pi, 2 * np.pi, 4 * np.pi)
+
+_gray_images = hnp.arrays(
+    dtype=np.uint8,
+    shape=st.tuples(st.integers(1, 24), st.integers(1, 24)),
+    elements=st.integers(0, 255),
+)
+
+_rgb_images = hnp.arrays(
+    dtype=np.uint8,
+    shape=st.tuples(st.integers(1, 16), st.integers(1, 16), st.just(3)),
+    elements=st.integers(0, 255),
+)
+
+
+@given(image=_gray_images, theta=st.sampled_from(_THETAS), multiband=st.booleans())
+@settings(max_examples=60, deadline=None)
+def test_grayscale_lut_is_bit_identical(image, theta, multiband):
+    segmenter = IQFTGrayscaleSegmenter(theta=theta, multiband=multiband)
+    exact = segmenter.segment(image).labels
+    fast = segmenter.labels_from_lut(image)
+    assert fast is not None
+    assert fast.dtype.kind == "i"
+    assert np.array_equal(fast, exact)
+
+
+@given(image=_rgb_images, theta=st.sampled_from(_THETAS))
+@settings(max_examples=60, deadline=None)
+def test_rgb_palette_lut_is_bit_identical(image, theta):
+    segmenter = IQFTSegmenter(thetas=theta)
+    exact = segmenter.segment(image).labels
+    fast = segmenter.labels_from_lut(image)
+    assert fast is not None
+    assert np.array_equal(fast, exact)
+
+
+@given(image=_gray_images, theta=st.sampled_from(_THETAS), multiband=st.booleans())
+@settings(max_examples=30, deadline=None)
+def test_engine_grayscale_matches_matrix_path(image, theta, multiband):
+    engine = BatchSegmentationEngine(IQFTGrayscaleSegmenter(theta=theta, multiband=multiband))
+    result = engine.segment(image)
+    exact = IQFTGrayscaleSegmenter(theta=theta, multiband=multiband).segment(image)
+    assert result.extras["fast_path"] == "lut"
+    assert np.array_equal(result.labels, exact.labels)
+    assert result.num_segments == exact.num_segments
+
+
+@given(image=_rgb_images, theta=st.sampled_from(_THETAS))
+@settings(max_examples=30, deadline=None)
+def test_engine_rgb_matches_matrix_path(image, theta):
+    engine = BatchSegmentationEngine(IQFTSegmenter(thetas=theta))
+    result = engine.segment(image)
+    exact = IQFTSegmenter(thetas=theta).segment(image)
+    assert result.extras["fast_path"] == "palette-lut"
+    assert np.array_equal(result.labels, exact.labels)
+    assert result.num_segments == exact.num_segments
+
+
+@given(
+    image=hnp.arrays(
+        dtype=np.uint8,
+        shape=st.tuples(st.integers(1, 24), st.integers(1, 24)),
+        elements=st.integers(0, 255),
+    ),
+    theta=st.sampled_from(_THETAS),
+)
+@settings(max_examples=30, deadline=None)
+def test_probability_lut_matches_pixel_probabilities(image, theta):
+    segmenter = IQFTGrayscaleSegmenter(theta=theta)
+    from repro.core.lut import grayscale_probability_lut
+
+    probs = grayscale_probability_lut(theta=theta)
+    exact = segmenter.pixel_probabilities(image)
+    assert np.array_equal(probs[image], exact)

@@ -1,0 +1,124 @@
+"""Regression tests: tiled segmentation equals whole-image segmentation.
+
+The IQFT rule is strictly per-pixel, so cutting an image into tiles, labelling
+each tile independently and stitching the label maps must reproduce the
+whole-image result exactly — for every tile size, including sizes that do not
+divide the image dimensions evenly.
+"""
+
+import numpy as np
+import pytest
+
+from repro import BatchSegmentationEngine, IQFTGrayscaleSegmenter, IQFTSegmenter
+from repro.parallel.executor import ProcessExecutor, ThreadExecutor
+
+_TILE_SHAPES = [(8, 8), (7, 5), (5, 16), (16, 16), (33, 2)]
+
+
+@pytest.fixture
+def float_rgb(rng):
+    # float input keeps the LUT fast path out of the way: tiling must carry it
+    return rng.random((33, 29, 3))
+
+
+@pytest.fixture
+def float_gray(rng):
+    return rng.random((31, 27))
+
+
+@pytest.mark.parametrize("tile_shape", _TILE_SHAPES)
+def test_tiled_rgb_equals_whole_image(float_rgb, tile_shape):
+    engine = BatchSegmentationEngine(IQFTSegmenter(), tiling="always", tile_shape=tile_shape)
+    result = engine.segment(float_rgb)
+    exact = IQFTSegmenter().segment(float_rgb)
+    assert result.extras["fast_path"] == "tiled"
+    assert result.extras["tile_shape"] == tile_shape
+    assert np.array_equal(result.labels, exact.labels)
+    assert result.num_segments == exact.num_segments
+
+
+@pytest.mark.parametrize("tile_shape", [(8, 8), (7, 5), (16, 11)])
+def test_tiled_grayscale_equals_whole_image(float_gray, tile_shape):
+    engine = BatchSegmentationEngine(
+        IQFTGrayscaleSegmenter(theta=4 * np.pi), tiling="always", tile_shape=tile_shape
+    )
+    result = engine.segment(float_gray)
+    exact = IQFTGrayscaleSegmenter(theta=4 * np.pi).segment(float_gray)
+    assert result.extras["fast_path"] == "tiled"
+    assert np.array_equal(result.labels, exact.labels)
+
+
+def test_tiled_uint8_with_lut_disabled(rng):
+    image = (rng.random((40, 37, 3)) * 255).astype(np.uint8)
+    engine = BatchSegmentationEngine(
+        IQFTSegmenter(), use_lut=False, tiling="always", tile_shape=(13, 9)
+    )
+    result = engine.segment(image)
+    assert result.extras["fast_path"] == "tiled"
+    assert np.array_equal(result.labels, IQFTSegmenter().segment(image).labels)
+
+
+def test_lut_beats_tiling_when_both_apply(rng):
+    # An eligible uint8 image takes the LUT path even when tiling is forced.
+    image = (rng.random((40, 37)) * 255).astype(np.uint8)
+    engine = BatchSegmentationEngine(
+        IQFTGrayscaleSegmenter(), tiling="always", tile_shape=(8, 8)
+    )
+    assert engine.segment(image).extras["fast_path"] == "lut"
+
+
+def test_auto_tiling_threshold(float_rgb):
+    # Below the pixel threshold: direct.  At/above it: tiled.
+    pixels = float_rgb.shape[0] * float_rgb.shape[1]
+    direct = BatchSegmentationEngine(
+        IQFTSegmenter(), tile_shape=(16, 16), auto_tile_pixels=pixels + 1
+    )
+    assert direct.segment(float_rgb).extras["fast_path"] == "direct"
+    tiled = BatchSegmentationEngine(
+        IQFTSegmenter(), tile_shape=(16, 16), auto_tile_pixels=pixels
+    )
+    result = tiled.segment(float_rgb)
+    assert result.extras["fast_path"] == "tiled"
+    assert np.array_equal(result.labels, IQFTSegmenter().segment(float_rgb).labels)
+
+
+def test_single_tile_images_are_not_tiled(float_rgb):
+    engine = BatchSegmentationEngine(IQFTSegmenter(), tiling="always", tile_shape=(64, 64))
+    assert engine.segment(float_rgb).extras["fast_path"] == "direct"
+
+
+def test_non_pointwise_segmenters_are_never_tiled(float_rgb):
+    # Stitching is only exact for per-pixel rules: kmeans must see the whole
+    # image even when tiling is forced.
+    from repro.baselines.kmeans import KMeansSegmenter
+
+    assert not KMeansSegmenter.pointwise
+    engine = BatchSegmentationEngine(
+        KMeansSegmenter(n_clusters=2, n_init=2, seed=0),
+        tiling="always",
+        tile_shape=(8, 8),
+        auto_tile_pixels=1,
+    )
+    result = engine.segment(float_rgb)
+    assert result.extras["fast_path"] == "direct"
+    assert np.array_equal(
+        result.labels, KMeansSegmenter(n_clusters=2, n_init=2, seed=0).segment(float_rgb).labels
+    )
+
+
+def test_tiling_never_disables_tiling(float_rgb):
+    engine = BatchSegmentationEngine(
+        IQFTSegmenter(), tiling="never", tile_shape=(8, 8), auto_tile_pixels=1
+    )
+    assert engine.segment(float_rgb).extras["fast_path"] == "direct"
+
+
+@pytest.mark.parametrize("executor_cls", [ThreadExecutor, ProcessExecutor])
+def test_tiled_path_with_parallel_executors(float_rgb, executor_cls):
+    executor = executor_cls(max_workers=2)
+    engine = BatchSegmentationEngine(
+        IQFTSegmenter(), tiling="always", tile_shape=(11, 10), executor=executor
+    )
+    result = engine.segment(float_rgb)
+    assert result.extras["fast_path"] == "tiled"
+    assert np.array_equal(result.labels, IQFTSegmenter().segment(float_rgb).labels)
