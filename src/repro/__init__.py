@@ -34,6 +34,7 @@ from .core import (
     tune_theta_unsupervised,
 )
 from .engine import BatchSegmentationEngine
+from .serve import ResultCache, SegmentationService
 from .quantum import NoiseModel
 from .baselines import (
     KMeansSegmenter,
@@ -68,6 +69,8 @@ __all__ = [
     "SmoothedSegmenter",
     "NoiseModel",
     "BatchSegmentationEngine",
+    "SegmentationService",
+    "ResultCache",
     "SegmentationPipeline",
     "thresholds_for_theta",
     "theta_for_threshold",

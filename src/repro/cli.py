@@ -1,23 +1,27 @@
 """Command-line interface.
 
-Four subcommands::
+Five subcommands::
 
     repro-segment segment  INPUT OUTPUT [--method iqft-rgb] [--theta 3.1416]
     repro-segment batch    INPUT_DIR [--report report.json] [--method ...]
+    repro-segment serve    SPOOL_DIR|- [--watch] [--report report.json] [...]
     repro-segment evaluate [--dataset voc|xview2] [--samples 20] [--methods ...]
     repro-segment experiment NAME   # table1, table2, table3, fig3, fig4, ...
 
 ``segment`` reads an image file (PPM/PGM/PNG/BMP), runs one method and writes
 the colourized label map; ``batch`` runs the batched engine over a directory
 of images (LUT fast path, optional tiling and process parallelism) and writes
-a JSON report; ``evaluate`` runs the Table-III sweep on a synthetic dataset
-and prints the summary table; ``experiment`` regenerates a specific
-table/figure and prints it.
+a JSON report; ``serve`` runs the micro-batching segmentation service over a
+spool directory (or JSONL job lines from stdin with ``-``) and writes per-job
+results plus a ``repro-serve-report/v1`` summary; ``evaluate`` runs the
+Table-III sweep on a synthetic dataset and prints the summary table;
+``experiment`` regenerates a specific table/figure and prints it.
 """
 
 from __future__ import annotations
 
 import argparse
+import itertools
 import json
 import os
 import sys
@@ -73,12 +77,68 @@ def build_parser() -> argparse.ArgumentParser:
     bat.add_argument("--gt-dir", default=None, help="directory of same-named ground-truth masks")
     bat.add_argument("--executor", choices=("serial", "thread", "process"), default="serial")
     bat.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker count for --executor thread/process (default: library default; "
+        "ignored for the serial executor)",
+    )
+    bat.add_argument(
         "--tile", type=int, nargs=2, metavar=("H", "W"), default=None,
         help="always tile images into H×W tiles (default: auto-tile ≥4 Mpx images)",
     )
     bat.add_argument("--no-lut", action="store_true", help="disable the LUT fast path")
     bat.add_argument("--seed", type=int, default=None, help="seed for stochastic methods")
     bat.add_argument("--limit", type=int, default=None, help="only process the first N images")
+
+    srv = sub.add_parser(
+        "serve",
+        help="run the micro-batching segmentation service over a spool "
+        "directory (or '-' for JSONL job lines on stdin)",
+    )
+    srv.add_argument(
+        "source",
+        help="spool directory of images, or '-' to read JSONL job lines "
+        '({"path": ..., "id": ...}) from stdin',
+    )
+    srv.add_argument("--report", default=None, help="write the JSON summary here (default: stdout)")
+    srv.add_argument(
+        "--out-dir", default=None,
+        help="write one result JSON per job here (default: <spool>/results for "
+        "directory sources; disabled for stdin jobs)",
+    )
+    srv.add_argument("--method", default="iqft-rgb", help="registered method name")
+    srv.add_argument("--theta", type=float, default=float(np.pi), help="angle parameter θ")
+    srv.add_argument("--seed", type=int, default=None, help="seed for stochastic methods")
+    srv.add_argument("--executor", choices=("serial", "thread", "process"), default="serial")
+    srv.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker count for --executor thread/process (default: library default; "
+        "ignored for the serial executor)",
+    )
+    srv.add_argument("--no-lut", action="store_true", help="disable the LUT fast path")
+    srv.add_argument("--max-batch", type=int, default=16, help="micro-batch flush size")
+    srv.add_argument(
+        "--max-wait", type=float, default=0.01,
+        help="micro-batch flush deadline in seconds after the first queued request",
+    )
+    srv.add_argument("--queue-size", type=int, default=64, help="bounded ingress queue capacity")
+    srv.add_argument("--cache-size", type=int, default=256, help="result cache entries (LRU)")
+    srv.add_argument(
+        "--ttl", type=float, default=None, help="result cache time-to-live in seconds"
+    )
+    srv.add_argument("--no-cache", action="store_true", help="disable the result cache")
+    srv.add_argument(
+        "--watch", action="store_true",
+        help="keep polling the spool directory for new images instead of "
+        "exiting after the initial scan",
+    )
+    srv.add_argument(
+        "--poll", type=float, default=0.2, help="spool poll interval in seconds (--watch)"
+    )
+    srv.add_argument(
+        "--stop-file", default=".stop",
+        help="watch mode exits once this file exists in the spool directory",
+    )
+    srv.add_argument("--limit", type=int, default=None, help="stop after N jobs")
 
     ev = sub.add_parser("evaluate", help="run the Table-III sweep on a synthetic dataset")
     ev.add_argument("--dataset", choices=("voc", "xview2"), default="voc")
@@ -112,10 +172,32 @@ def _cmd_segment(args: argparse.Namespace) -> int:
     return 0
 
 
-_IMAGE_EXTENSIONS = (".ppm", ".pgm", ".pnm", ".png", ".bmp")
+from .imaging.io_dispatch import IMAGE_EXTENSIONS as _IMAGE_EXTENSIONS
 
 #: Methods whose factory accepts a ``seed`` keyword (stochastic methods).
 _SEEDED_METHODS = frozenset({"kmeans", "iqft-rgb-shots"})
+
+
+def _segmenter_kwargs(args: argparse.Namespace) -> dict:
+    """Method-factory keyword arguments shared by ``batch`` and ``serve``."""
+    kwargs = {}
+    if args.method in ("iqft-rgb", "iqft-rgb-shots", "iqft-features"):
+        kwargs["thetas"] = args.theta
+    elif args.method == "iqft-gray":
+        kwargs["theta"] = args.theta
+    if args.seed is not None and args.method in _SEEDED_METHODS:
+        kwargs["seed"] = args.seed
+    return kwargs
+
+
+def _make_executor(kind: str, jobs: Optional[int]):
+    """Build an executor, forwarding ``--jobs`` as the worker count."""
+    from .parallel.executor import get_executor
+
+    kwargs = {}
+    if jobs is not None and kind != "serial":
+        kwargs["max_workers"] = jobs
+    return get_executor(kind, **kwargs)
 
 
 def _load_binary_mask(path: str) -> np.ndarray:
@@ -136,7 +218,6 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     from .baselines.registry import get_segmenter
     from .engine import BatchSegmentationEngine
     from .imaging.io_dispatch import read_image
-    from .parallel.executor import get_executor
 
     if not os.path.isdir(args.input_dir):
         print(f"error: {args.input_dir!r} is not a directory", file=sys.stderr)
@@ -152,14 +233,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         print(f"error: no supported images found in {args.input_dir!r}", file=sys.stderr)
         return 2
 
-    kwargs = {}
-    if args.method in ("iqft-rgb", "iqft-rgb-shots", "iqft-features"):
-        kwargs["thetas"] = args.theta
-    elif args.method == "iqft-gray":
-        kwargs["theta"] = args.theta
-    theta_used = float(args.theta) if kwargs else None
-    if args.seed is not None and args.method in _SEEDED_METHODS:
-        kwargs["seed"] = args.seed
+    kwargs = _segmenter_kwargs(args)
+    theta_used = float(args.theta) if ("thetas" in kwargs or "theta" in kwargs) else None
     try:
         segmenter = get_segmenter(args.method, **kwargs)
         engine = BatchSegmentationEngine(
@@ -167,7 +242,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             use_lut=not args.no_lut,
             tiling="always" if args.tile else "auto",
             tile_shape=tuple(args.tile) if args.tile else (512, 512),
-            executor=get_executor(args.executor),
+            executor=_make_executor(args.executor, args.jobs),
         )
     except ValueError as exc:  # ParameterError is a ValueError
         print(f"error: {exc}", file=sys.stderr)
@@ -267,6 +342,86 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .baselines.registry import get_segmenter
+    from .engine import BatchSegmentationEngine
+    from .serve import ResultCache, SegmentationService
+    from .serve.spool import build_report, iter_jsonl_jobs, iter_spool_jobs, run_jobs
+
+    stdin_mode = args.source == "-"
+    if not stdin_mode and not os.path.isdir(args.source):
+        print(f"error: {args.source!r} is not a directory (or '-' for stdin)", file=sys.stderr)
+        return 2
+
+    kwargs = _segmenter_kwargs(args)
+    theta_used = float(args.theta) if ("thetas" in kwargs or "theta" in kwargs) else None
+    try:
+        segmenter = get_segmenter(args.method, **kwargs)
+        engine = BatchSegmentationEngine(
+            segmenter,
+            use_lut=not args.no_lut,
+            executor=_make_executor(args.executor, args.jobs),
+        )
+        cache = (
+            None
+            if args.no_cache
+            else ResultCache(max_entries=args.cache_size, ttl_seconds=args.ttl)
+        )
+        service = SegmentationService(
+            engine,
+            max_batch_size=args.max_batch,
+            max_wait_seconds=args.max_wait,
+            queue_size=args.queue_size,
+            cache=cache,
+        )
+    except ValueError as exc:  # ParameterError is a ValueError
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if stdin_mode:
+        jobs = iter_jsonl_jobs(sys.stdin)
+        if args.limit is not None:
+            jobs = itertools.islice(jobs, max(0, int(args.limit)))
+        out_dir = args.out_dir
+    else:
+        jobs = iter_spool_jobs(
+            args.source,
+            watch=args.watch,
+            poll_seconds=args.poll,
+            stop_file=args.stop_file,
+            limit=args.limit,
+        )
+        out_dir = args.out_dir or os.path.join(args.source, "results")
+
+    with service:
+        entries = run_jobs(service, jobs, out_dir=out_dir)
+        report = build_report(
+            service,
+            entries,
+            method=args.method,
+            parameters={"theta": theta_used, "seed": args.seed},
+        )
+
+    payload = json.dumps(report, indent=2, sort_keys=True)
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as fh:
+            fh.write(payload + "\n")
+    else:
+        print(payload)
+    summary = report["summary"]
+    cache_stats = report["metrics"]["cache"]
+    hit_text = f"{cache_stats['hit_rate']:.0%}" if cache_stats else "off"
+    failures = summary["num_failed"]
+    print(
+        f"serve: {len(entries) - failures}/{len(entries)} job(s) ok, "
+        f"method={args.method}, cache hit rate={hit_text}, "
+        f"throughput={report['metrics']['throughput_rps']:.1f} req/s"
+        + (f" -> {args.report}" if args.report else ""),
+        file=sys.stderr if not args.report else sys.stdout,
+    )
+    return 1 if failures else 0
+
+
 def _cmd_evaluate(args: argparse.Namespace) -> int:
     from .datasets.synthetic_voc import SyntheticVOCDataset
     from .datasets.synthetic_xview import SyntheticXView2Dataset
@@ -339,6 +494,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_segment(args)
     if args.command == "batch":
         return _cmd_batch(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "evaluate":
         return _cmd_evaluate(args)
     if args.command == "experiment":

@@ -34,6 +34,7 @@ from .classifier import IQFTClassifier
 from .lut import (
     grayscale_label_lut,
     grayscale_probability_lut,
+    rgb_palette_label_lut,
     lut_eligible,
     lut_cache_info,
     clear_lut_cache,
@@ -85,6 +86,7 @@ __all__ = [
     "IQFTGrayscaleSegmenter",
     "grayscale_label_lut",
     "grayscale_probability_lut",
+    "rgb_palette_label_lut",
     "lut_eligible",
     "lut_cache_info",
     "clear_lut_cache",

@@ -21,10 +21,12 @@ from ..core.lut import (
     lut_cache_info,
     lut_eligible,
     pack_rgb_codes,
+    rgb_palette_label_lut,
     unpack_rgb_codes,
 )
 from .engine import (
     DEFAULT_AUTO_TILE_PIXELS,
+    DEFAULT_STREAM_WINDOW,
     DEFAULT_TILE_SHAPE,
     BatchSegmentationEngine,
 )
@@ -33,9 +35,11 @@ __all__ = [
     "BatchSegmentationEngine",
     "DEFAULT_TILE_SHAPE",
     "DEFAULT_AUTO_TILE_PIXELS",
+    "DEFAULT_STREAM_WINDOW",
     "DEFAULT_NUM_LEVELS",
     "grayscale_label_lut",
     "grayscale_probability_lut",
+    "rgb_palette_label_lut",
     "lut_eligible",
     "lut_cache_info",
     "clear_lut_cache",

@@ -23,8 +23,9 @@ here, so every existing caller of the batch API gets the fast paths for free.
 from __future__ import annotations
 
 import functools
+import itertools
 import time
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -38,6 +39,7 @@ __all__ = [
     "BatchSegmentationEngine",
     "DEFAULT_TILE_SHAPE",
     "DEFAULT_AUTO_TILE_PIXELS",
+    "DEFAULT_STREAM_WINDOW",
 ]
 
 #: Tile shape used when the engine decides to tile on its own.
@@ -46,7 +48,14 @@ DEFAULT_TILE_SHAPE: Tuple[int, int] = (512, 512)
 #: Images with at least this many pixels are tiled in ``"auto"`` mode (4 Mpx).
 DEFAULT_AUTO_TILE_PIXELS = 4_194_304
 
+#: In-flight window of :meth:`BatchSegmentationEngine.map_stream` — the
+#: maximum number of images (and their results) materialized at any moment.
+DEFAULT_STREAM_WINDOW = 32
+
 _TILING_MODES = ("auto", "always", "never")
+
+#: Sentinel distinguishing "companion iterator exhausted" from a None item.
+_EXHAUSTED = object()
 
 
 def _segment_tile(segmenter: BaseSegmenter, block: np.ndarray) -> np.ndarray:
@@ -283,6 +292,60 @@ class BatchSegmentationEngine:
         return self.executor.map(
             functools.partial(_run_item, self, bool(return_errors)), items
         )
+
+    def map_stream(
+        self,
+        images: Iterable[np.ndarray],
+        ground_truths: Optional[Iterable[np.ndarray]] = None,
+        void_masks: Optional[Iterable[np.ndarray]] = None,
+        window: int = DEFAULT_STREAM_WINDOW,
+        return_errors: bool = False,
+    ) -> Iterator[PipelineResult]:
+        """Stream :meth:`map` results with a bounded in-flight window.
+
+        Unlike :meth:`map`, which materializes the whole input list, this
+        generator pulls at most ``window`` images from the (possibly lazy)
+        iterables at a time, scatters that chunk over the executor, and yields
+        the results in input order before pulling the next chunk — so a
+        dataset far larger than memory flows through holding only
+        ``O(window)`` images and results at any moment.  ``ground_truths`` /
+        ``void_masks`` may be lazy iterables too; when supplied they must
+        yield exactly one item per image (a shorter or longer companion
+        stream raises :class:`~repro.errors.ParameterError` at the point the
+        mismatch is observed).  ``return_errors`` behaves as in :meth:`map`.
+        """
+        if int(window) < 1:
+            raise ParameterError("window must be >= 1")
+        window = int(window)
+
+        def _triples() -> Iterator[Tuple]:
+            gt_iter = iter(ground_truths) if ground_truths is not None else None
+            void_iter = iter(void_masks) if void_masks is not None else None
+            for image in images:
+                gt = void = None
+                if gt_iter is not None:
+                    gt = next(gt_iter, _EXHAUSTED)
+                    if gt is _EXHAUSTED:
+                        raise ParameterError("ground_truths ended before images")
+                if void_iter is not None:
+                    void = next(void_iter, _EXHAUSTED)
+                    if void is _EXHAUSTED:
+                        raise ParameterError("void_masks ended before images")
+                yield (image, gt, void)
+            if gt_iter is not None and next(gt_iter, _EXHAUSTED) is not _EXHAUSTED:
+                raise ParameterError("ground_truths is longer than images")
+            if void_iter is not None and next(void_iter, _EXHAUSTED) is not _EXHAUSTED:
+                raise ParameterError("void_masks is longer than images")
+
+        run = functools.partial(_run_item, self, bool(return_errors))
+        triples = _triples()
+        while True:
+            chunk = list(itertools.islice(triples, window))
+            if not chunk:
+                return
+            results = self.executor.map(run, chunk)
+            del chunk  # release the images before yielding (bounded window)
+            yield from results
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

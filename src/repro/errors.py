@@ -22,6 +22,9 @@ __all__ = [
     "DatasetError",
     "ParallelError",
     "ExperimentError",
+    "ServeError",
+    "ServiceClosedError",
+    "ServiceOverloadedError",
 ]
 
 
@@ -75,3 +78,15 @@ class ParallelError(ReproError):
 
 class ExperimentError(ReproError):
     """Raised when an experiment/benchmark harness is misconfigured."""
+
+
+class ServeError(ReproError):
+    """Base class for failures in the serving layer (:mod:`repro.serve`)."""
+
+
+class ServiceClosedError(ServeError):
+    """Raised when a request is submitted to a closed segmentation service."""
+
+
+class ServiceOverloadedError(ServeError):
+    """Raised when the service queue is full and backpressure rejects a request."""

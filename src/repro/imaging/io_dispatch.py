@@ -12,9 +12,14 @@ from .io_bmp import read_bmp, write_bmp
 from .io_png import read_png, write_png
 from .io_ppm import read_ppm, write_pgm, write_ppm
 
-__all__ = ["read_image", "write_image"]
+__all__ = ["read_image", "write_image", "IMAGE_EXTENSIONS"]
 
 PathLike = Union[str, os.PathLike]
+
+#: Every file extension the dispatcher can read (lower-case, with dot).
+#: Directory scanners (``repro-segment batch`` / ``serve``) filter on this,
+#: so the CLI and the codecs can never disagree on what counts as an image.
+IMAGE_EXTENSIONS = (".ppm", ".pgm", ".pnm", ".png", ".bmp")
 
 
 def read_image(path: PathLike) -> np.ndarray:

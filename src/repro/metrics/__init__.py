@@ -23,7 +23,7 @@ from .clustering import (
     normalized_mutual_information,
     variation_of_information,
 )
-from .runtime import Timer, time_callable
+from .runtime import LatencyRecorder, Timer, percentile, time_callable
 from .report import MethodScore, ResultTable
 
 __all__ = [
@@ -45,6 +45,8 @@ __all__ = [
     "variation_of_information",
     "Timer",
     "time_callable",
+    "percentile",
+    "LatencyRecorder",
     "MethodScore",
     "ResultTable",
 ]

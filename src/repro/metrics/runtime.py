@@ -1,11 +1,20 @@
-"""Wall-clock timing helpers used by the experiment harness and benchmarks."""
+"""Wall-clock timing helpers used by the experiment harness and benchmarks.
+
+Besides the :class:`Timer` stopwatch this module provides the latency
+aggregation used by the serving layer: :func:`percentile` (nearest-rank with
+linear interpolation, the convention of ``numpy.percentile``) and
+:class:`LatencyRecorder`, a thread-safe bounded reservoir of per-request
+durations that summarizes into p50/p90/p99 for service metrics snapshots.
+"""
 
 from __future__ import annotations
 
+import threading
 import time
-from typing import Any, Callable, Tuple
+from collections import deque
+from typing import Any, Callable, Dict, Iterable, Sequence, Tuple
 
-__all__ = ["Timer", "time_callable"]
+__all__ = ["Timer", "time_callable", "percentile", "LatencyRecorder"]
 
 
 class Timer:
@@ -54,3 +63,75 @@ def time_callable(func: Callable[..., Any], *args, **kwargs) -> Tuple[Any, float
     start = time.perf_counter()
     result = func(*args, **kwargs)
     return result, time.perf_counter() - start
+
+
+def percentile(values: Iterable[float], q: float) -> float:
+    """The ``q``-th percentile of ``values`` (linear interpolation).
+
+    Matches ``numpy.percentile(values, q)`` but works on plain Python floats
+    without materializing an array, which is all the service metrics need.
+    Raises :class:`ValueError` on an empty input or ``q`` outside ``[0, 100]``.
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile q must be in [0, 100], got {q}")
+    data = sorted(float(v) for v in values)
+    if not data:
+        raise ValueError("percentile of an empty sequence")
+    if len(data) == 1:
+        return data[0]
+    rank = (q / 100.0) * (len(data) - 1)
+    low = int(rank)
+    high = min(low + 1, len(data) - 1)
+    frac = rank - low
+    return data[low] * (1.0 - frac) + data[high] * frac
+
+
+class LatencyRecorder:
+    """Thread-safe bounded reservoir of durations with percentile summaries.
+
+    The serving layer records one wall-clock latency per completed request;
+    :meth:`summary` collapses the reservoir into the usual service-dashboard
+    numbers.  The reservoir keeps the most recent ``max_samples`` values
+    (sliding window) so a long-running service reports *recent* latency, not
+    the all-time mix, while ``count`` still counts every recorded value.
+    """
+
+    def __init__(self, max_samples: int = 4096):
+        if max_samples < 1:
+            raise ValueError("max_samples must be >= 1")
+        self._samples: deque = deque(maxlen=int(max_samples))
+        self._count = 0
+        self._lock = threading.Lock()
+
+    def record(self, seconds: float) -> None:
+        """Record one duration in seconds."""
+        with self._lock:
+            self._samples.append(float(seconds))
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        """Total number of recorded durations (not capped by the window)."""
+        with self._lock:
+            return self._count
+
+    def summary(self, percentiles: Sequence[float] = (50.0, 90.0, 99.0)) -> Dict[str, float]:
+        """``{"count", "mean", "max", "p50", ...}``.
+
+        ``mean``, ``max`` and the percentiles all describe the *current
+        window*, so the numbers are mutually comparable; only ``count`` is
+        all-time.  Returns zeros when nothing has been recorded yet so metric
+        snapshots stay JSON-friendly without ``None`` special cases.
+        """
+        with self._lock:
+            window = list(self._samples)
+            count = self._count
+        out: Dict[str, float] = {
+            "count": float(count),
+            "mean": sum(window) / len(window) if window else 0.0,
+            "max": max(window) if window else 0.0,
+        }
+        for q in percentiles:
+            key = f"p{q:g}".replace(".", "_")
+            out[key] = percentile(window, q) if window else 0.0
+        return out

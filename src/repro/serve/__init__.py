@@ -1,0 +1,51 @@
+"""The serving layer: streaming segmentation with micro-batching and caching.
+
+This subsystem turns the one-shot batch engine into a long-lived service fit
+for request/response traffic:
+
+* :class:`SegmentationService` — bounded ingress queue (backpressure, not
+  OOM), request coalescing through a :class:`MicroBatcher` (flush on batch
+  size or deadline), a content-addressed :class:`ResultCache` in front of the
+  engine (LRU + TTL keyed by image digest + engine-config digest), service
+  metrics (throughput, latency percentiles, cache hit rate, queue depth) and
+  graceful draining shutdown.
+* :mod:`repro.serve.spool` — the job sources behind ``repro-segment serve``:
+  a watched spool directory or JSONL job lines, emitting a
+  ``repro-serve-report/v1`` summary.
+
+The streaming counterpart on the engine itself is
+:meth:`repro.engine.BatchSegmentationEngine.map_stream`, which flows an
+arbitrarily large dataset through a bounded in-flight window.
+
+Quick start
+-----------
+>>> import numpy as np
+>>> from repro import BatchSegmentationEngine, IQFTSegmenter
+>>> from repro.serve import SegmentationService
+>>> engine = BatchSegmentationEngine(IQFTSegmenter(thetas=np.pi))
+>>> image = (np.random.default_rng(0).random((16, 16, 3)) * 255).astype(np.uint8)
+>>> with SegmentationService(engine) as service:
+...     result = service.submit(image).result()
+...     repeat = service.submit(image).result()  # served from the cache
+>>> bool(repeat.segmentation.extras["cache_hit"])
+True
+"""
+
+from .batcher import MicroBatcher
+from .cache import CacheStats, ResultCache, config_digest, image_digest
+from .service import SegmentationService
+from .spool import Job, build_report, iter_jsonl_jobs, iter_spool_jobs, run_jobs
+
+__all__ = [
+    "SegmentationService",
+    "MicroBatcher",
+    "ResultCache",
+    "CacheStats",
+    "image_digest",
+    "config_digest",
+    "Job",
+    "iter_spool_jobs",
+    "iter_jsonl_jobs",
+    "run_jobs",
+    "build_report",
+]

@@ -1,0 +1,184 @@
+"""Content-addressed result cache: LRU + TTL keyed by image digest + config.
+
+The IQFT segmenters are pure functions of ``(image, θ, config)``, which makes
+their output perfectly cacheable: two byte-identical images under the same
+engine configuration always segment identically.  :class:`ResultCache`
+exploits that with a content-addressed store — keys are
+``(blake2b(image bytes), blake2b(engine config))`` — so the serving layer can
+answer repeated inputs without recomputation, regardless of which request or
+file they arrived through.
+
+The cache is a plain thread-safe LRU with optional TTL expiry.  Values are
+whatever the caller stores (the service stores the per-image
+:class:`~repro.base.SegmentationResult`, *not* the scored
+:class:`~repro.core.pipeline.PipelineResult`, so one cached segmentation
+serves requests with different ground-truth masks).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ParameterError
+
+__all__ = ["CacheStats", "ResultCache", "image_digest", "config_digest"]
+
+CacheKey = Tuple[str, str]
+
+
+def image_digest(image: np.ndarray) -> str:
+    """A content digest of an array: dtype + shape + raw bytes (blake2b-128).
+
+    Two arrays receive equal digests iff they are byte-identical in the same
+    dtype and shape — exactly the condition under which a pointwise segmenter
+    is guaranteed to produce identical output.
+    """
+    arr = np.ascontiguousarray(image)
+    hasher = hashlib.blake2b(digest_size=16)
+    hasher.update(str(arr.dtype).encode("ascii"))
+    hasher.update(str(arr.shape).encode("ascii"))
+    hasher.update(arr.data if arr.size else b"")
+    return hasher.hexdigest()
+
+
+def config_digest(config: Mapping[str, Any]) -> str:
+    """A digest of a JSON-friendly configuration mapping (order-insensitive)."""
+    payload = json.dumps(dict(config), sort_keys=True, default=str)
+    return hashlib.blake2b(payload.encode("utf-8"), digest_size=16).hexdigest()
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """A point-in-time snapshot of cache effectiveness counters."""
+
+    hits: int
+    misses: int
+    evictions: int
+    expirations: int
+    currsize: int
+    maxsize: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups (0.0 when the cache has never been queried)."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    def as_dict(self) -> dict:
+        """JSON-friendly form used by service metric snapshots."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "expirations": self.expirations,
+            "currsize": self.currsize,
+            "maxsize": self.maxsize,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class ResultCache:
+    """Thread-safe LRU + TTL cache addressed by content digests.
+
+    Parameters
+    ----------
+    max_entries:
+        Capacity; the least-recently-used entry is evicted on overflow.
+    ttl_seconds:
+        Optional time-to-live.  Entries older than this are treated as misses
+        (and dropped) when looked up.  ``None`` disables expiry.
+    clock:
+        Monotonic time source, injectable for deterministic TTL tests.
+    """
+
+    def __init__(
+        self,
+        max_entries: int = 256,
+        ttl_seconds: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if max_entries < 1:
+            raise ParameterError("max_entries must be >= 1")
+        if ttl_seconds is not None and ttl_seconds <= 0:
+            raise ParameterError("ttl_seconds must be positive or None")
+        self.max_entries = int(max_entries)
+        self.ttl_seconds = float(ttl_seconds) if ttl_seconds is not None else None
+        self._clock = clock
+        self._entries: "OrderedDict[CacheKey, Tuple[Any, float]]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._expirations = 0
+
+    # ------------------------------------------------------------------ #
+    def key_for(self, image: np.ndarray, config: str) -> CacheKey:
+        """Build the cache key for ``image`` under a config digest."""
+        return (image_digest(image), config)
+
+    def get(self, key: CacheKey) -> Optional[Any]:
+        """The cached value, or ``None`` on miss/expiry (which counts a miss)."""
+        now = self._clock()
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return None
+            value, stored_at = entry
+            if self.ttl_seconds is not None and now - stored_at > self.ttl_seconds:
+                del self._entries[key]
+                self._expirations += 1
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return value
+
+    def put(self, key: CacheKey, value: Any) -> None:
+        """Insert/refresh an entry, evicting the LRU entry on overflow."""
+        with self._lock:
+            self._entries[key] = (value, self._clock())
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (statistics counters are preserved)."""
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: CacheKey) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    @property
+    def stats(self) -> CacheStats:
+        """A consistent snapshot of the effectiveness counters."""
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                expirations=self._expirations,
+                currsize=len(self._entries),
+                maxsize=self.max_entries,
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ResultCache(max_entries={self.max_entries}, "
+            f"ttl_seconds={self.ttl_seconds}, size={len(self)})"
+        )

@@ -1,0 +1,285 @@
+"""Tests for the ``repro-segment serve`` CLI subcommand."""
+
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.imaging.io_dispatch import write_image
+
+_REQUIRED_TOP_KEYS = {
+    "schema",
+    "method",
+    "parameters",
+    "service",
+    "metrics",
+    "num_jobs",
+    "jobs",
+    "summary",
+}
+_REQUIRED_JOB_KEYS = {
+    "id",
+    "file",
+    "shape",
+    "num_segments",
+    "fast_path",
+    "cache_hit",
+    "coalesced",
+    "runtime_seconds",
+    "metrics",
+    "result_file",
+}
+
+
+def _make_spool(directory, rng, count=3, size=(20, 24), duplicate_of=None):
+    directory.mkdir(exist_ok=True)
+    images = []
+    for index in range(count):
+        if duplicate_of is not None and index == count - 1:
+            image = images[duplicate_of]
+        else:
+            image = (rng.random((size[0], size[1], 3)) * 255).astype(np.uint8)
+        images.append(image)
+        write_image(directory / f"job_{index}.png", image)
+    return images
+
+
+def test_serve_spool_writes_schema_conformant_report(tmp_path, rng):
+    spool = tmp_path / "spool"
+    _make_spool(spool, rng)
+    report_path = tmp_path / "report.json"
+    exit_code = main(["serve", str(spool), "--report", str(report_path)])
+    assert exit_code == 0
+    report = json.loads(report_path.read_text())
+    assert set(report) == _REQUIRED_TOP_KEYS
+    assert report["schema"] == "repro-serve-report/v1"
+    assert report["method"] == "iqft-rgb"
+    assert report["num_jobs"] == 3
+    for job in report["jobs"]:
+        assert set(job) == _REQUIRED_JOB_KEYS
+        assert job["shape"] == [20, 24]
+        assert job["fast_path"] == "palette-lut"
+    # jobs processed in sorted order for determinism
+    assert [job["id"] for job in report["jobs"]] == sorted(
+        job["id"] for job in report["jobs"]
+    )
+    # service metrics are embedded
+    assert report["metrics"]["completed"] == 3
+    assert report["metrics"]["cache"]["maxsize"] == 256
+    assert report["service"]["max_batch_size"] == 16
+
+
+def test_serve_writes_per_job_result_files(tmp_path, rng):
+    spool = tmp_path / "spool"
+    _make_spool(spool, rng, count=2)
+    assert main(["serve", str(spool), "--report", str(tmp_path / "r.json")]) == 0
+    for index in range(2):
+        result_file = spool / "results" / f"job_{index}.json"
+        assert result_file.exists()
+        entry = json.loads(result_file.read_text())
+        assert entry["id"] == f"job_{index}.png"
+        assert entry["num_segments"] >= 1
+
+
+def test_serve_deduplicates_identical_images(tmp_path, rng):
+    spool = tmp_path / "spool"
+    _make_spool(spool, rng, count=3, duplicate_of=0)  # job_2 == job_0 byte-for-byte
+    report_path = tmp_path / "report.json"
+    assert main(["serve", str(spool), "--report", str(report_path)]) == 0
+    report = json.loads(report_path.read_text())
+    # the duplicate was answered without a second engine evaluation: either a
+    # cache hit (different micro-batches) or coalesced (same micro-batch)
+    duplicates = report["summary"]["num_cache_hits"] + report["summary"]["num_coalesced"]
+    assert duplicates == 1
+    assert report["metrics"]["cache"]["currsize"] == 2  # two distinct images
+
+
+def test_serve_isolates_unreadable_jobs(tmp_path, rng):
+    spool = tmp_path / "spool"
+    _make_spool(spool, rng, count=2)
+    (spool / "corrupt.png").write_bytes(b"not a png")
+    report_path = tmp_path / "report.json"
+    assert main(["serve", str(spool), "--report", str(report_path)]) == 1
+    report = json.loads(report_path.read_text())
+    by_id = {job["id"]: job for job in report["jobs"]}
+    assert "error" in by_id["corrupt.png"]
+    assert report["summary"]["num_failed"] == 1
+    assert by_id["job_0.png"]["num_segments"] >= 1
+    # no result file is written for the failed job
+    assert not (spool / "results" / "corrupt.json").exists()
+
+
+def test_serve_jsonl_stdin_jobs(tmp_path, rng, monkeypatch, capsys):
+    image_path = tmp_path / "input.png"
+    write_image(image_path, (rng.random((10, 12, 3)) * 255).astype(np.uint8))
+    lines = "\n".join(
+        [
+            json.dumps({"path": str(image_path), "id": "first"}),
+            "",  # blank lines are skipped
+            json.dumps({"path": str(image_path)}),  # id defaults to the path
+            "this is not json",
+        ]
+    )
+    monkeypatch.setattr("sys.stdin", io.StringIO(lines))
+    report_path = tmp_path / "report.json"
+    assert main(["serve", "-", "--report", str(report_path)]) == 1  # one malformed line
+    report = json.loads(report_path.read_text())
+    assert report["num_jobs"] == 3
+    by_id = {job["id"]: job for job in report["jobs"]}
+    assert by_id["first"]["num_segments"] >= 1
+    assert str(image_path) in by_id
+    assert "error" in by_id["line-4"]
+    # stdin mode writes no per-job files unless --out-dir is given
+    assert "result_file" not in by_id["first"]
+
+
+def test_serve_jsonl_stdin_respects_limit(tmp_path, rng, monkeypatch):
+    image_path = tmp_path / "input.png"
+    write_image(image_path, (rng.random((8, 8, 3)) * 255).astype(np.uint8))
+    lines = "\n".join(
+        json.dumps({"path": str(image_path), "id": f"job-{i}"}) for i in range(5)
+    )
+    monkeypatch.setattr("sys.stdin", io.StringIO(lines))
+    report_path = tmp_path / "report.json"
+    assert main(["serve", "-", "--limit", "2", "--report", str(report_path)]) == 0
+    assert json.loads(report_path.read_text())["num_jobs"] == 2
+
+
+def test_serve_watch_mode_stops_on_stop_file(tmp_path, rng):
+    spool = tmp_path / "spool"
+    _make_spool(spool, rng, count=2)
+    (spool / ".stop").touch()  # pre-arm: serve one scan, then exit
+    report_path = tmp_path / "report.json"
+    assert main(
+        ["serve", str(spool), "--watch", "--poll", "0.01", "--report", str(report_path)]
+    ) == 0
+    report = json.loads(report_path.read_text())
+    assert report["num_jobs"] == 2
+
+
+def test_iter_spool_jobs_watch_waits_for_files_to_settle(tmp_path, rng):
+    from repro.serve.spool import iter_spool_jobs
+
+    write_image(tmp_path / "a.png", (rng.random((8, 8, 3)) * 255).astype(np.uint8))
+    jobs = iter_spool_jobs(str(tmp_path), watch=True, poll_seconds=0.01)
+    # without a stop file the first scan only records the size/mtime; the
+    # file is yielded once a second scan sees it unchanged
+    job = next(jobs)
+    assert job.id == "a.png"
+    (tmp_path / ".stop").touch()
+    with pytest.raises(StopIteration):
+        next(jobs)
+
+
+def test_latency_recorder_summary_is_window_consistent():
+    from repro.metrics.runtime import LatencyRecorder
+
+    recorder = LatencyRecorder(max_samples=2)
+    for value in (5.0, 0.1, 0.3):  # the 5 s outlier falls out of the window
+        recorder.record(value)
+    summary = recorder.summary()
+    assert summary["count"] == 3.0
+    assert summary["max"] == pytest.approx(0.3)
+    assert summary["mean"] == pytest.approx(0.2)
+    assert summary["p50"] == pytest.approx(0.2)
+
+
+def test_serve_limit_and_no_cache(tmp_path, rng):
+    spool = tmp_path / "spool"
+    _make_spool(spool, rng, count=3)
+    report_path = tmp_path / "report.json"
+    code = main(
+        ["serve", str(spool), "--limit", "2", "--no-cache", "--report", str(report_path)]
+    )
+    assert code == 0
+    report = json.loads(report_path.read_text())
+    assert report["num_jobs"] == 2
+    assert report["metrics"]["cache"] is None
+    assert report["service"]["cache"] is None
+
+
+def test_serve_prints_report_to_stdout_without_report_flag(tmp_path, rng, capsys):
+    spool = tmp_path / "spool"
+    _make_spool(spool, rng, count=1)
+    assert main(["serve", str(spool)]) == 0
+    out = capsys.readouterr().out
+    report = json.loads(out[: out.rindex("}") + 1])
+    assert report["schema"] == "repro-serve-report/v1"
+
+
+def test_serve_is_deterministic_across_runs(tmp_path, rng):
+    spool = tmp_path / "spool"
+    _make_spool(spool, rng)
+    outcomes = []
+    for run in range(2):
+        path = tmp_path / f"report_{run}.json"
+        assert main(["serve", str(spool), "--report", str(path)]) == 0
+        report = json.loads(path.read_text())
+        outcomes.append(
+            [
+                (job["id"], job["num_segments"], job["fast_path"])
+                for job in report["jobs"]
+            ]
+        )
+    assert outcomes[0] == outcomes[1]
+
+
+def test_serve_rejects_bad_source_and_bad_method(tmp_path, rng, capsys):
+    assert main(["serve", str(tmp_path / "missing")]) == 2
+    spool = tmp_path / "spool"
+    _make_spool(spool, rng, count=1)
+    assert main(["serve", str(spool), "--method", "no-such-method"]) == 2
+    assert "unknown segmenter" in capsys.readouterr().err
+    assert main(["serve", str(spool), "--max-batch", "0"]) == 2
+
+
+def test_serve_jobs_flag_sets_worker_count(tmp_path, rng):
+    spool = tmp_path / "spool"
+    _make_spool(spool, rng, count=2)
+    report_path = tmp_path / "report.json"
+    code = main(
+        [
+            "serve",
+            str(spool),
+            "--executor",
+            "thread",
+            "--jobs",
+            "2",
+            "--report",
+            str(report_path),
+        ]
+    )
+    assert code == 0
+    report = json.loads(report_path.read_text())
+    assert report["service"]["engine"]["executor"] == "thread"
+    assert report["metrics"]["completed"] == 2
+
+
+def test_batch_jobs_flag_forwards_worker_count(tmp_path, rng):
+    data = tmp_path / "data"
+    data.mkdir()
+    for index in range(2):
+        write_image(
+            data / f"img_{index}.png",
+            (rng.random((12, 14, 3)) * 255).astype(np.uint8),
+        )
+    report_path = tmp_path / "report.json"
+    code = main(
+        [
+            "batch",
+            str(data),
+            "--executor",
+            "thread",
+            "--jobs",
+            "2",
+            "--report",
+            str(report_path),
+        ]
+    )
+    assert code == 0
+    report = json.loads(report_path.read_text())
+    assert report["engine"]["executor"] == "thread"
+    # --jobs with the serial executor is accepted and ignored
+    assert main(["batch", str(data), "--jobs", "4", "--report", str(report_path)]) == 0

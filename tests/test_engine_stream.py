@@ -1,0 +1,95 @@
+"""Tests for the bounded-memory streaming path ``BatchSegmentationEngine.map_stream``."""
+
+import numpy as np
+import pytest
+
+from repro.core.grayscale_segmenter import IQFTGrayscaleSegmenter
+from repro.core.rgb_segmenter import IQFTSegmenter
+from repro.engine import BatchSegmentationEngine
+from repro.errors import ParameterError, ShapeError
+
+
+def _engine():
+    return BatchSegmentationEngine(IQFTGrayscaleSegmenter(theta=2 * np.pi))
+
+
+def test_map_stream_matches_map_in_order(rng):
+    images = [(rng.random((10, 12)) * 255).astype(np.uint8) for _ in range(9)]
+    masks = [(rng.random((10, 12)) > 0.5).astype(np.int64) for _ in range(9)]
+    engine = _engine()
+    batched = engine.map(images, masks)
+    streamed = list(engine.map_stream(iter(images), iter(masks), window=4))
+    assert len(streamed) == len(batched)
+    for stream_result, batch_result in zip(streamed, batched):
+        assert np.array_equal(stream_result.labels, batch_result.labels)
+        assert stream_result.metrics == batch_result.metrics
+
+
+def test_map_stream_holds_at_most_window_images_in_memory():
+    window = 16
+    total = 1000
+    produced = [0]
+
+    def image_stream():
+        for index in range(total):
+            produced[0] += 1
+            yield np.full((8, 8), index % 256, dtype=np.uint8)
+
+    engine = _engine()
+    consumed = 0
+    for result in engine.map_stream(image_stream(), window=window):
+        consumed += 1
+        # the generator may only ever run `window` items ahead of consumption
+        assert produced[0] - consumed <= window
+        assert result.labels.shape == (8, 8)
+    assert consumed == total
+    assert produced[0] == total
+
+
+def test_map_stream_is_lazy_until_iterated():
+    exploded = [False]
+
+    def image_stream():
+        exploded[0] = True
+        yield np.zeros((4, 4), dtype=np.uint8)
+
+    stream = _engine().map_stream(image_stream())
+    assert exploded[0] is False  # nothing pulled yet
+    list(stream)
+    assert exploded[0] is True
+
+
+def test_map_stream_return_errors_isolates_failures(rng):
+    good = (rng.random((6, 6, 3)) * 255).astype(np.uint8)
+    bad = (rng.random((6, 6)) * 255).astype(np.uint8)  # 2-D input to an RGB method
+    engine = BatchSegmentationEngine(IQFTSegmenter(thetas=np.pi))
+    results = list(engine.map_stream([good, bad, good], window=2, return_errors=True))
+    assert len(results) == 3
+    assert not isinstance(results[0], Exception)
+    assert isinstance(results[1], ShapeError)
+    assert not isinstance(results[2], Exception)
+    # without return_errors the failure propagates
+    with pytest.raises(ShapeError):
+        list(engine.map_stream([good, bad], window=2))
+
+
+def test_map_stream_rejects_mismatched_companion_streams(rng):
+    images = [(rng.random((6, 6)) * 255).astype(np.uint8) for _ in range(3)]
+    masks = [(rng.random((6, 6)) > 0.5).astype(np.int64) for _ in range(2)]
+    engine = _engine()
+    with pytest.raises(ParameterError):
+        list(engine.map_stream(images, masks, window=8))
+    with pytest.raises(ParameterError):
+        list(engine.map_stream(images[:1], masks, window=8))
+    with pytest.raises(ParameterError):
+        list(engine.map_stream(images, void_masks=masks, window=8))
+
+
+def test_map_stream_validates_window(rng):
+    engine = _engine()
+    with pytest.raises(ParameterError):
+        list(engine.map_stream([], window=0))
+    assert list(engine.map_stream([], window=3)) == []
+    # window=1 degenerates to strict one-at-a-time streaming
+    images = [(rng.random((6, 6)) * 255).astype(np.uint8) for _ in range(3)]
+    assert len(list(engine.map_stream(images, window=1))) == 3
