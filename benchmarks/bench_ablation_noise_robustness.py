@@ -23,7 +23,9 @@ _METHODS = (
     MethodSpec(name="iqft-rgb", factory="iqft-rgb", kwargs={"thetas": float(np.pi)}),
     MethodSpec(
         name="iqft-rgb+smooth",
-        factory=lambda **kwargs: SmoothedSegmenter(IQFTSegmenter(), window=3, iterations=2, min_size=16),
+        factory=lambda **kwargs: SmoothedSegmenter(
+            IQFTSegmenter(), window=3, iterations=2, min_size=16
+        ),
     ),
 )
 

@@ -40,29 +40,38 @@ def _checksum(label_maps):
 
 
 def test_ablation_serial_executor(benchmark, images, segmenter, reference):
-    run = lambda: SerialExecutor().map(lambda img: segmenter.segment(img).labels, images)
+    def run():
+        return SerialExecutor().map(lambda img: segmenter.segment(img).labels, images)
+
     labels = benchmark(run)
     assert _checksum(labels) == _checksum(reference)
 
 
 def test_ablation_thread_executor(benchmark, images, segmenter, reference):
     executor = ThreadExecutor(max_workers=2)
-    run = lambda: executor.map(lambda img: segmenter.segment(img).labels, images)
+
+    def run():
+        return executor.map(lambda img: segmenter.segment(img).labels, images)
+
     labels = benchmark(run)
     assert _checksum(labels) == _checksum(reference)
 
 
 def test_ablation_dynamic_scheduler(benchmark, images, segmenter, reference):
     scheduler = DynamicScheduler(num_workers=2)
-    run = lambda: scheduler.run(lambda img: segmenter.segment(img).labels, images)
+
+    def run():
+        return scheduler.run(lambda img: segmenter.segment(img).labels, images)
+
     labels = benchmark(run)
     assert _checksum(labels) == _checksum(reference)
 
 
 def test_ablation_tiled_single_image(benchmark, images, segmenter, reference):
     image = images[0]
-    run = lambda: tile_map(
-        lambda block: segmenter.segment(block).labels, image, tile_shape=(48, 64)
-    )
+
+    def run():
+        return tile_map(lambda block: segmenter.segment(block).labels, image, tile_shape=(48, 64))
+
     labels = benchmark(run)
     assert np.array_equal(labels, reference[0])

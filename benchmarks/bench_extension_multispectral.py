@@ -23,7 +23,9 @@ def _evaluate(dataset):
     for index in range(_NUM_TILES):
         sample = dataset[index]
         cube = sample.metadata["bands"]
-        cube_segmenter = FeatureIQFTSegmenter(features=lambda img, cube=cube: cube, thetas=(np.pi,) * 4)
+        cube_segmenter = FeatureIQFTSegmenter(
+            features=lambda img, cube=cube: cube, thetas=(np.pi,) * 4
+        )
         rgb_score, _ = best_binarized_mean_iou(
             rgb_segmenter.segment(sample.image).labels, sample.mask
         )

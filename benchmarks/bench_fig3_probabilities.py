@@ -12,7 +12,9 @@ from repro.experiments.figures_basis import format_figure3, run_figure3
 
 def test_fig3_probability_distribution(benchmark, emit_result):
     result = benchmark(run_figure3)
-    emit_result("Figure 3 — probability distribution of the example input", format_figure3(result))
+    emit_result(
+        "Figure 3 — probability distribution of the example input", format_figure3(result)
+    )
 
     probs = result.probabilities
     assert abs(sum(probs.values()) - 1.0) < 1e-9

@@ -17,6 +17,7 @@ called out in DESIGN.md).  Conventions:
 
 from __future__ import annotations
 
+import json
 import os
 
 import pytest
@@ -31,6 +32,21 @@ def emit(title: str, text: str) -> None:
     os.makedirs(_OUTPUT_DIR, exist_ok=True)
     with open(os.path.join(_OUTPUT_DIR, "results.txt"), "a", encoding="utf-8") as fh:
         fh.write(block)
+
+
+def emit_json(name: str, payload: dict) -> str:
+    """Write a machine-readable benchmark report to ``output/<name>.json``.
+
+    The nightly CI workflow uploads the whole output directory as an
+    artifact, so every benchmark that wants its numbers tracked over time
+    emits a JSON document here next to the human-readable table.
+    """
+    os.makedirs(_OUTPUT_DIR, exist_ok=True)
+    path = os.path.join(_OUTPUT_DIR, f"{name}.json")
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
 
 
 def pytest_addoption(parser):
@@ -53,3 +69,9 @@ def smoke_mode(request):
 def emit_result():
     """Fixture handing the emit helper to benchmarks."""
     return emit
+
+
+@pytest.fixture(scope="session")
+def emit_json_result():
+    """Fixture handing the JSON report helper to benchmarks."""
+    return emit_json

@@ -15,7 +15,6 @@ ones.
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 from scipy import ndimage
@@ -56,7 +55,9 @@ class ConnectedComponentsSegmenter(BaseSegmenter):
         structure = np.ones((3, 3), dtype=bool)
         labelled, count = ndimage.label(mask, structure=structure)
         if self.min_size > 0 and count > 0:
-            sizes = ndimage.sum_labels(np.ones_like(labelled), labelled, index=np.arange(1, count + 1))
+            sizes = ndimage.sum_labels(
+                np.ones_like(labelled), labelled, index=np.arange(1, count + 1)
+            )
             small = np.flatnonzero(sizes < self.min_size) + 1
             if small.size:
                 labelled[np.isin(labelled, small)] = 0

@@ -9,7 +9,6 @@ with a :class:`FixedThresholdSegmenter` at that threshold).
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 from scipy import ndimage

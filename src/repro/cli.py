@@ -123,9 +123,30 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--queue-size", type=int, default=64, help="bounded ingress queue capacity")
     srv.add_argument("--cache-size", type=int, default=256, help="result cache entries (LRU)")
     srv.add_argument(
-        "--ttl", type=float, default=None, help="result cache time-to-live in seconds"
+        "--ttl", type=float, default=None,
+        help="result cache time-to-live in seconds (with --cache-dir it "
+        "applies to the disk tier as well)",
     )
     srv.add_argument("--no-cache", action="store_true", help="disable the result cache")
+    srv.add_argument(
+        "--cache-dir", default=None,
+        help="persistent disk cache directory (L2 under the in-memory cache): "
+        "warm results survive restarts and are shared across --jobs workers",
+    )
+    srv.add_argument(
+        "--async", dest="use_async", action="store_true",
+        help="serve through the asyncio front end (priority lanes, per-job "
+        "deadlines, deadline-aware shedding)",
+    )
+    srv.add_argument(
+        "--priority-field", default="priority",
+        help="JSONL key holding the lane (high/normal/low) for --async jobs",
+    )
+    srv.add_argument(
+        "--default-deadline-ms", type=float, default=None,
+        help="deadline in milliseconds applied to --async jobs that do not "
+        "carry their own deadline_ms",
+    )
     srv.add_argument(
         "--watch", action="store_true",
         help="keep polling the spool directory for new images instead of "
@@ -342,11 +363,35 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _serve_cache(args: argparse.Namespace):
+    """Build the cache stack for ``serve``: memory L1, optional disk L2."""
+    from .serve import DiskResultCache, ResultCache, TieredResultCache
+
+    if args.no_cache:
+        return None
+    memory = ResultCache(max_entries=args.cache_size, ttl_seconds=args.ttl)
+    if args.cache_dir is None:
+        return memory
+    # The TTL must govern the disk tier too — otherwise expired L1 entries
+    # would simply be re-promoted from a never-expiring L2.
+    disk = DiskResultCache(args.cache_dir, ttl_seconds=args.ttl)
+    return TieredResultCache(l1=memory, l2=disk)
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
     from .baselines.registry import get_segmenter
     from .engine import BatchSegmentationEngine
-    from .serve import ResultCache, SegmentationService
-    from .serve.spool import build_report, iter_jsonl_jobs, iter_spool_jobs, run_jobs
+    from .errors import CacheError
+    from .serve import AsyncSegmentationService, SegmentationService
+    from .serve.spool import (
+        build_report,
+        iter_jsonl_jobs,
+        iter_spool_jobs,
+        run_jobs,
+        run_jobs_async,
+    )
 
     stdin_mode = args.source == "-"
     if not stdin_mode and not os.path.isdir(args.source):
@@ -362,24 +407,29 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             use_lut=not args.no_lut,
             executor=_make_executor(args.executor, args.jobs),
         )
-        cache = (
-            None
-            if args.no_cache
-            else ResultCache(max_entries=args.cache_size, ttl_seconds=args.ttl)
-        )
-        service = SegmentationService(
-            engine,
-            max_batch_size=args.max_batch,
-            max_wait_seconds=args.max_wait,
-            queue_size=args.queue_size,
-            cache=cache,
-        )
-    except ValueError as exc:  # ParameterError is a ValueError
+        cache = _serve_cache(args)
+        if args.use_async:
+            service = AsyncSegmentationService(
+                engine,
+                max_batch_size=args.max_batch,
+                max_wait_seconds=args.max_wait,
+                queue_size=args.queue_size,
+                cache=cache,
+            )
+        else:
+            service = SegmentationService(
+                engine,
+                max_batch_size=args.max_batch,
+                max_wait_seconds=args.max_wait,
+                queue_size=args.queue_size,
+                cache=cache,
+            )
+    except (ValueError, CacheError) as exc:  # ParameterError is a ValueError
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
     if stdin_mode:
-        jobs = iter_jsonl_jobs(sys.stdin)
+        jobs = iter_jsonl_jobs(sys.stdin, priority_field=args.priority_field)
         if args.limit is not None:
             jobs = itertools.islice(jobs, max(0, int(args.limit)))
         out_dir = args.out_dir
@@ -393,14 +443,34 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         )
         out_dir = args.out_dir or os.path.join(args.source, "results")
 
-    with service:
-        entries = run_jobs(service, jobs, out_dir=out_dir)
-        report = build_report(
-            service,
-            entries,
-            method=args.method,
-            parameters={"theta": theta_used, "seed": args.seed},
-        )
+    if args.use_async:
+
+        async def _drive() -> tuple:
+            async with service:
+                entries = await run_jobs_async(
+                    service,
+                    jobs,
+                    out_dir=out_dir,
+                    default_deadline_ms=args.default_deadline_ms,
+                )
+                report = build_report(
+                    service,
+                    entries,
+                    method=args.method,
+                    parameters={"theta": theta_used, "seed": args.seed},
+                )
+            return entries, report
+
+        entries, report = asyncio.run(_drive())
+    else:
+        with service:
+            entries = run_jobs(service, jobs, out_dir=out_dir)
+            report = build_report(
+                service,
+                entries,
+                method=args.method,
+                parameters={"theta": theta_used, "seed": args.seed},
+            )
 
     payload = json.dumps(report, indent=2, sort_keys=True)
     if args.report:

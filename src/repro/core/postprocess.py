@@ -18,7 +18,7 @@ changing the per-pixel algorithm:
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional
+from typing import Any, Dict
 
 import numpy as np
 from scipy import ndimage

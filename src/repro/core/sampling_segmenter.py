@@ -134,7 +134,10 @@ class ShotBasedIQFTSegmenter(BaseSegmenter):
             raise ParameterError(
                 f"{self.name} expects an (H, W, 3) RGB image, got shape {arr.shape}"
             )
-        values = normalize_pixels(arr, max_value=self.max_value) if self.normalize else arr.astype(float)
+        if self.normalize:
+            values = normalize_pixels(arr, max_value=self.max_value)
+        else:
+            values = arr.astype(float)
         phases = pixel_phases(values, self._thetas)
         shape = phases.shape[:2]
         probs = self._classifier.probabilities(phases.reshape(-1, 3))

@@ -90,7 +90,9 @@ def theta_for_threshold(threshold: float, k: int = 0, sign: int = 1) -> float:
     return multiplier * np.pi / (2.0 * float(threshold))
 
 
-def grayscale_class_probabilities(intensity: np.ndarray, theta: float) -> Tuple[np.ndarray, np.ndarray]:
+def grayscale_class_probabilities(
+    intensity: np.ndarray, theta: float
+) -> Tuple[np.ndarray, np.ndarray]:
     """Equation (14): the two class probabilities for normalized intensities.
 
     ``p(class1) = ((1 + cos Iθ)² + sin² Iθ)/4 = (1 + cos Iθ)/2`` and

@@ -55,7 +55,8 @@ class DirectoryDataset(Dataset):
         if self.require_masks:
             missing = [s for s in self._stems if self._find(self._mask_dir, s) is None]
             if missing:
-                raise DatasetError(f"missing masks for: {missing[:5]}{'...' if len(missing) > 5 else ''}")
+                ellipsis = "..." if len(missing) > 5 else ""
+                raise DatasetError(f"missing masks for: {missing[:5]}{ellipsis}")
         self.name = f"directory:{os.path.basename(os.path.normpath(self.root))}"
 
     @staticmethod

@@ -23,7 +23,7 @@ wins on ~96% of the xVIEW2 images — a much larger margin than on VOC.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 

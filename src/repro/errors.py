@@ -25,6 +25,9 @@ __all__ = [
     "ServeError",
     "ServiceClosedError",
     "ServiceOverloadedError",
+    "DeadlineExceededError",
+    "QuotaExceededError",
+    "CacheError",
 ]
 
 
@@ -90,3 +93,21 @@ class ServiceClosedError(ServeError):
 
 class ServiceOverloadedError(ServeError):
     """Raised when the service queue is full and backpressure rejects a request."""
+
+
+class DeadlineExceededError(ServeError):
+    """Raised when a request cannot meet (or has already missed) its deadline.
+
+    The async serving front end raises this at admission time when the
+    estimated completion time already exceeds the request deadline, and while
+    draining its lanes for any queued request whose deadline passed before the
+    engine could pick it up.
+    """
+
+
+class QuotaExceededError(ServeError):
+    """Raised when a client exhausts its per-client token-bucket quota."""
+
+
+class CacheError(ServeError):
+    """Raised when the persistent result cache is misconfigured or corrupt."""

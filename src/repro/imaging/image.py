@@ -162,4 +162,7 @@ class Image:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         kind = "rgb" if self.is_rgb else "gray"
-        return f"Image(name={self.name!r}, shape={self.shape}, kind={kind}, dtype={self.pixels.dtype})"
+        return (
+            f"Image(name={self.name!r}, shape={self.shape}, "
+            f"kind={kind}, dtype={self.pixels.dtype})"
+        )

@@ -16,7 +16,7 @@ import io
 import os
 import struct
 import zlib
-from typing import List, Tuple, Union
+from typing import List, Union
 
 import numpy as np
 

@@ -163,7 +163,8 @@ def polygon_mask(shape: Tuple[int, int], vertices: Sequence[Tuple[float, float]]
         crosses = (r1 > rows) != (r2 > rows)
         denom = r2 - r1
         with np.errstate(divide="ignore", invalid="ignore"):
-            x_at = np.where(crosses, c1 + (rows - r1) * (c2 - c1) / np.where(denom == 0, 1, denom), np.inf)
+            safe_denom = np.where(denom == 0, 1, denom)
+            x_at = np.where(crosses, c1 + (rows - r1) * (c2 - c1) / safe_denom, np.inf)
         inside ^= crosses & (cols < x_at)
     return inside
 
@@ -237,7 +238,9 @@ def composite(
     return np.clip(canvas, 0.0, 1.0)
 
 
-def colorize_mask(mask: np.ndarray, color: Sequence[float], background: Sequence[float] = (0, 0, 0)) -> np.ndarray:
+def colorize_mask(
+    mask: np.ndarray, color: Sequence[float], background: Sequence[float] = (0, 0, 0)
+) -> np.ndarray:
     """Turn a boolean mask into an RGB image with the given fore/background colours."""
     m = np.asarray(mask, dtype=bool)
     fg = np.asarray(color, dtype=np.float64).reshape(1, 1, 3)

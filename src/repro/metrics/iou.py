@@ -9,11 +9,10 @@ both — relevant for degenerate all-background images.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
-from ..errors import MetricError
 from .confusion import binary_confusion, confusion_matrix
 
 __all__ = ["iou", "per_class_iou", "mean_iou", "best_binarized_mean_iou"]

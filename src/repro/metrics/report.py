@@ -147,7 +147,9 @@ def format_table(title: str, header: Sequence[str], rows: Sequence[Sequence[str]
         if len(row) != columns:
             raise MetricError("all rows must have the same number of columns as the header")
     widths = [
-        max(len(str(header[c])), *(len(str(row[c])) for row in rows)) if rows else len(str(header[c]))
+        max(len(str(header[c])), *(len(str(row[c])) for row in rows))
+        if rows
+        else len(str(header[c]))
         for c in range(columns)
     ]
     lines = [title, ""]

@@ -70,7 +70,8 @@ def chunked_apply(
             width = output_width if output_width is not None else (
                 result.shape[1:] if result.ndim > 1 else ()
             )
-            shape = (total,) + (tuple(width) if isinstance(width, tuple) else ((width,) if width else ()))
+            tail = tuple(width) if isinstance(width, tuple) else ((width,) if width else ())
+            shape = (total,) + tail
             dtype = output_dtype if output_dtype is not None else result.dtype
             out = np.empty(shape, dtype=dtype)
         out[start:stop] = result

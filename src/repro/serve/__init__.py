@@ -9,9 +9,18 @@ for request/response traffic:
   engine (LRU + TTL keyed by image digest + engine-config digest), service
   metrics (throughput, latency percentiles, cache hit rate, queue depth) and
   graceful draining shutdown.
+* :class:`AsyncSegmentationService` — the asyncio-native front end over the
+  same engine machinery: ``await submit(image, priority=..., deadline=...,
+  client_id=...)`` with HIGH/NORMAL/LOW priority lanes (weighted draining),
+  per-client token-bucket quotas, deadline-aware admission and shedding
+  (:class:`~repro.errors.DeadlineExceededError`) and graceful ``aclose()``.
+* :class:`DiskResultCache` — a persistent, crash-safe, size-bounded on-disk
+  cache tier (atomic writes, mtime-LRU eviction, multi-process safe) that
+  stacks under the in-memory cache as :class:`TieredResultCache`, so warm
+  results survive restarts and are shared across worker processes.
 * :mod:`repro.serve.spool` — the job sources behind ``repro-segment serve``:
-  a watched spool directory or JSONL job lines, emitting a
-  ``repro-serve-report/v1`` summary.
+  a watched spool directory or JSONL job lines (with optional per-job
+  priority and deadline), emitting a ``repro-serve-report/v1`` summary.
 
 The streaming counterpart on the engine itself is
 :meth:`repro.engine.BatchSegmentationEngine.map_stream`, which flows an
@@ -31,21 +40,45 @@ Quick start
 True
 """
 
+from .aio import AsyncSegmentationService, Priority, TokenBucket
 from .batcher import MicroBatcher
-from .cache import CacheStats, ResultCache, config_digest, image_digest
+from .cache import (
+    CacheStats,
+    ResultCache,
+    TieredCacheStats,
+    TieredResultCache,
+    config_digest,
+    image_digest,
+)
+from .diskcache import DiskCacheStats, DiskResultCache
 from .service import SegmentationService
-from .spool import Job, build_report, iter_jsonl_jobs, iter_spool_jobs, run_jobs
+from .spool import (
+    Job,
+    build_report,
+    iter_jsonl_jobs,
+    iter_spool_jobs,
+    run_jobs,
+    run_jobs_async,
+)
 
 __all__ = [
     "SegmentationService",
+    "AsyncSegmentationService",
+    "Priority",
+    "TokenBucket",
     "MicroBatcher",
     "ResultCache",
     "CacheStats",
+    "TieredResultCache",
+    "TieredCacheStats",
+    "DiskResultCache",
+    "DiskCacheStats",
     "image_digest",
     "config_digest",
     "Job",
     "iter_spool_jobs",
     "iter_jsonl_jobs",
     "run_jobs",
+    "run_jobs_async",
     "build_report",
 ]

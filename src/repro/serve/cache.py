@@ -29,7 +29,14 @@ import numpy as np
 
 from ..errors import ParameterError
 
-__all__ = ["CacheStats", "ResultCache", "image_digest", "config_digest"]
+__all__ = [
+    "CacheStats",
+    "ResultCache",
+    "TieredCacheStats",
+    "TieredResultCache",
+    "image_digest",
+    "config_digest",
+]
 
 CacheKey = Tuple[str, str]
 
@@ -182,3 +189,92 @@ class ResultCache:
             f"ResultCache(max_entries={self.max_entries}, "
             f"ttl_seconds={self.ttl_seconds}, size={len(self)})"
         )
+
+
+@dataclass(frozen=True)
+class TieredCacheStats:
+    """Combined effectiveness snapshot of a two-tier (L1 + L2) cache."""
+
+    l1: Any
+    l2: Any
+
+    @property
+    def l1_hit_rate(self) -> float:
+        """L1 hits over all lookups seen by the tiered cache."""
+        return self.l1.hit_rate
+
+    @property
+    def l2_hit_rate(self) -> float:
+        """L2 hits over the lookups that fell through L1."""
+        return self.l2.hit_rate
+
+    def as_dict(self) -> dict:
+        """JSON-friendly form used by service metric snapshots."""
+        return {
+            "l1": self.l1.as_dict(),
+            "l2": self.l2.as_dict(),
+            "l1_hit_rate": self.l1_hit_rate,
+            "l2_hit_rate": self.l2_hit_rate,
+            "hit_rate": self.hit_rate,
+        }
+
+    @property
+    def hit_rate(self) -> float:
+        """Overall hit rate: a hit in either tier counts."""
+        lookups = self.l1.hits + self.l1.misses
+        if not lookups:
+            return 0.0
+        return (self.l1.hits + self.l2.hits) / lookups
+
+
+class TieredResultCache:
+    """L1 (in-memory) over L2 (persistent) behind the one-cache protocol.
+
+    ``get`` tries the fast in-memory tier first, then the L2; an L2 hit is
+    *promoted* into L1 so the working set re-warms after a restart.  ``put``
+    writes through to both tiers, so a value computed by any worker process
+    becomes visible to every process sharing the L2 directory.
+
+    The tiers stay plain ``get``/``put`` objects — an L1
+    :class:`ResultCache` and an L2
+    :class:`~repro.serve.diskcache.DiskResultCache` in production, anything
+    duck-compatible in tests.
+    """
+
+    def __init__(self, l1: Any, l2: Any):
+        for tier, name in ((l1, "l1"), (l2, "l2")):
+            if not (callable(getattr(tier, "get", None)) and callable(getattr(tier, "put", None))):
+                raise ParameterError(f"{name} must provide get(key) and put(key, value)")
+        self.l1 = l1
+        self.l2 = l2
+
+    def get(self, key: CacheKey) -> Optional[Any]:
+        """L1 value, else the promoted L2 value, else ``None``."""
+        value = self.l1.get(key)
+        if value is not None:
+            return value
+        value = self.l2.get(key)
+        if value is not None:
+            self.l1.put(key, value)
+        return value
+
+    def put(self, key: CacheKey, value: Any) -> None:
+        """Write-through: publish to both tiers."""
+        self.l1.put(key, value)
+        self.l2.put(key, value)
+
+    def clear(self) -> None:
+        """Drop every entry in both tiers."""
+        self.l1.clear()
+        self.l2.clear()
+
+    def __contains__(self, key: CacheKey) -> bool:
+        return key in self.l1 or key in self.l2
+
+    @property
+    def stats(self) -> TieredCacheStats:
+        """Per-tier counters plus combined L1/L2 hit rates."""
+        return TieredCacheStats(l1=self.l1.stats, l2=self.l2.stats)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TieredResultCache(l1={self.l1!r}, l2={self.l2!r})"

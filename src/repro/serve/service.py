@@ -34,7 +34,7 @@ import threading
 import time
 import queue as queue_module
 from concurrent.futures import Future
-from typing import Any, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 import numpy as np
 
@@ -132,8 +132,18 @@ class SegmentationService:
     max_batch_size, max_wait_seconds, queue_size:
         Micro-batcher knobs — see :class:`~repro.serve.batcher.MicroBatcher`.
     cache:
-        A :class:`~repro.serve.cache.ResultCache`, ``None`` to disable
-        caching, or the string ``"default"`` for a 256-entry LRU without TTL.
+        ``None`` to disable caching, the string ``"default"`` for a
+        256-entry in-memory LRU, or any object with ``get(key) ->
+        value|None`` and ``put(key, value)`` — a
+        :class:`~repro.serve.cache.ResultCache`, a
+        :class:`~repro.serve.diskcache.DiskResultCache`, or the two stacked
+        as a :class:`~repro.serve.cache.TieredResultCache` (memory L1 over a
+        persistent disk L2 shared across processes).
+    clock:
+        Monotonic time source used for every latency/uptime measurement,
+        injectable for deterministic tests.  Never wall-clock
+        (``time.time``): a system clock step must not distort deadlines,
+        TTLs, or latency percentiles.
 
     The worker thread starts lazily on the first :meth:`submit` (or
     explicitly via :meth:`start`); ``with SegmentationService(...) as svc:``
@@ -147,15 +157,19 @@ class SegmentationService:
         max_wait_seconds: float = 0.005,
         queue_size: int = 64,
         cache: Any = "default",
+        clock: Callable[[], float] = time.monotonic,
     ):
         if not isinstance(engine, BatchSegmentationEngine):
             raise ParameterError("engine must be a BatchSegmentationEngine instance")
         self.engine = engine
         if cache == "default":
             cache = ResultCache(max_entries=256)
-        if cache is not None and not isinstance(cache, ResultCache):
-            raise ParameterError('cache must be a ResultCache, None, or "default"')
+        if cache is not None and not (
+            callable(getattr(cache, "get", None)) and callable(getattr(cache, "put", None))
+        ):
+            raise ParameterError('cache must provide get/put, be None, or "default"')
         self.cache = cache
+        self._clock = clock
         self._config_digest = config_digest(_engine_fingerprint(engine))
         self._batcher = MicroBatcher(
             max_batch_size=max_batch_size,
@@ -182,7 +196,7 @@ class SegmentationService:
             if self._closed:
                 raise ServiceClosedError("service is closed")
             if self._worker is None:
-                self._started_at = time.perf_counter()
+                self._started_at = self._clock()
                 self._worker = threading.Thread(
                     target=self._worker_loop, name="repro-serve-worker", daemon=True
                 )
@@ -258,7 +272,7 @@ class SegmentationService:
         content-addressed cache.
         """
         arr = np.asarray(image)
-        submitted_at = time.perf_counter()
+        submitted_at = self._clock()
         # The content key drives both caching and within-batch coalescing, so
         # it is computed even when the cache is disabled.
         key: CacheKey = (image_digest(arr), self._config_digest)
@@ -434,7 +448,7 @@ class SegmentationService:
             with self._lock:
                 self._failed += 1
             return
-        self._latency.record(time.perf_counter() - request.submitted_at)
+        self._latency.record(self._clock() - request.submitted_at)
         with self._lock:
             self._completed += 1
         request.future.set_result(result)
@@ -449,7 +463,7 @@ class SegmentationService:
             failed, cancelled = self._failed, self._cancelled
             coalesced = self._coalesced
             started_at = self._started_at
-        elapsed = time.perf_counter() - started_at if started_at is not None else 0.0
+        elapsed = self._clock() - started_at if started_at is not None else 0.0
         return {
             "requests": requests,
             "completed": completed,
@@ -462,8 +476,17 @@ class SegmentationService:
             "throughput_rps": completed / elapsed if elapsed > 0 else 0.0,
             "latency_seconds": self._latency.summary(),
             "batcher": self._batcher.stats,
-            "cache": self.cache.stats.as_dict() if self.cache is not None else None,
+            "cache": self._cache_stats(),
         }
+
+    def _cache_stats(self) -> Optional[Dict[str, Any]]:
+        """Stats of whatever cache is attached (tiered caches report L1/L2)."""
+        if self.cache is None:
+            return None
+        stats = getattr(self.cache, "stats", None)
+        if stats is None:
+            return None
+        return stats.as_dict() if hasattr(stats, "as_dict") else dict(stats)
 
     def describe(self) -> Dict[str, Any]:
         """Static configuration (engine + service knobs), JSON-friendly."""
@@ -475,8 +498,8 @@ class SegmentationService:
             "queue_size": self._batcher.queue_size,
             "cache": (
                 {
-                    "max_entries": self.cache.max_entries,
-                    "ttl_seconds": self.cache.ttl_seconds,
+                    "max_entries": getattr(self.cache, "max_entries", None),
+                    "ttl_seconds": getattr(self.cache, "ttl_seconds", None),
                 }
                 if self.cache is not None
                 else None

@@ -9,7 +9,9 @@ two job sources:
   appears or a job limit is reached.
 * **JSONL job lines** — each line is ``{"path": "...", "id": "..."}`` (``id``
   optional, defaults to the path); blank lines are skipped and malformed
-  lines become per-job error entries instead of aborting the stream.
+  lines become per-job error entries instead of aborting the stream.  A
+  configurable priority field (default ``"priority"``) and a
+  ``"deadline_ms"`` key route each job through the async front end's lanes.
 
 Jobs are submitted eagerly (so the micro-batcher can coalesce them) with a
 bounded number of pending futures — the driver itself obeys the same
@@ -20,6 +22,7 @@ one report entry; :func:`build_report` wraps them into the
 
 from __future__ import annotations
 
+import asyncio
 import dataclasses
 import json
 import os
@@ -37,6 +40,7 @@ __all__ = [
     "iter_spool_jobs",
     "iter_jsonl_jobs",
     "run_jobs",
+    "run_jobs_async",
     "build_report",
 ]
 
@@ -51,6 +55,9 @@ class Job:
     id: str
     path: Optional[str] = None
     error: Optional[str] = None  # set for malformed job lines
+    priority: str = "normal"  # lane name for the async front end
+    deadline_ms: Optional[float] = None  # per-job deadline override
+    client: Optional[str] = None  # quota key for the async front end
 
     @property
     def output_name(self) -> str:
@@ -114,8 +121,14 @@ def iter_spool_jobs(
         time.sleep(poll_seconds)
 
 
-def iter_jsonl_jobs(stream: TextIO) -> Iterator[Job]:
-    """Yield jobs from JSONL lines; malformed lines become error jobs."""
+def iter_jsonl_jobs(stream: TextIO, priority_field: str = "priority") -> Iterator[Job]:
+    """Yield jobs from JSONL lines; malformed lines become error jobs.
+
+    ``priority_field`` names the JSON key holding the lane (``"high"`` /
+    ``"normal"`` / ``"low"``, default lane when absent); a ``"deadline_ms"``
+    key sets a per-job deadline.  Both only matter to the async front end —
+    the sync service ignores them.
+    """
     for lineno, line in enumerate(stream, start=1):
         line = line.strip()
         if not line:
@@ -124,11 +137,21 @@ def iter_jsonl_jobs(stream: TextIO) -> Iterator[Job]:
             payload = json.loads(line)
             if not isinstance(payload, dict) or "path" not in payload:
                 raise ValueError('job line must be an object with a "path" key')
-        except ValueError as exc:
+            deadline_ms = payload.get("deadline_ms")
+            if deadline_ms is not None:
+                deadline_ms = float(deadline_ms)
+        except (TypeError, ValueError) as exc:
             yield Job(id=f"line-{lineno}", error=f"invalid job line: {exc}")
             continue
         path = str(payload["path"])
-        yield Job(id=str(payload.get("id", path)), path=path)
+        client = payload.get("client")
+        yield Job(
+            id=str(payload.get("id", path)),
+            path=path,
+            priority=str(payload.get(priority_field, "normal")),
+            deadline_ms=deadline_ms,
+            client=str(client) if client is not None else None,
+        )
 
 
 def _job_entry(job: Job, outcome: Any) -> Dict[str, Any]:
@@ -209,8 +232,88 @@ def run_jobs(
     return entries
 
 
+async def run_jobs_async(
+    service,
+    jobs: Iterable[Job],
+    out_dir: Optional[str] = None,
+    max_pending: Optional[int] = None,
+    default_deadline_ms: Optional[float] = None,
+) -> List[Dict[str, Any]]:
+    """The :func:`run_jobs` driver for an ``AsyncSegmentationService``.
+
+    Jobs carry their lane in ``job.priority`` and an optional per-job
+    ``deadline_ms`` (falling back to ``default_deadline_ms``).  The job
+    iterable may block (spool watching) — it is advanced on a worker thread
+    so the event loop keeps resolving in-flight requests.  Shed and expired
+    requests surface as per-job ``error`` entries
+    (``DeadlineExceededError: ...``), exactly like any other per-job failure.
+    """
+    from ..imaging.io_dispatch import read_image  # local: keep import cost off the hot path
+
+    if max_pending is None:
+        max_pending = 2 * service.queue_size
+    if out_dir is not None:
+        os.makedirs(out_dir, exist_ok=True)
+    loop = asyncio.get_running_loop()
+
+    entries: List[Dict[str, Any]] = []
+    pending: deque = deque()  # (job, task)
+
+    async def _finish(job: Job, task) -> None:
+        try:
+            outcome = await task
+        except Exception as exc:  # noqa: BLE001 - per-job isolation
+            outcome = exc
+        entry = _job_entry(job, outcome)
+        entry["priority"] = job.priority
+        if out_dir is not None and "error" not in entry:
+            path = os.path.join(out_dir, f"{job.output_name}.json")
+            with open(path, "w", encoding="utf-8") as fh:
+                json.dump(entry, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            entry["result_file"] = path
+        entries.append(entry)
+
+    _DONE = object()
+    job_iter = iter(jobs)
+
+    def _next_job():
+        return next(job_iter, _DONE)
+
+    while True:
+        job = await loop.run_in_executor(None, _next_job)
+        if job is _DONE:
+            break
+        if job.error is not None:
+            entries.append({"id": job.id, "file": job.path, "error": job.error})
+            continue
+        try:
+            image = np.asarray(await loop.run_in_executor(None, read_image, job.path))
+        except Exception as exc:  # noqa: BLE001 - per-job isolation
+            entry = _job_entry(job, exc)
+            entry["priority"] = job.priority
+            entries.append(entry)
+            continue
+        deadline_ms = job.deadline_ms if job.deadline_ms is not None else default_deadline_ms
+        task = asyncio.ensure_future(
+            service.submit(
+                image,
+                priority=job.priority,
+                deadline=deadline_ms / 1000.0 if deadline_ms is not None else None,
+                client_id=job.client,
+            )
+        )
+        pending.append((job, task))
+        while len(pending) >= max_pending:
+            await _finish(*pending.popleft())
+
+    while pending:
+        await _finish(*pending.popleft())
+    return entries
+
+
 def build_report(
-    service: SegmentationService,
+    service,
     entries: List[Dict[str, Any]],
     method: str,
     parameters: Optional[Dict[str, Any]] = None,

@@ -26,7 +26,8 @@ def test_cli_segment_gray_method_and_theta(tmp_path, rng, capsys):
     source = tmp_path / "input.ppm"
     target = tmp_path / "labels.ppm"
     write_image(source, (rng.random((16, 16, 3)) * 255).astype(np.uint8))
-    assert main(["segment", str(source), str(target), "--method", "iqft-gray", "--theta", "6.0"]) == 0
+    args = ["segment", str(source), str(target), "--method", "iqft-gray", "--theta", "6.0"]
+    assert main(args) == 0
     out = capsys.readouterr().out
     assert "iqft-gray" in out
 

@@ -3,7 +3,6 @@
 import json
 
 import numpy as np
-import pytest
 
 from repro.cli import main
 from repro.imaging.io_dispatch import write_image

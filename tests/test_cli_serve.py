@@ -283,3 +283,110 @@ def test_batch_jobs_flag_forwards_worker_count(tmp_path, rng):
     assert report["engine"]["executor"] == "thread"
     # --jobs with the serial executor is accepted and ignored
     assert main(["batch", str(data), "--jobs", "4", "--report", str(report_path)]) == 0
+
+
+# --------------------------------------------------------------------------- #
+# async front end + persistent disk cache
+# --------------------------------------------------------------------------- #
+def test_serve_async_jsonl_jobs_with_priorities(tmp_path, rng, monkeypatch):
+    image_path = tmp_path / "input.png"
+    write_image(image_path, (rng.random((10, 12, 3)) * 255).astype(np.uint8))
+    lines = "\n".join(
+        [
+            json.dumps({"path": str(image_path), "id": "urgent", "priority": "high"}),
+            json.dumps({"path": str(image_path), "id": "bulk", "priority": "low"}),
+            json.dumps({"path": str(image_path), "id": "plain"}),
+            json.dumps({"path": str(image_path), "id": "junk", "priority": "urgent"}),
+        ]
+    )
+    monkeypatch.setattr("sys.stdin", io.StringIO(lines))
+    report_path = tmp_path / "report.json"
+    exit_code = main(
+        ["serve", "-", "--async", "--default-deadline-ms", "60000",
+         "--report", str(report_path)]
+    )
+    assert exit_code == 1  # the bogus priority is a per-job error
+    report = json.loads(report_path.read_text())
+    by_id = {job["id"]: job for job in report["jobs"]}
+    assert by_id["urgent"]["priority"] == "high"
+    assert by_id["bulk"]["priority"] == "low"
+    assert by_id["plain"]["priority"] == "normal"
+    assert "error" in by_id["junk"]
+    lanes = report["metrics"]["lanes"]
+    assert lanes["high"]["completed"] == 1
+    assert lanes["low"]["completed"] == 1
+    assert report["metrics"]["shed"] == {"admission": 0, "expired": 0}
+
+
+def test_serve_async_custom_priority_field(tmp_path, rng, monkeypatch):
+    image_path = tmp_path / "input.png"
+    write_image(image_path, (rng.random((8, 8, 3)) * 255).astype(np.uint8))
+    lines = json.dumps({"path": str(image_path), "id": "job", "lane": "high"})
+    monkeypatch.setattr("sys.stdin", io.StringIO(lines))
+    report_path = tmp_path / "report.json"
+    assert main(
+        ["serve", "-", "--async", "--priority-field", "lane", "--report", str(report_path)]
+    ) == 0
+    report = json.loads(report_path.read_text())
+    assert report["metrics"]["lanes"]["high"]["completed"] == 1
+
+
+def test_serve_async_spool_directory(tmp_path, rng):
+    spool = tmp_path / "spool"
+    _make_spool(spool, rng)
+    report_path = tmp_path / "report.json"
+    assert main(["serve", str(spool), "--async", "--report", str(report_path)]) == 0
+    report = json.loads(report_path.read_text())
+    assert report["num_jobs"] == 3
+    for job in report["jobs"]:
+        assert job["priority"] == "normal"
+        assert "result_file" in job  # per-job JSON written like the sync path
+
+
+def test_serve_cache_dir_survives_process_restart(tmp_path, rng):
+    spool = tmp_path / "spool"
+    _make_spool(spool, rng)
+    cache_dir = tmp_path / "cache"
+    cold_report = tmp_path / "cold.json"
+    warm_report = tmp_path / "warm.json"
+    assert main(
+        ["serve", str(spool), "--cache-dir", str(cache_dir), "--report", str(cold_report)]
+    ) == 0
+    # a brand-new process-equivalent run: fresh service, same cache directory
+    assert main(
+        ["serve", str(spool), "--cache-dir", str(cache_dir), "--report", str(warm_report)]
+    ) == 0
+    cold = json.loads(cold_report.read_text())
+    warm = json.loads(warm_report.read_text())
+    assert cold["summary"]["num_cache_hits"] == 0
+    assert warm["summary"]["num_cache_hits"] == 3  # every job disk-warm
+    assert warm["metrics"]["cache"]["l2"]["hits"] == 3
+    # disk-warm answers must be bit-identical to the cold computation
+    cold_by_id = {job["id"]: job for job in cold["jobs"]}
+    for job in warm["jobs"]:
+        assert job["num_segments"] == cold_by_id[job["id"]]["num_segments"]
+        assert job["shape"] == cold_by_id[job["id"]]["shape"]
+
+
+def test_serve_async_with_tiered_disk_cache(tmp_path, rng, monkeypatch):
+    image_path = tmp_path / "input.png"
+    write_image(image_path, (rng.random((10, 10, 3)) * 255).astype(np.uint8))
+    cache_dir = tmp_path / "cache"
+    lines = "\n".join(
+        json.dumps({"path": str(image_path), "id": f"job-{i}"}) for i in range(3)
+    )
+    monkeypatch.setattr("sys.stdin", io.StringIO(lines))
+    first_report = tmp_path / "first.json"
+    assert main(
+        ["serve", "-", "--async", "--cache-dir", str(cache_dir),
+         "--report", str(first_report)]
+    ) == 0
+    monkeypatch.setattr("sys.stdin", io.StringIO(lines))
+    second_report = tmp_path / "second.json"
+    assert main(
+        ["serve", "-", "--async", "--cache-dir", str(cache_dir),
+         "--report", str(second_report)]
+    ) == 0
+    second = json.loads(second_report.read_text())
+    assert second["summary"]["num_cache_hits"] == 3
+    assert second["metrics"]["cache"]["l2_hit_rate"] > 0.0

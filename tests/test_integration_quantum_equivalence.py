@@ -14,7 +14,6 @@ from repro.core.classifier import IQFTClassifier
 from repro.core.grayscale_segmenter import IQFTGrayscaleSegmenter
 from repro.core.phase_encoding import pixel_phases
 from repro.core.rgb_segmenter import IQFTSegmenter
-from repro.quantum.circuit import QuantumCircuit
 from repro.quantum.encoding import encode_gray_state, encode_pixel_state, phase_encoding_circuit
 from repro.quantum.measurement import argmax_basis_state, probabilities
 from repro.quantum.qft import iqft_circuit, iqft_matrix

@@ -5,7 +5,6 @@ import pytest
 
 from repro.errors import ParameterError, QuantumError
 from repro.quantum.circuit import QuantumCircuit
-from repro.quantum.gates import hadamard
 from repro.quantum.noise_models import (
     NoiseModel,
     NoisyCircuitRunner,

@@ -1,0 +1,258 @@
+"""Tests for the persistent disk cache (``repro.serve.diskcache``)."""
+
+import multiprocessing
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.base import SegmentationResult
+from repro.errors import CacheError, ParameterError
+from repro.serve.cache import ResultCache, TieredResultCache, image_digest
+from repro.serve.diskcache import DiskResultCache
+
+
+def _value(rng, shape=(6, 7), method="test"):
+    """A (SegmentationResult, binary) pair as the serving layer caches them."""
+    labels = rng.integers(0, 4, size=shape).astype(np.int64)
+    segmentation = SegmentationResult(
+        labels=labels,
+        num_segments=int(np.unique(labels).size),
+        runtime_seconds=0.01,
+        method=method,
+        extras={"fast_path": "lut", "theta": 3.14, "nested": {"a": [1, 2]}},
+    )
+    return segmentation, (labels == 0).astype(np.int64)
+
+
+def _key(rng, config="cfg"):
+    image = (rng.random((5, 5)) * 255).astype(np.uint8)
+    return (image_digest(image), config)
+
+
+# --------------------------------------------------------------------------- #
+# round trip + content addressing
+# --------------------------------------------------------------------------- #
+def test_put_get_round_trip_is_bit_identical(tmp_path, rng):
+    cache = DiskResultCache(str(tmp_path))
+    key = _key(rng)
+    stored_seg, stored_binary = _value(rng)
+    cache.put(key, (stored_seg, stored_binary))
+
+    loaded = cache.get(key)
+    assert loaded is not None
+    loaded_seg, loaded_binary = loaded
+    assert np.array_equal(loaded_seg.labels, stored_seg.labels)
+    assert loaded_seg.labels.dtype == stored_seg.labels.dtype
+    assert np.array_equal(loaded_binary, stored_binary)
+    assert loaded_seg.num_segments == stored_seg.num_segments
+    assert loaded_seg.method == stored_seg.method
+    assert loaded_seg.extras["fast_path"] == "lut"
+    assert loaded_seg.extras["nested"] == {"a": [1, 2]}
+
+
+def test_non_json_extras_are_dropped_not_pickled(tmp_path, rng):
+    cache = DiskResultCache(str(tmp_path))
+    key = _key(rng)
+    segmentation, binary = _value(rng)
+    segmentation.extras["probabilities"] = np.zeros((4, 4))  # opaque diagnostic
+    segmentation.extras["kept"] = "yes"
+    cache.put(key, (segmentation, binary))
+    loaded_seg, _ = cache.get(key)
+    assert "probabilities" not in loaded_seg.extras
+    assert loaded_seg.extras["kept"] == "yes"
+
+
+def test_miss_and_hit_counters(tmp_path, rng):
+    cache = DiskResultCache(str(tmp_path))
+    key = _key(rng)
+    assert cache.get(key) is None
+    cache.put(key, _value(rng))
+    assert cache.get(key) is not None
+    stats = cache.stats
+    assert (stats.hits, stats.misses, stats.stores) == (1, 1, 1)
+    assert stats.hit_rate == pytest.approx(0.5)
+    assert stats.currsize == 1
+    assert stats.current_bytes > 0
+
+
+def test_entries_survive_a_new_cache_instance(tmp_path, rng):
+    key = _key(rng)
+    stored_seg, _ = _value(rng)
+    DiskResultCache(str(tmp_path)).put(key, _value(rng))
+    reopened = DiskResultCache(str(tmp_path))  # "process restart"
+    loaded = reopened.get(key)
+    assert loaded is not None
+    assert key in reopened
+
+
+# --------------------------------------------------------------------------- #
+# crash safety + corruption tolerance
+# --------------------------------------------------------------------------- #
+def test_corrupt_entry_is_a_miss_and_is_purged(tmp_path, rng):
+    cache = DiskResultCache(str(tmp_path))
+    key = _key(rng)
+    cache.put(key, _value(rng))
+    path = cache.path_for(key)
+    with open(path, "wb") as fh:
+        fh.write(b"not an npz at all")
+    assert cache.get(key) is None
+    assert not os.path.exists(path)  # purged
+    assert cache.stats.errors == 1
+
+
+def test_truncated_entry_is_a_miss(tmp_path, rng):
+    cache = DiskResultCache(str(tmp_path))
+    key = _key(rng)
+    cache.put(key, _value(rng))
+    path = cache.path_for(key)
+    payload = open(path, "rb").read()
+    with open(path, "wb") as fh:
+        fh.write(payload[: len(payload) // 2])
+    assert cache.get(key) is None
+
+
+def test_orphan_tmp_files_are_cleared(tmp_path, rng):
+    cache = DiskResultCache(str(tmp_path))
+    cache.put(_key(rng), _value(rng))
+    orphan = tmp_path / "entry.npz.tmp-deadbeef"  # a crash mid-write
+    orphan.write_bytes(b"partial")
+    cache.clear()
+    assert not orphan.exists()
+    assert len(cache) == 0
+
+
+# --------------------------------------------------------------------------- #
+# size bounds + LRU by mtime
+# --------------------------------------------------------------------------- #
+def test_entry_count_bound_evicts_oldest_mtime_first(tmp_path, rng):
+    cache = DiskResultCache(str(tmp_path), max_entries=2)
+    keys = [_key(rng, config=f"cfg{i}") for i in range(3)]
+    for index, key in enumerate(keys):
+        cache.put(key, _value(rng))
+        # ensure strictly increasing mtimes even on coarse filesystems
+        os.utime(cache.path_for(key), (time.time() + index, time.time() + index))
+    cache._enforce_bounds()
+    assert keys[0] not in cache  # the oldest entry went first
+    assert keys[1] in cache and keys[2] in cache
+    assert cache.stats.evictions >= 1
+
+
+def test_hit_refreshes_mtime_for_lru(tmp_path, rng):
+    cache = DiskResultCache(str(tmp_path), max_entries=2)
+    first, second = _key(rng, "a"), _key(rng, "b")
+    cache.put(first, _value(rng))
+    cache.put(second, _value(rng))
+    past = time.time() - 100
+    os.utime(cache.path_for(first), (past, past))
+    os.utime(cache.path_for(second), (past + 1, past + 1))
+    assert cache.get(first) is not None  # refreshes first's mtime to "now"
+    cache.put(_key(rng, "c"), _value(rng))
+    assert first in cache
+    assert second not in cache  # second became the oldest
+
+
+def test_byte_bound_is_enforced(tmp_path, rng):
+    probe = DiskResultCache(str(tmp_path / "probe"))
+    probe.put(_key(rng), _value(rng))
+    entry_bytes = probe.stats.current_bytes
+    cache = DiskResultCache(str(tmp_path / "real"), max_bytes=2 * entry_bytes + entry_bytes // 2)
+    for i in range(4):
+        cache.put(_key(rng, config=f"cfg{i}"), _value(rng))
+    assert cache.stats.current_bytes <= cache.max_bytes
+    assert cache.stats.evictions >= 1
+
+
+def test_disk_ttl_expires_entries_since_store(tmp_path, rng, monkeypatch):
+    cache = DiskResultCache(str(tmp_path), ttl_seconds=60.0)
+    key = _key(rng)
+    cache.put(key, _value(rng))
+    assert cache.get(key) is not None  # fresh: well within the TTL
+    real_time = time.time
+    monkeypatch.setattr(time, "time", lambda: real_time() + 120.0)
+    assert cache.get(key) is None  # 120s after the store: expired + purged
+    assert cache.stats.expirations == 1
+    assert not os.path.exists(cache.path_for(key))
+    # a re-store under the (mocked) later clock is served normally again
+    cache.put(key, _value(rng))
+    assert cache.get(key) is not None
+
+
+def test_parameter_validation(tmp_path):
+    with pytest.raises(ParameterError):
+        DiskResultCache(str(tmp_path), max_entries=0)
+    with pytest.raises(ParameterError):
+        DiskResultCache(str(tmp_path), max_bytes=0)
+    with pytest.raises(ParameterError):
+        DiskResultCache(str(tmp_path), ttl_seconds=0)
+    target = tmp_path / "file"
+    target.write_text("x")
+    with pytest.raises(CacheError):
+        DiskResultCache(str(target))
+
+
+# --------------------------------------------------------------------------- #
+# multi-process sharing
+# --------------------------------------------------------------------------- #
+def _worker_put(cache_dir, config, seed, out_queue):
+    rng = np.random.default_rng(seed)
+    cache = DiskResultCache(cache_dir)
+    key = _key(rng, config=config)
+    cache.put(key, _value(rng))
+    out_queue.put(key)
+
+
+def test_concurrent_processes_share_entries(tmp_path, rng):
+    ctx = multiprocessing.get_context("spawn")
+    out_queue = ctx.Queue()
+    workers = [
+        ctx.Process(target=_worker_put, args=(str(tmp_path), f"cfg{i}", 100 + i, out_queue))
+        for i in range(3)
+    ]
+    for worker in workers:
+        worker.start()
+    keys = [out_queue.get(timeout=30) for _ in workers]
+    for worker in workers:
+        worker.join(timeout=30)
+        assert worker.exitcode == 0
+    reader = DiskResultCache(str(tmp_path))
+    for key in keys:
+        assert reader.get(tuple(key)) is not None
+
+
+# --------------------------------------------------------------------------- #
+# tiered composition
+# --------------------------------------------------------------------------- #
+def test_tiered_promotes_l2_hits_into_l1(tmp_path, rng):
+    disk = DiskResultCache(str(tmp_path))
+    key = _key(rng)
+    disk.put(key, _value(rng))
+    tiered = TieredResultCache(l1=ResultCache(max_entries=8), l2=disk)
+    assert tiered.get(key) is not None  # L1 miss, L2 hit, promoted
+    assert key in tiered.l1
+    assert tiered.get(key) is not None  # now pure L1
+    stats = tiered.stats
+    assert stats.l1.hits == 1
+    assert stats.l2.hits == 1
+    assert stats.l1_hit_rate == pytest.approx(0.5)
+    assert stats.hit_rate == pytest.approx(1.0)
+    as_dict = stats.as_dict()
+    assert set(as_dict) == {"l1", "l2", "l1_hit_rate", "l2_hit_rate", "hit_rate"}
+
+
+def test_tiered_put_writes_through_both_tiers(tmp_path, rng):
+    tiered = TieredResultCache(
+        l1=ResultCache(max_entries=8), l2=DiskResultCache(str(tmp_path))
+    )
+    key = _key(rng)
+    tiered.put(key, _value(rng))
+    assert key in tiered.l1
+    assert key in tiered.l2
+    tiered.clear()
+    assert key not in tiered
+
+
+def test_tiered_rejects_non_cache_tiers(tmp_path):
+    with pytest.raises(ParameterError):
+        TieredResultCache(l1="nope", l2=DiskResultCache(str(tmp_path)))

@@ -1,0 +1,140 @@
+"""Monotonic-clock regression tests for the serving layer.
+
+Every time source in the request path (micro-batcher deadlines, cache TTLs,
+service latency/uptime, async deadlines) must be a *monotonic* clock, never
+``time.time()`` — a wall-clock step (NTP correction, DST, manual reset) must
+not flush batches early, expire cache entries, or distort latency
+percentiles.  These tests pin that down with injected fake clocks and a
+source audit.
+"""
+
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+import repro.serve
+from repro.serve import MicroBatcher, ResultCache
+
+
+class FakeClock:
+    """Deterministic monotonic clock."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+#: Wall-clock time is only legitimate where values are compared against file
+#: mtimes, which the OS stamps with the wall clock (the disk cache's LRU and
+#: lock staleness).  Everything else in the serve package must be monotonic.
+_WALL_CLOCK_EXEMPT = {"diskcache.py"}
+
+
+def test_no_wall_clock_in_serve_request_paths():
+    serve_dir = Path(repro.serve.__file__).parent
+    offenders = []
+    for path in sorted(serve_dir.glob("*.py")):
+        if path.name in _WALL_CLOCK_EXEMPT:
+            continue
+        if "time.time()" in path.read_text(encoding="utf-8"):
+            offenders.append(path.name)
+    assert not offenders, f"wall-clock time.time() found in serve modules: {offenders}"
+
+
+def test_batcher_deadline_flush_follows_the_injected_clock():
+    clock = FakeClock()
+    batcher = MicroBatcher(max_batch_size=4, max_wait_seconds=100.0, clock=clock)
+    batcher.put("item")
+    outcome = {}
+
+    def consume():
+        outcome["batch"] = batcher.next_batch()
+
+    worker = threading.Thread(target=consume, daemon=True)
+    worker.start()
+    time.sleep(0.15)  # plenty of *real* time passes...
+    assert worker.is_alive(), "batch flushed on wall time instead of the injected clock"
+    clock.advance(100.1)  # ...but only the injected clock triggers the deadline
+    worker.join(10.0)
+    assert not worker.is_alive()
+    assert outcome["batch"] == ["item"]
+    assert batcher.stats["flushes"]["deadline"] == 1
+    batcher.close()
+
+
+def test_batcher_put_timeout_follows_the_injected_clock():
+    clock = FakeClock()
+    batcher = MicroBatcher(max_batch_size=1, queue_size=1, clock=clock)
+    batcher.put("fills-the-queue")
+    blocked = {}
+
+    def producer():
+        try:
+            batcher.put("blocked", timeout=50.0)
+        except Exception as exc:  # noqa: BLE001 - recorded for the assertion
+            blocked["error"] = type(exc).__name__
+
+    worker = threading.Thread(target=producer, daemon=True)
+    worker.start()
+    time.sleep(0.15)
+    assert worker.is_alive(), "put timed out on wall time instead of the injected clock"
+    clock.advance(51.0)
+    worker.join(10.0)
+    assert not worker.is_alive()
+    assert blocked["error"] == "Full"
+    batcher.close()
+
+
+def test_cache_ttl_expires_on_injected_clock_only():
+    clock = FakeClock()
+    cache = ResultCache(max_entries=4, ttl_seconds=10.0, clock=clock)
+    key = ("img", "cfg")
+    cache.put(key, "value")
+    # real time passing does nothing — only the injected clock ages entries
+    time.sleep(0.05)
+    assert cache.get(key) == "value"
+    clock.advance(10.5)
+    assert cache.get(key) is None
+    assert cache.stats.expirations == 1
+
+
+def test_cache_ttl_is_immune_to_wall_clock_jumps(monkeypatch):
+    cache = ResultCache(max_entries=4, ttl_seconds=3600.0)  # default monotonic clock
+    key = ("img", "cfg")
+    cache.put(key, "value")
+    # a huge forward wall-clock step (NTP correction) must not expire entries
+    monkeypatch.setattr(time, "time", lambda: 4102444800.0)  # year 2100
+    assert cache.get(key) == "value"
+    assert cache.stats.expirations == 0
+
+
+def test_service_latency_and_uptime_follow_the_injected_clock(rng):
+    import numpy as np
+
+    from repro.core.rgb_segmenter import IQFTSegmenter
+    from repro.engine import BatchSegmentationEngine
+    from repro.serve import SegmentationService
+
+    clock = FakeClock()
+    engine = BatchSegmentationEngine(IQFTSegmenter(thetas=np.pi))
+    service = SegmentationService(engine, max_wait_seconds=0.001, clock=clock)
+    try:
+        image = (rng.random((10, 12, 3)) * 255).astype(np.uint8)
+        service.submit(image).result(timeout=30)
+        # the request completed while the injected clock stood still, so its
+        # recorded latency must be exactly zero — real elapsed time must not
+        # leak into the percentiles
+        latency = service.metrics()["latency_seconds"]
+        assert latency["count"] == 1.0
+        assert latency["max"] == 0.0
+        clock.advance(7.0)
+        assert service.metrics()["uptime_seconds"] == pytest.approx(7.0)
+    finally:
+        service.close()
