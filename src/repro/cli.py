@@ -92,12 +92,15 @@ def build_parser() -> argparse.ArgumentParser:
     srv = sub.add_parser(
         "serve",
         help="run the micro-batching segmentation service over a spool "
-        "directory (or '-' for JSONL job lines on stdin)",
+        "directory, '-' for JSONL job lines on stdin, or --http for a "
+        "network front end",
     )
     srv.add_argument(
         "source",
+        nargs="?",
+        default=None,
         help="spool directory of images, or '-' to read JSONL job lines "
-        '({"path": ..., "id": ...}) from stdin',
+        '({"path": ..., "id": ...}) from stdin (optional with --http)',
     )
     srv.add_argument("--report", default=None, help="write the JSON summary here (default: stdout)")
     srv.add_argument(
@@ -148,12 +151,36 @@ def build_parser() -> argparse.ArgumentParser:
         "carry their own deadline_ms",
     )
     srv.add_argument(
+        "--http", default=None, metavar="HOST:PORT",
+        help="serve POST /v1/segment, GET /v1/metrics and GET /healthz over "
+        "HTTP (implies --async; port 0 picks a free port; runs until "
+        "SIGINT/SIGTERM, then drains in-flight requests before exiting)",
+    )
+    srv.add_argument(
+        "--max-body-mb", type=float, default=64.0,
+        help="largest HTTP request body in MiB before a 413 (--http)",
+    )
+    srv.add_argument(
+        "--lane-weights", default=None, metavar="HIGH:NORMAL:LOW",
+        help="batch slots per weighted-drain cycle for the async priority "
+        "lanes, e.g. 4:2:1 (--async/--http)",
+    )
+    srv.add_argument(
+        "--client-rate", type=float, default=None,
+        help="per-client token-bucket quota in requests/second (--async/--http)",
+    )
+    srv.add_argument(
+        "--client-burst", type=float, default=None,
+        help="per-client token-bucket burst capacity (--client-rate)",
+    )
+    srv.add_argument(
         "--watch", action="store_true",
         help="keep polling the spool directory for new images instead of "
         "exiting after the initial scan",
     )
     srv.add_argument(
-        "--poll", type=float, default=0.2, help="spool poll interval in seconds (--watch)"
+        "--poll-seconds", "--poll", dest="poll", type=float, default=0.2,
+        help="spool poll interval in seconds (--watch)",
     )
     srv.add_argument(
         "--stop-file", default=".stop",
@@ -378,6 +405,105 @@ def _serve_cache(args: argparse.Namespace):
     return TieredResultCache(l1=memory, l2=disk)
 
 
+def _parse_lane_weights(text: str) -> dict:
+    """``"4:2:1"`` → ``{"high": 4, "normal": 2, "low": 1}``."""
+    from .errors import ParameterError
+
+    parts = text.split(":")
+    if len(parts) != 3:
+        raise ParameterError(f"--lane-weights must be HIGH:NORMAL:LOW, got {text!r}")
+    try:
+        weights = [int(part) for part in parts]
+    except ValueError:
+        raise ParameterError(f"--lane-weights must be three integers, got {text!r}") from None
+    return dict(zip(("high", "normal", "low"), weights))
+
+
+def _parse_http_address(text: str) -> tuple:
+    """``"HOST:PORT"`` → ``(host, port)``; the host defaults to loopback."""
+    from .errors import ParameterError
+
+    host, sep, port_text = text.rpartition(":")
+    if not sep:
+        raise ParameterError(f"--http must be HOST:PORT, got {text!r}")
+    try:
+        port = int(port_text)
+        if not 0 <= port <= 65535:
+            raise ValueError
+    except ValueError:
+        raise ParameterError(f"invalid --http port {port_text!r}") from None
+    return host or "127.0.0.1", port
+
+
+def _run_http_serve(args: argparse.Namespace, service, theta_used, host: str, port: int) -> int:
+    """Drive the HTTP front end until SIGINT/SIGTERM, then drain and report."""
+    import asyncio
+    import signal
+
+    from .serve.http import HttpSegmentationServer
+
+    async def _drive() -> dict:
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        hooked = []
+        for signame in ("SIGINT", "SIGTERM"):
+            signum = getattr(signal, signame, None)
+            if signum is None:
+                continue
+            try:
+                loop.add_signal_handler(signum, stop.set)
+                hooked.append(signum)
+            except (NotImplementedError, RuntimeError, ValueError):
+                pass  # non-main thread / platform without signal support
+        async with service:
+            server = HttpSegmentationServer(
+                service,
+                host=host,
+                port=port,
+                max_body_bytes=int(args.max_body_mb * 1024 * 1024),
+            )
+            await server.start()
+            print(
+                f"http-serve: listening on http://{server.host}:{server.port} "
+                "(SIGINT/SIGTERM drains and exits)",
+                file=sys.stderr,
+                flush=True,
+            )
+            try:
+                await stop.wait()
+            finally:
+                for signum in hooked:
+                    loop.remove_signal_handler(signum)
+                print("http-serve: draining...", file=sys.stderr, flush=True)
+                await server.aclose(drain=True, close_service=False)
+            metrics = service.metrics()
+            http_metrics = server.http_metrics()
+        return {
+            "schema": "repro-http-serve-report/v1",
+            "method": args.method,
+            "parameters": {"theta": theta_used, "seed": args.seed},
+            "service": service.describe(),
+            "metrics": metrics,
+            "http": http_metrics,
+        }
+
+    report = asyncio.run(_drive())
+    payload = json.dumps(report, indent=2, sort_keys=True)
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as fh:
+            fh.write(payload + "\n")
+    else:
+        print(payload)
+    print(
+        f"http-serve: {report['metrics']['completed']} request(s) served, "
+        f"{report['http']['requests']} HTTP request(s) total"
+        + (f" -> {args.report}" if args.report else ""),
+        file=sys.stderr,
+        flush=True,
+    )
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
@@ -393,10 +519,24 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         run_jobs_async,
     )
 
+    http_mode = args.http is not None
+    use_async = args.use_async or http_mode
     stdin_mode = args.source == "-"
-    if not stdin_mode and not os.path.isdir(args.source):
-        print(f"error: {args.source!r} is not a directory (or '-' for stdin)", file=sys.stderr)
-        return 2
+    if http_mode and args.source is not None:
+        print(
+            "warning: --http serves network requests; the job source "
+            f"{args.source!r} is ignored",
+            file=sys.stderr,
+        )
+    if not http_mode:
+        if args.source is None:
+            print("error: a job source is required unless --http is given", file=sys.stderr)
+            return 2
+        if not stdin_mode and not os.path.isdir(args.source):
+            print(
+                f"error: {args.source!r} is not a directory (or '-' for stdin)", file=sys.stderr
+            )
+            return 2
 
     kwargs = _segmenter_kwargs(args)
     theta_used = float(args.theta) if ("thetas" in kwargs or "theta" in kwargs) else None
@@ -408,13 +548,23 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             executor=_make_executor(args.executor, args.jobs),
         )
         cache = _serve_cache(args)
-        if args.use_async:
+        if use_async:
             service = AsyncSegmentationService(
                 engine,
                 max_batch_size=args.max_batch,
                 max_wait_seconds=args.max_wait,
                 queue_size=args.queue_size,
                 cache=cache,
+                lane_weights=(
+                    _parse_lane_weights(args.lane_weights) if args.lane_weights else None
+                ),
+                client_rate=args.client_rate,
+                client_burst=args.client_burst,
+                default_deadline=(
+                    args.default_deadline_ms / 1000.0
+                    if http_mode and args.default_deadline_ms is not None
+                    else None
+                ),
             )
         else:
             service = SegmentationService(
@@ -424,9 +574,24 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 queue_size=args.queue_size,
                 cache=cache,
             )
+        if http_mode:
+            http_host, http_port = _parse_http_address(args.http)
+            if int(args.max_body_mb * 1024 * 1024) < 1:
+                from .errors import ParameterError
+
+                raise ParameterError("--max-body-mb must allow at least one byte")
     except (ValueError, CacheError) as exc:  # ParameterError is a ValueError
         print(f"error: {exc}", file=sys.stderr)
         return 2
+
+    if http_mode:
+        try:
+            return _run_http_serve(args, service, theta_used, http_host, http_port)
+        except (ValueError, CacheError, OSError) as exc:
+            # bind failures (port in use, privileged port) and config errors
+            # follow the CLI convention: one error line, exit 2
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
 
     if stdin_mode:
         jobs = iter_jsonl_jobs(sys.stdin, priority_field=args.priority_field)
@@ -443,7 +608,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         )
         out_dir = args.out_dir or os.path.join(args.source, "results")
 
-    if args.use_async:
+    if use_async:
 
         async def _drive() -> tuple:
             async with service:

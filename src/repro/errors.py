@@ -28,6 +28,7 @@ __all__ = [
     "DeadlineExceededError",
     "QuotaExceededError",
     "CacheError",
+    "PayloadError",
 ]
 
 
@@ -111,3 +112,13 @@ class QuotaExceededError(ServeError):
 
 class CacheError(ServeError):
     """Raised when the persistent result cache is misconfigured or corrupt."""
+
+
+class PayloadError(ServeError):
+    """Raised when a request payload cannot be parsed into an image.
+
+    The HTTP front end maps this (alongside :class:`ImageDecodeError` and
+    :class:`ParameterError`) to a ``400 Bad Request`` response: the request
+    was understood at the protocol level but its body — JSON envelope,
+    base64 transfer encoding, npy array, or image container — is malformed.
+    """

@@ -12,7 +12,7 @@ from .io_bmp import read_bmp, write_bmp
 from .io_png import read_png, write_png
 from .io_ppm import read_ppm, write_pgm, write_ppm
 
-__all__ = ["read_image", "write_image", "IMAGE_EXTENSIONS"]
+__all__ = ["read_image", "write_image", "decode_image", "IMAGE_EXTENSIONS"]
 
 PathLike = Union[str, os.PathLike]
 
@@ -35,6 +35,34 @@ def read_image(path: PathLike) -> np.ndarray:
     if ext == ".bmp":
         return read_bmp(path)
     raise ImageDecodeError(f"unsupported image extension: {ext!r}")
+
+
+#: Magic-byte prefixes for in-memory container sniffing (no filename needed).
+_PNG_MAGIC = b"\x89PNG\r\n\x1a\n"
+_BMP_MAGIC = b"BM"
+_PPM_MAGICS = tuple(b"P" + str(n).encode("ascii") for n in range(1, 7))
+
+
+def decode_image(data: bytes) -> np.ndarray:
+    """Decode in-memory image bytes, sniffing the container from magic bytes.
+
+    Network front ends receive image *bytes* without any filename, so the
+    extension dispatch of :func:`read_image` does not apply; the PNG, BMP and
+    PPM/PGM containers are all self-identifying, so the first bytes pick the
+    codec instead.
+    """
+    if not isinstance(data, (bytes, bytearray, memoryview)):
+        raise ImageDecodeError(f"expected image bytes, got {type(data).__name__}")
+    data = bytes(data)
+    if data.startswith(_PNG_MAGIC):
+        return read_png(data)
+    if data[:2] in _PPM_MAGICS:
+        return read_ppm(data)
+    if data.startswith(_BMP_MAGIC):
+        return read_bmp(data)
+    raise ImageDecodeError(
+        "unrecognized image container (expected PNG, PPM/PGM/PNM, or BMP magic bytes)"
+    )
 
 
 def write_image(path: PathLike, pixels: np.ndarray) -> None:

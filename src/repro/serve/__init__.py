@@ -14,6 +14,12 @@ for request/response traffic:
   client_id=...)`` with HIGH/NORMAL/LOW priority lanes (weighted draining),
   per-client token-bucket quotas, deadline-aware admission and shedding
   (:class:`~repro.errors.DeadlineExceededError`) and graceful ``aclose()``.
+* :class:`HttpSegmentationServer` — the stdlib-only asyncio HTTP/1.1 front
+  end over the async service (``POST /v1/segment``, ``GET /v1/metrics``,
+  draining-aware ``GET /healthz``) with every serve error mapped to a
+  precise status code, plus :class:`SegmentClient`, the blocking reference
+  client that raises those errors back as the library's own exceptions.
+  CLI: ``repro-segment serve --http HOST:PORT``.
 * :class:`DiskResultCache` — a persistent, crash-safe, size-bounded on-disk
   cache tier (atomic writes, mtime-LRU eviction, multi-process safe) that
   stacks under the in-memory cache as :class:`TieredResultCache`, so warm
@@ -42,6 +48,8 @@ True
 
 from .aio import AsyncSegmentationService, Priority, TokenBucket
 from .batcher import MicroBatcher
+from .http import HttpSegmentationServer, status_for_exception
+from .http_client import HttpSegmentResult, SegmentClient
 from .cache import (
     CacheStats,
     ResultCache,
@@ -64,6 +72,10 @@ from .spool import (
 __all__ = [
     "SegmentationService",
     "AsyncSegmentationService",
+    "HttpSegmentationServer",
+    "SegmentClient",
+    "HttpSegmentResult",
+    "status_for_exception",
     "Priority",
     "TokenBucket",
     "MicroBatcher",

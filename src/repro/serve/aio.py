@@ -324,18 +324,31 @@ class AsyncSegmentationService:
         if self._worker_task is None or self._worker_task.done():
             self._worker_task = loop.create_task(self._worker_loop())
 
+    def begin_drain(self) -> None:
+        """Reject new submits immediately; queued work keeps draining.
+
+        This is the synchronous first phase of :meth:`aclose`, exposed for
+        network front ends: flipping it turns the health check to "draining"
+        (so load balancers stop routing here) while every admitted request
+        still runs to completion.  Follow up with :meth:`aclose` once the
+        front end's own in-flight requests have settled.
+        """
+        self._closed = True
+        if self._wakeup is not None:
+            self._wakeup.set()
+        if self._space is not None:
+            self._space.set()  # wake blocked submitters so they observe closed
+
     async def aclose(self, drain: bool = True) -> None:
         """Reject new submits, then drain (default) or shed the queued work.
 
         With ``drain=False`` every queued request fails fast with
         :class:`~repro.errors.ServiceClosedError`; the batch currently being
-        computed still completes either way.  Idempotent.
+        computed still completes either way.  Idempotent, and composes with
+        :meth:`begin_drain` (shedding a queue that already drained is a
+        no-op).
         """
-        if self._closed:
-            if self._worker_task is not None:
-                await asyncio.gather(self._worker_task, return_exceptions=True)
-            return
-        self._closed = True
+        self.begin_drain()
         if not drain:
             for lane_state in self._lanes.values():
                 while lane_state.queue:
@@ -345,10 +358,8 @@ class AsyncSegmentationService:
                             ServiceClosedError("service closed before the request ran")
                         )
                         self._cancelled += 1
-        if self._wakeup is not None:
-            self._wakeup.set()
-        if self._space is not None:
-            self._space.set()  # wake blocked submitters so they observe closed
+            if self._wakeup is not None:
+                self._wakeup.set()
         if self._worker_task is not None:
             await asyncio.gather(self._worker_task, return_exceptions=True)
 

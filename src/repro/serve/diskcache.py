@@ -163,7 +163,11 @@ class _DirectoryLock:
                 return self
             except FileExistsError:
                 try:
-                    age = time.time() - os.path.getmtime(self._path)
+                    # Clamp at 0: a backwards wall-clock step (NTP, VM
+                    # migration) must not yield a negative age that keeps a
+                    # genuinely stale lock looking "fresh" forever — the
+                    # monotonic deadline below stays the hard upper bound.
+                    age = max(0.0, time.time() - os.path.getmtime(self._path))
                 except OSError:
                     continue  # holder released between open and stat; retry
                 if age > self._stale_seconds or time.monotonic() > deadline:
@@ -324,7 +328,10 @@ class DiskResultCache:
             except OSError:
                 pass
             return None
-        if self.ttl_seconds is not None and time.time() - stored_at > self.ttl_seconds:
+        # Age clamped at 0: after a backwards wall-clock step an entry can
+        # carry a stored_at from the "future"; it is then simply fresh, not
+        # a source of negative ages that would distort the expiry stats.
+        if self.ttl_seconds is not None and max(0.0, time.time() - stored_at) > self.ttl_seconds:
             with self._stats_lock:
                 self._misses += 1
                 self._expirations += 1
@@ -444,6 +451,10 @@ class DiskResultCache:
                 try:
                     os.unlink(path)
                 except FileNotFoundError:
+                    # Another process evicted it between our scan and now:
+                    # the bytes are gone all the same, so the running total
+                    # must shrink or this sweep over-evicts survivors.
+                    total_bytes -= size
                     continue
                 except OSError:
                     failed += 1

@@ -84,17 +84,23 @@ def iter_spool_jobs(
     and mtime are unchanged across two consecutive scans; once the stop file
     appears, everything still settling is flushed (files spooled together
     with the stop file are served without an extra poll round).
+
+    The stop file is checked *before* the directory is listed: any job
+    spooled before the stop file was created is therefore guaranteed to be
+    visible in the final scan and served.  (Checking afterwards loses jobs
+    when the producer drops files plus the stop file mid-scan — the stop is
+    observed but the listing predates the files.)
     """
     seen = set()
     settling: dict = {}  # name -> (size, mtime_ns) from the previous scan
     yielded = 0
     while True:
+        stopping = not watch or os.path.exists(os.path.join(directory, stop_file))
         names = sorted(
             entry
             for entry in os.listdir(directory)
             if entry.lower().endswith(IMAGE_EXTENSIONS) and entry not in seen
         )
-        stopping = not watch or os.path.exists(os.path.join(directory, stop_file))
         ready = []
         for name in names:
             if stopping:

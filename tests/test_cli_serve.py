@@ -173,6 +173,48 @@ def test_iter_spool_jobs_watch_waits_for_files_to_settle(tmp_path, rng):
         next(jobs)
 
 
+def test_iter_spool_jobs_serves_files_spooled_before_the_stop_file(tmp_path, rng, monkeypatch):
+    """Jobs dropped together with the stop file mid-scan must still be served.
+
+    The producer writes ``b.png`` and then the stop file *while* the watcher
+    is between its directory listing and its stop check.  Because the stop
+    file is checked before each listing, the stop is only honoured on the
+    next round — whose listing is guaranteed to include ``b.png``.
+    """
+    import os
+
+    from repro.serve import spool
+
+    write_image(tmp_path / "a.png", (rng.random((8, 8, 3)) * 255).astype(np.uint8))
+    real_listdir = os.listdir
+    state = {"scans": 0}
+
+    def racing_listdir(path):
+        names = real_listdir(path)
+        state["scans"] += 1
+        if state["scans"] == 1:
+            # mid-scan: one more job lands, then the stop file right after it
+            write_image(tmp_path / "b.png", (rng.random((8, 8, 3)) * 255).astype(np.uint8))
+            (tmp_path / ".stop").touch()
+        return names
+
+    monkeypatch.setattr(spool.os, "listdir", racing_listdir)
+    jobs = list(spool.iter_spool_jobs(str(tmp_path), watch=True, poll_seconds=0.01))
+    assert sorted(job.id for job in jobs) == ["a.png", "b.png"]
+
+
+def test_serve_watch_accepts_poll_seconds_flag(tmp_path, rng):
+    spool_dir = tmp_path / "spool"
+    _make_spool(spool_dir, rng, count=2)
+    (spool_dir / ".stop").touch()
+    report_path = tmp_path / "report.json"
+    assert main(
+        ["serve", str(spool_dir), "--watch", "--poll-seconds", "0.01",
+         "--report", str(report_path)]
+    ) == 0
+    assert json.loads(report_path.read_text())["num_jobs"] == 2
+
+
 def test_latency_recorder_summary_is_window_consistent():
     from repro.metrics.runtime import LatencyRecorder
 
@@ -366,6 +408,81 @@ def test_serve_cache_dir_survives_process_restart(tmp_path, rng):
     for job in warm["jobs"]:
         assert job["num_segments"] == cold_by_id[job["id"]]["num_segments"]
         assert job["shape"] == cold_by_id[job["id"]]["shape"]
+
+
+# --------------------------------------------------------------------------- #
+# HTTP front end
+# --------------------------------------------------------------------------- #
+def test_serve_requires_a_source_unless_http(tmp_path, capsys):
+    assert main(["serve"]) == 2
+    assert "job source is required" in capsys.readouterr().err
+    assert main(["serve", "--http", "not-an-address"]) == 2
+    assert main(["serve", "--http", "127.0.0.1:notaport"]) == 2
+    assert main(["serve", "--http", "127.0.0.1:8080", "--lane-weights", "4:2"]) == 2
+    assert main(["serve", "--http", "127.0.0.1:8080", "--max-body-mb", "0"]) == 2
+
+
+def test_serve_http_bind_failure_exits_2_with_an_error_line(capsys):
+    import socket
+
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        sock.listen(1)
+        port = sock.getsockname()[1]
+        assert main(["serve", "--http", f"127.0.0.1:{port}"]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_serve_http_end_to_end_with_graceful_sigterm(tmp_path, rng):
+    import os
+    import re
+    import signal
+    import subprocess
+    import sys as _sys
+
+    from repro.serve.http_client import SegmentClient
+
+    report_path = tmp_path / "report.json"
+    env = dict(os.environ)
+    src_dir = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+    env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [
+            _sys.executable, "-c",
+            "from repro.cli import main; import sys; sys.exit(main(sys.argv[1:]))",
+            "serve", "--http", "127.0.0.1:0", "--lane-weights", "6:3:1",
+            "--report", str(report_path),
+        ],
+        stderr=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+    try:
+        line = proc.stderr.readline()
+        match = re.search(r"http://([\d.]+):(\d+)", line)
+        assert match, f"no listening line in stderr: {line!r}"
+        host, port = match.group(1), int(match.group(2))
+        with SegmentClient(host, port, timeout=60) as client:
+            assert client.health()["status_code"] == 200
+            image = (rng.random((10, 12, 3)) * 255).astype(np.uint8)
+            result = client.segment(image, priority="high")
+            assert result.num_segments >= 1
+            assert result.labels.shape == (10, 12)
+            metrics = client.metrics()
+            assert metrics["lanes"]["high"]["completed"] == 1
+            assert metrics["lanes"]["high"]["weight"] == 6
+        proc.send_signal(signal.SIGTERM)
+        assert proc.wait(timeout=60) == 0
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=30)
+        proc.stderr.close()
+    report = json.loads(report_path.read_text())
+    assert report["schema"] == "repro-http-serve-report/v1"
+    assert report["metrics"]["completed"] == 1
+    assert report["http"]["requests"] >= 3
+    assert report["http"]["draining"] is True
 
 
 def test_serve_async_with_tiered_disk_cache(tmp_path, rng, monkeypatch):

@@ -464,3 +464,25 @@ def test_describe_and_metrics_shape(rng):
     assert set(metrics["latency_seconds"]) >= {"count", "mean", "max", "p50", "p90", "p99"}
     assert metrics["batches"] >= 1
     assert metrics["ewma_request_seconds"] > 0
+
+
+def test_begin_drain_rejects_new_submits_but_finishes_queued_work(rng):
+    """The network front end's drain hook: reject new, complete admitted."""
+    image = _image(rng)
+
+    async def scenario():
+        service = AsyncSegmentationService(_engine(), max_wait_seconds=0.001)
+        async with service:
+            queued = asyncio.ensure_future(service.submit(image))
+            await asyncio.sleep(0)  # let the submit pass its closed check
+            service.begin_drain()
+            assert service.closed
+            with pytest.raises(ServiceClosedError):
+                await service.submit(image)
+            result = await queued  # admitted before the drain: must complete
+        return result, service.metrics()
+
+    result, metrics = asyncio.run(scenario())
+    assert result.labels.shape == image.shape[:2]
+    assert metrics["completed"] == 1
+    assert metrics["cancelled"] == 0

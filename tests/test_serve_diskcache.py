@@ -179,6 +179,143 @@ def test_disk_ttl_expires_entries_since_store(tmp_path, rng, monkeypatch):
     assert cache.get(key) is not None
 
 
+def test_ttl_survives_a_backwards_wall_clock_step(tmp_path, rng, monkeypatch):
+    cache = DiskResultCache(str(tmp_path), ttl_seconds=60.0)
+    key = _key(rng)
+    cache.put(key, _value(rng))
+    real_time = time.time
+    # NTP/VM-migration step: the clock jumps 1000 s into the past, so the
+    # entry's stored_at is now in the "future".  The clamped age (0) must
+    # read as fresh — a hit, no expiry, no negative-age distortion.
+    monkeypatch.setattr(time, "time", lambda: real_time() - 1000.0)
+    assert cache.get(key) is not None
+    assert cache.stats.expirations == 0
+    # once the clock is sane again the normal TTL arithmetic resumes
+    monkeypatch.setattr(time, "time", lambda: real_time() + 120.0)
+    assert cache.get(key) is None
+    assert cache.stats.expirations == 1
+
+
+def test_sweep_lock_with_future_mtime_is_still_broken(tmp_path, rng):
+    from repro.serve.diskcache import _DirectoryLock
+
+    lock_path = str(tmp_path / ".repro-cache.lock")
+    with open(lock_path, "w"):
+        pass
+    # A backwards wall-clock step makes the holder's lock look like it was
+    # created in the future; the clamped age (0) never exceeds staleness,
+    # so only the monotonic deadline may break it — and it must.
+    future = time.time() + 1000.0
+    os.utime(lock_path, (future, future))
+    started = time.monotonic()
+    with _DirectoryLock(lock_path, stale_seconds=0.1):
+        pass
+    assert time.monotonic() - started < 5.0  # broke the lock, did not wedge
+    assert not os.path.exists(lock_path)
+
+
+def test_eviction_sweep_tolerates_entries_vanishing_mid_scan(tmp_path, rng, monkeypatch):
+    cache = DiskResultCache(str(tmp_path), max_entries=8)
+    keys = [_key(rng, config=f"cfg{i}") for i in range(4)]
+    for index, key in enumerate(keys):
+        cache.put(key, _value(rng))
+        os.utime(cache.path_for(key), (time.time() + index, time.time() + index))
+    victim = cache.path_for(keys[0])
+    real_stat = os.stat
+    state = {"vanished": False}
+
+    def racing_stat(path, *args, **kwargs):
+        # another process evicts the oldest entry between listdir and stat
+        if os.fspath(path) == victim and not state["vanished"]:
+            state["vanished"] = True
+            os.unlink(victim)
+            raise FileNotFoundError(victim)
+        return real_stat(path, *args, **kwargs)
+
+    cache.max_entries = 2  # force the next sweep to actually evict
+    monkeypatch.setattr(os, "stat", racing_stat)
+    cache._enforce_bounds()  # must treat the vanished entry as gone, not crash
+    monkeypatch.undo()
+    assert len(cache) <= 2
+    assert keys[3] in cache  # the newest entry survives the sweep
+
+
+def test_eviction_sweep_counts_concurrently_evicted_bytes_as_freed(tmp_path, rng, monkeypatch):
+    """An entry vanishing between the scan and its unlink is *freed* space.
+
+    If the sweep kept the vanished entry's bytes in its running total it
+    would over-evict survivors — the byte bound below is chosen so that
+    exactly the two oldest entries must go, and only the byte accounting of
+    the ``FileNotFoundError`` branch makes the sweep stop there.
+    """
+    cache = DiskResultCache(str(tmp_path), max_entries=8)
+    keys = [_key(rng, config=f"cfg{i}") for i in range(4)]
+    for index, key in enumerate(keys):
+        # the victim (oldest) entry is strictly the largest, so a sweep that
+        # fails to credit its bytes cannot satisfy the bound where the
+        # correct sweep does
+        shape = (24, 24) if index == 0 else (6, 7)
+        cache.put(key, _value(rng, shape=shape))
+        os.utime(cache.path_for(key), (time.time() + index, time.time() + index))
+    sizes = [os.path.getsize(cache.path_for(key)) for key in keys]
+    assert sizes[0] > max(sizes[1:])
+    # removing the two oldest entries satisfies the bound; removing only the
+    # oldest one does not
+    cache.max_bytes = sum(sizes) - sizes[0] - 1
+    victim = cache.path_for(keys[0])
+    real_unlink = os.unlink
+    state = {"raced": False}
+
+    def racing_unlink(path, *args, **kwargs):
+        # another process deletes the victim just before our unlink lands
+        if os.fspath(path) == victim and not state["raced"]:
+            state["raced"] = True
+            real_unlink(path)
+            raise FileNotFoundError(path)
+        return real_unlink(path, *args, **kwargs)
+
+    monkeypatch.setattr(os, "unlink", racing_unlink)
+    cache._enforce_bounds()
+    monkeypatch.undo()
+    assert state["raced"]  # the fixed branch actually ran
+    assert keys[0] not in cache and keys[1] not in cache
+    assert keys[2] in cache  # would be over-evicted without the accounting fix
+    assert keys[3] in cache
+
+
+def _worker_churn(cache_dir, seed, out_queue):
+    """Overfill a tiny shared cache so concurrent sweeps race each other."""
+    try:
+        rng = np.random.default_rng(seed)
+        cache = DiskResultCache(cache_dir, max_entries=4)
+        for index in range(12):
+            cache.put(_key(rng, config=f"cfg-{seed}-{index}"), _value(rng))
+            cache._enforce_bounds()
+        out_queue.put(("ok", seed))
+    except BaseException as exc:  # noqa: BLE001 - reported to the parent
+        out_queue.put(("error", f"{type(exc).__name__}: {exc}"))
+
+
+def test_concurrent_eviction_sweeps_do_not_crash(tmp_path, rng):
+    ctx = multiprocessing.get_context("spawn")
+    out_queue = ctx.Queue()
+    workers = [
+        ctx.Process(target=_worker_churn, args=(str(tmp_path), 200 + i, out_queue))
+        for i in range(3)
+    ]
+    for worker in workers:
+        worker.start()
+    outcomes = [out_queue.get(timeout=60) for _ in workers]
+    for worker in workers:
+        worker.join(timeout=60)
+        assert worker.exitcode == 0
+    assert all(kind == "ok" for kind, _ in outcomes), outcomes
+    # a final single-process sweep settles the directory inside its bounds
+    survivor = DiskResultCache(str(tmp_path), max_entries=4)
+    survivor._enforce_bounds()
+    assert len(survivor) <= 4
+
+
 def test_parameter_validation(tmp_path):
     with pytest.raises(ParameterError):
         DiskResultCache(str(tmp_path), max_entries=0)
