@@ -1,0 +1,201 @@
+#!/usr/bin/env python
+"""Benchmark regression tripwire: compare JSON reports against baselines.
+
+The serving benchmarks emit machine-readable reports into
+``benchmarks/output/*.json`` (see ``conftest.emit_json``).  This script
+compares selected **higher-is-better** metrics in those reports against the
+committed baselines under ``benchmarks/baselines/`` and fails (exit 1) when
+a metric regresses by more than the baseline's tolerance (default 30%).
+
+Baseline file format (one per tracked report)::
+
+    {
+      "schema": "repro-bench-baseline/v1",
+      "source": "bench_fleet_serve.json",   # report file in the output dir
+      "tolerance": 0.30,                    # allowed fractional regression
+      "metrics": {"fleet1.rps": 140.0, "fleet4.rps": 280.0}
+    }
+
+Only regressions fail; a faster run passes untouched (refresh baselines to
+tighten the tripwire).  Baseline numbers are hardware-bound, so they should
+be refreshed from the *same class of machine that runs the check* — the
+nightly workflow re-runs the benchmarks and uploads the current reports as
+``baseline-candidates`` artifacts; promote those into
+``benchmarks/baselines/`` when the performance level changes on purpose.
+
+Usage::
+
+    python benchmarks/check_regression.py                 # gate (CI)
+    python benchmarks/check_regression.py --update        # rewrite baselines
+    python benchmarks/check_regression.py --write-candidates DIR
+
+``--update`` keeps each baseline's tracked metric list and tolerance,
+refreshing only the numbers from the current output reports.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import sys
+from typing import Any, Dict, List, Optional, Tuple
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+DEFAULT_OUTPUT_DIR = os.path.join(_HERE, "output")
+DEFAULT_BASELINE_DIR = os.path.join(_HERE, "baselines")
+BASELINE_SCHEMA = "repro-bench-baseline/v1"
+DEFAULT_TOLERANCE = 0.30
+
+
+def resolve_path(document: Any, dotted: str) -> Optional[float]:
+    """``resolve_path({"a": {"b": 2}}, "a.b") -> 2.0``; None when absent."""
+    node = document
+    for part in dotted.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    try:
+        return float(node)
+    except (TypeError, ValueError):
+        return None
+
+
+def load_json(path: str) -> Optional[Dict[str, Any]]:
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            return json.load(fh)
+    except (OSError, ValueError):
+        return None
+
+
+def check_baseline(
+    baseline: Dict[str, Any], output_dir: str
+) -> Tuple[List[str], List[str]]:
+    """``(failures, lines)`` for one baseline document."""
+    failures: List[str] = []
+    lines: List[str] = []
+    source = baseline.get("source", "")
+    tolerance = float(baseline.get("tolerance", DEFAULT_TOLERANCE))
+    report = load_json(os.path.join(output_dir, source))
+    if report is None:
+        failures.append(f"{source}: report missing from {output_dir} (benchmark did not run?)")
+        return failures, lines
+    for dotted, expected in sorted(baseline.get("metrics", {}).items()):
+        current = resolve_path(report, dotted)
+        if current is None:
+            failures.append(f"{source}: metric {dotted!r} missing from the report")
+            continue
+        floor = float(expected) * (1.0 - tolerance)
+        status = "ok"
+        if current < floor:
+            status = "REGRESSION"
+            failures.append(
+                f"{source}: {dotted} regressed to {current:.2f} "
+                f"(baseline {float(expected):.2f}, floor {floor:.2f}, "
+                f"tolerance {tolerance:.0%})"
+            )
+        lines.append(
+            f"  {source:32s} {dotted:24s} {current:10.2f} vs {float(expected):10.2f} "
+            f"(floor {floor:8.2f})  {status}"
+        )
+    return failures, lines
+
+
+def iter_baselines(baseline_dir: str) -> List[Tuple[str, Dict[str, Any]]]:
+    if not os.path.isdir(baseline_dir):
+        return []
+    out = []
+    for name in sorted(os.listdir(baseline_dir)):
+        if not name.endswith(".json"):
+            continue
+        path = os.path.join(baseline_dir, name)
+        document = load_json(path)
+        if document is None or document.get("schema") != BASELINE_SCHEMA:
+            print(f"warning: skipping malformed baseline {path}", file=sys.stderr)
+            continue
+        out.append((name, document))
+    return out
+
+
+def update_baselines(baseline_dir: str, output_dir: str) -> int:
+    """Refresh every baseline's numbers from the current output reports."""
+    updated = 0
+    for name, baseline in iter_baselines(baseline_dir):
+        report = load_json(os.path.join(output_dir, baseline["source"]))
+        if report is None:
+            print(f"warning: no current report for {baseline['source']}; kept as-is")
+            continue
+        metrics = {}
+        for dotted in baseline.get("metrics", {}):
+            current = resolve_path(report, dotted)
+            if current is None:
+                print(f"warning: {baseline['source']}: metric {dotted!r} gone; kept old value")
+                metrics[dotted] = baseline["metrics"][dotted]
+            else:
+                metrics[dotted] = current
+        baseline["metrics"] = metrics
+        with open(os.path.join(baseline_dir, name), "w", encoding="utf-8") as fh:
+            json.dump(baseline, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        updated += 1
+        print(f"updated {name}")
+    return updated
+
+
+def write_candidates(baseline_dir: str, output_dir: str, candidate_dir: str) -> None:
+    """Copy the current reports tracked by any baseline into ``candidate_dir``.
+
+    The nightly workflow uploads this directory as an artifact so a human
+    can promote refreshed numbers into ``benchmarks/baselines/``.
+    """
+    os.makedirs(candidate_dir, exist_ok=True)
+    for _, baseline in iter_baselines(baseline_dir):
+        source = os.path.join(output_dir, baseline["source"])
+        if os.path.exists(source):
+            shutil.copy2(source, os.path.join(candidate_dir, baseline["source"]))
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", default=DEFAULT_OUTPUT_DIR, help="benchmark report dir")
+    parser.add_argument("--baselines", default=DEFAULT_BASELINE_DIR, help="baseline dir")
+    parser.add_argument(
+        "--update", action="store_true", help="rewrite baseline numbers from current reports"
+    )
+    parser.add_argument(
+        "--write-candidates", default=None, metavar="DIR",
+        help="copy the tracked current reports into DIR (nightly artifact)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.update:
+        update_baselines(args.baselines, args.output)
+        return 0
+    if args.write_candidates:
+        write_candidates(args.baselines, args.output, args.write_candidates)
+        return 0
+
+    baselines = iter_baselines(args.baselines)
+    if not baselines:
+        print(f"error: no baselines found under {args.baselines}", file=sys.stderr)
+        return 2
+    all_failures: List[str] = []
+    print(f"benchmark tripwire: {args.output} vs {args.baselines}")
+    for _, baseline in baselines:
+        failures, lines = check_baseline(baseline, args.output)
+        for line in lines:
+            print(line)
+        all_failures.extend(failures)
+    if all_failures:
+        print(f"\n{len(all_failures)} regression(s):", file=sys.stderr)
+        for failure in all_failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

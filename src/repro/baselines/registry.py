@@ -8,14 +8,51 @@ only requires registering a factory here (or calling
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from typing import Any, Callable, Dict, List, Optional
 
 from ..base import BaseSegmenter
 from ..errors import ParameterError
 
-__all__ = ["register_segmenter", "get_segmenter", "available_segmenters"]
+__all__ = [
+    "register_segmenter",
+    "get_segmenter",
+    "available_segmenters",
+    "SEEDED_METHODS",
+    "THETA_KEYWORDS",
+    "method_kwargs",
+]
 
 _FACTORIES: Dict[str, Callable[..., BaseSegmenter]] = {}
+
+#: Methods whose factory accepts a ``seed`` keyword (stochastic methods).
+SEEDED_METHODS = frozenset({"kmeans", "iqft-rgb-shots"})
+
+#: Methods that accept an angle parameter, and the keyword it travels under.
+THETA_KEYWORDS: Dict[str, str] = {
+    "iqft-rgb": "thetas",
+    "iqft-rgb-shots": "thetas",
+    "iqft-features": "thetas",
+    "iqft-gray": "theta",
+}
+
+
+def method_kwargs(
+    method: str, theta: Optional[float] = None, seed: Optional[int] = None
+) -> Dict[str, Any]:
+    """Factory keyword arguments for ``method`` from the generic θ/seed knobs.
+
+    Every front end (CLI ``batch``/``serve``, the fleet's ``WorkerSpec``)
+    derives its factory call through this one mapping, so "which methods
+    take θ, and under which keyword" lives in exactly one place.  Knobs a
+    method does not accept are silently dropped.
+    """
+    kwargs: Dict[str, Any] = {}
+    keyword = THETA_KEYWORDS.get(method)
+    if keyword is not None and theta is not None:
+        kwargs[keyword] = theta
+    if seed is not None and method in SEEDED_METHODS:
+        kwargs["seed"] = seed
+    return kwargs
 
 
 def register_segmenter(name: str, factory: Callable[..., BaseSegmenter]) -> None:

@@ -157,6 +157,21 @@ def build_parser() -> argparse.ArgumentParser:
         "SIGINT/SIGTERM, then drains in-flight requests before exiting)",
     )
     srv.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="run N supervised HTTP worker processes behind the same "
+        "HOST:PORT via SO_REUSEPORT (requires --http; crashes are "
+        "restarted with backoff; composes with --cache-dir so all "
+        "workers share one disk cache)",
+    )
+    srv.add_argument(
+        "--adaptive",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="adaptive control loop for --async/--http services: re-derive "
+        "the micro-batch size and lane weights from live telemetry every "
+        "control tick, bounded (--lane-weights are the floors)",
+    )
+    srv.add_argument(
         "--max-body-mb", type=float, default=64.0,
         help="largest HTTP request body in MiB before a 413 (--http)",
     )
@@ -222,30 +237,24 @@ def _cmd_segment(args: argparse.Namespace) -> int:
 
 from .imaging.io_dispatch import IMAGE_EXTENSIONS as _IMAGE_EXTENSIONS
 
-#: Methods whose factory accepts a ``seed`` keyword (stochastic methods).
-_SEEDED_METHODS = frozenset({"kmeans", "iqft-rgb-shots"})
-
 
 def _segmenter_kwargs(args: argparse.Namespace) -> dict:
-    """Method-factory keyword arguments shared by ``batch`` and ``serve``."""
-    kwargs = {}
-    if args.method in ("iqft-rgb", "iqft-rgb-shots", "iqft-features"):
-        kwargs["thetas"] = args.theta
-    elif args.method == "iqft-gray":
-        kwargs["theta"] = args.theta
-    if args.seed is not None and args.method in _SEEDED_METHODS:
-        kwargs["seed"] = args.seed
-    return kwargs
+    """Method-factory keyword arguments shared by ``batch`` and ``serve``.
+
+    Delegates to :func:`repro.baselines.registry.method_kwargs` (a leaf
+    module the CLI already depends on) so the method → keyword knowledge
+    lives in exactly one place for every front end, fleet workers included.
+    """
+    from .baselines.registry import method_kwargs
+
+    return method_kwargs(args.method, theta=float(args.theta), seed=args.seed)
 
 
 def _make_executor(kind: str, jobs: Optional[int]):
     """Build an executor, forwarding ``--jobs`` as the worker count."""
-    from .parallel.executor import get_executor
+    from .parallel.executor import executor_for_jobs
 
-    kwargs = {}
-    if jobs is not None and kind != "serial":
-        kwargs["max_workers"] = jobs
-    return get_executor(kind, **kwargs)
+    return executor_for_jobs(kind, jobs)
 
 
 def _load_binary_mask(path: str) -> np.ndarray:
@@ -391,18 +400,19 @@ def _cmd_batch(args: argparse.Namespace) -> int:
 
 
 def _serve_cache(args: argparse.Namespace):
-    """Build the cache stack for ``serve``: memory L1, optional disk L2."""
-    from .serve import DiskResultCache, ResultCache, TieredResultCache
+    """Build the cache stack for ``serve``: memory L1, optional disk L2.
 
-    if args.no_cache:
-        return None
-    memory = ResultCache(max_entries=args.cache_size, ttl_seconds=args.ttl)
-    if args.cache_dir is None:
-        return memory
-    # The TTL must govern the disk tier too — otherwise expired L1 entries
-    # would simply be re-promoted from a never-expiring L2.
-    disk = DiskResultCache(args.cache_dir, ttl_seconds=args.ttl)
-    return TieredResultCache(l1=memory, l2=disk)
+    Delegates to :meth:`~repro.serve.fleet.WorkerSpec.build_cache` so the
+    sync front end stacks its tiers exactly like the async/fleet workers.
+    """
+    from .serve.fleet import WorkerSpec
+
+    return WorkerSpec(
+        cache_entries=args.cache_size,
+        ttl_seconds=args.ttl,
+        use_cache=not args.no_cache,
+        cache_dir=args.cache_dir,
+    ).build_cache()
 
 
 def _parse_lane_weights(text: str) -> dict:
@@ -504,13 +514,133 @@ def _run_http_serve(args: argparse.Namespace, service, theta_used, host: str, po
     return 0
 
 
+def _build_worker_spec(args: argparse.Namespace, http_mode: bool):
+    """The picklable service recipe shared by every async serve mode.
+
+    Single-process ``--http``, the JSONL/spool ``--async`` drivers and the
+    ``--workers N`` fleet all construct their service through one
+    :class:`~repro.serve.fleet.WorkerSpec`, so a fleet worker is configured
+    exactly like the single process it replaces.
+    """
+    from .serve.fleet import WorkerSpec
+
+    return WorkerSpec(
+        method=args.method,
+        theta=float(args.theta),
+        seed=args.seed,
+        use_lut=not args.no_lut,
+        executor=args.executor,
+        jobs=args.jobs,
+        max_batch_size=args.max_batch,
+        max_wait_seconds=args.max_wait,
+        queue_size=args.queue_size,
+        cache_entries=args.cache_size,
+        ttl_seconds=args.ttl,
+        use_cache=not args.no_cache,
+        cache_dir=args.cache_dir,
+        lane_weights=_parse_lane_weights(args.lane_weights) if args.lane_weights else None,
+        client_rate=args.client_rate,
+        client_burst=args.client_burst,
+        default_deadline_seconds=(
+            args.default_deadline_ms / 1000.0
+            if http_mode and args.default_deadline_ms is not None
+            else None
+        ),
+        adaptive=args.adaptive,
+        max_body_bytes=int(args.max_body_mb * 1024 * 1024),
+    )
+
+
+def _run_fleet_serve(  # pragma: no cover - driven via subprocess in the CLI tests
+    args: argparse.Namespace, spec, theta_used, host: str, port: int
+) -> int:
+    """Drive a supervised worker fleet until SIGINT/SIGTERM, then drain."""
+    import signal
+    import threading
+
+    from .serve.fleet import ServeFleet
+
+    fleet = ServeFleet(spec, host=host, port=port, workers=args.workers)
+    stop = threading.Event()
+
+    def _on_signal(signum, frame):  # noqa: ARG001 - signal handler signature
+        stop.set()
+
+    previous = {}
+    for signame in ("SIGINT", "SIGTERM"):
+        signum = getattr(signal, signame, None)
+        if signum is None:
+            continue
+        try:
+            previous[signum] = signal.signal(signum, _on_signal)
+        except (ValueError, OSError):  # non-main thread: rely on the caller
+            pass
+    try:
+        fleet.start()
+        if not fleet.wait_ready(timeout=60, workers=1):
+            # Not even one worker came up: report the failure instead of
+            # advertising a listening address that answers nothing.
+            print("error: no fleet worker became ready within 60s", file=sys.stderr)
+            return 2
+        fleet.wait_ready(timeout=10)  # best effort for the remaining workers
+        print(
+            f"http-serve: fleet of {fleet.workers} worker(s) listening on "
+            f"http://{fleet.host}:{fleet.port} (SIGINT/SIGTERM drains and exits)",
+            file=sys.stderr,
+            flush=True,
+        )
+        for slot, pid in sorted(fleet.describe_fleet()["pids"].items()):
+            print(f"http-serve: worker slot={slot} pid={pid}", file=sys.stderr, flush=True)
+        stop.wait()
+        print("http-serve: draining fleet...", file=sys.stderr, flush=True)
+        fleet.shutdown(drain=True)
+        metrics = fleet.final_metrics()
+    finally:
+        fleet.shutdown(drain=True)  # idempotent: covers the error paths
+        for signum, handler in previous.items():
+            try:
+                signal.signal(signum, handler)
+            except (ValueError, OSError):
+                pass
+
+    finals = metrics.get("workers", [])
+    http_requests = sum(int((final.get("http") or {}).get("requests", 0)) for final in finals)
+    responses: dict = {}
+    for final in finals:
+        for code, count in ((final.get("http") or {}).get("responses", {}) or {}).items():
+            responses[code] = responses.get(code, 0) + int(count)
+    report = {
+        "schema": "repro-http-serve-report/v1",
+        "method": spec.method,
+        "parameters": {"theta": theta_used, "seed": spec.seed},
+        "fleet": metrics.get("fleet", {}),
+        "metrics": metrics,
+        "http": {"requests": http_requests, "responses": responses, "draining": True},
+    }
+    payload = json.dumps(report, indent=2, sort_keys=True)
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as fh:
+            fh.write(payload + "\n")
+    else:
+        print(payload)
+    print(
+        f"http-serve: fleet served {report['metrics'].get('completed', 0)} request(s), "
+        f"{http_requests} HTTP request(s) total, "
+        f"{report['fleet'].get('restarts', 0)} restart(s)"
+        + (f" -> {args.report}" if args.report else ""),
+        file=sys.stderr,
+        flush=True,
+    )
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
     from .baselines.registry import get_segmenter
     from .engine import BatchSegmentationEngine
     from .errors import CacheError
-    from .serve import AsyncSegmentationService, SegmentationService
+    from .serve import SegmentationService
     from .serve.spool import (
         build_report,
         iter_jsonl_jobs,
@@ -528,6 +658,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"{args.source!r} is ignored",
             file=sys.stderr,
         )
+    if args.workers is not None and not http_mode:
+        print("error: --workers requires --http", file=sys.stderr)
+        return 2
     if not http_mode:
         if args.source is None:
             print("error: a job source is required unless --http is given", file=sys.stderr)
@@ -538,54 +671,52 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             )
             return 2
 
-    kwargs = _segmenter_kwargs(args)
-    theta_used = float(args.theta) if ("thetas" in kwargs or "theta" in kwargs) else None
+    fleet_mode = http_mode and args.workers is not None
     try:
-        segmenter = get_segmenter(args.method, **kwargs)
-        engine = BatchSegmentationEngine(
-            segmenter,
-            use_lut=not args.no_lut,
-            executor=_make_executor(args.executor, args.jobs),
-        )
-        cache = _serve_cache(args)
+        if args.workers is not None and args.workers < 1:
+            from .errors import ParameterError
+
+            raise ParameterError("--workers must be >= 1")
+        if http_mode and int(args.max_body_mb * 1024 * 1024) < 1:
+            from .errors import ParameterError
+
+            raise ParameterError("--max-body-mb must allow at least one byte")
+        if http_mode:
+            http_host, http_port = _parse_http_address(args.http)
         if use_async:
-            service = AsyncSegmentationService(
-                engine,
-                max_batch_size=args.max_batch,
-                max_wait_seconds=args.max_wait,
-                queue_size=args.queue_size,
-                cache=cache,
-                lane_weights=(
-                    _parse_lane_weights(args.lane_weights) if args.lane_weights else None
-                ),
-                client_rate=args.client_rate,
-                client_burst=args.client_burst,
-                default_deadline=(
-                    args.default_deadline_ms / 1000.0
-                    if http_mode and args.default_deadline_ms is not None
-                    else None
-                ),
-            )
+            spec = _build_worker_spec(args, http_mode)
+            theta_used = spec.theta_used
+            if fleet_mode:
+                # Validate the recipe in the parent: a bad --method or an
+                # unwritable --cache-dir must exit 2 here, exactly like the
+                # single-process path — not crash-loop inside the workers.
+                spec.build_service()
+                service = None
+            else:
+                service = spec.build_service()
         else:
+            kwargs = _segmenter_kwargs(args)
+            theta_used = float(args.theta) if ("thetas" in kwargs or "theta" in kwargs) else None
+            engine = BatchSegmentationEngine(
+                get_segmenter(args.method, **kwargs),
+                use_lut=not args.no_lut,
+                executor=_make_executor(args.executor, args.jobs),
+            )
             service = SegmentationService(
                 engine,
                 max_batch_size=args.max_batch,
                 max_wait_seconds=args.max_wait,
                 queue_size=args.queue_size,
-                cache=cache,
+                cache=_serve_cache(args),
             )
-        if http_mode:
-            http_host, http_port = _parse_http_address(args.http)
-            if int(args.max_body_mb * 1024 * 1024) < 1:
-                from .errors import ParameterError
-
-                raise ParameterError("--max-body-mb must allow at least one byte")
     except (ValueError, CacheError) as exc:  # ParameterError is a ValueError
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
     if http_mode:
         try:
+            if fleet_mode:
+                return _run_fleet_serve(args, spec, theta_used, http_host, http_port)
             return _run_http_serve(args, service, theta_used, http_host, http_port)
         except (ValueError, CacheError, OSError) as exc:
             # bind failures (port in use, privileged port) and config errors

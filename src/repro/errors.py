@@ -23,6 +23,7 @@ __all__ = [
     "ParallelError",
     "ExperimentError",
     "ServeError",
+    "ServeConnectionError",
     "ServiceClosedError",
     "ServiceOverloadedError",
     "DeadlineExceededError",
@@ -86,6 +87,18 @@ class ExperimentError(ReproError):
 
 class ServeError(ReproError):
     """Base class for failures in the serving layer (:mod:`repro.serve`)."""
+
+
+class ServeConnectionError(ServeError):
+    """Raised when an HTTP serve client cannot reach (or loses) the server.
+
+    :class:`repro.serve.http_client.SegmentClient` maps every socket-level
+    failure — connection refused, reset, timeout, a half-written response —
+    to this type, so callers talking to a restarting or draining worker
+    fleet handle one library exception instead of the zoo of
+    :class:`OSError` subtypes the stdlib surfaces.  The original error is
+    preserved as ``__cause__``.
+    """
 
 
 class ServiceClosedError(ServeError):

@@ -5,16 +5,34 @@ aggregation used by the serving layer: :func:`percentile` (nearest-rank with
 linear interpolation, the convention of ``numpy.percentile``) and
 :class:`LatencyRecorder`, a thread-safe bounded reservoir of per-request
 durations that summarizes into p50/p90/p99 for service metrics snapshots.
+
+For multi-process serving the recorder additionally maintains a *mergeable*
+percentile sketch — a fixed log-spaced histogram over all recorded values —
+because raw percentiles from separate workers cannot be combined after the
+fact.  :func:`merge_sketches` sums any number of worker sketches and
+:func:`sketch_percentile` reads (conservative, bucket-upper-bound) quantiles
+off the merged histogram; this is what the fleet supervisor's aggregated
+``/v1/metrics`` view is built from.
 """
 
 from __future__ import annotations
 
+import bisect
 import threading
 import time
 from collections import deque
-from typing import Any, Callable, Dict, Iterable, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
-__all__ = ["Timer", "time_callable", "percentile", "LatencyRecorder"]
+__all__ = [
+    "Timer",
+    "time_callable",
+    "percentile",
+    "LatencyRecorder",
+    "SKETCH_BOUNDS",
+    "merge_sketches",
+    "sketch_percentile",
+    "summarize_sketch",
+]
 
 
 class Timer:
@@ -86,6 +104,97 @@ def percentile(values: Iterable[float], q: float) -> float:
     return data[low] * (1.0 - frac) + data[high] * frac
 
 
+#: Upper bounds (seconds) of the sketch buckets: 0.1 ms doubling up to ~1.7 h,
+#: plus an implicit overflow bucket.  Fixed for every recorder so sketches
+#: from different processes are always bucket-compatible and mergeable.
+SKETCH_BOUNDS: Tuple[float, ...] = tuple(0.0001 * (2.0**i) for i in range(26))
+
+
+def merge_sketches(sketches: Iterable[Mapping[str, Any]]) -> Dict[str, Any]:
+    """Sum latency sketches (from :meth:`LatencyRecorder.sketch`) bucket-wise.
+
+    Sketches with mismatched bucket bounds are rejected — merging them would
+    silently misattribute counts.  An empty input merges to an empty sketch.
+    """
+    bounds: Optional[List[float]] = None
+    counts: List[int] = []
+    total = 0
+    total_seconds = 0.0
+    for sketch in sketches:
+        if sketch is None:
+            continue
+        sketch_bounds = [float(b) for b in sketch["bounds"]]
+        if bounds is None:
+            bounds = sketch_bounds
+            counts = [0] * (len(bounds) + 1)
+        elif sketch_bounds != bounds:
+            raise ValueError("cannot merge latency sketches with different bucket bounds")
+        sketch_counts = [int(c) for c in sketch["counts"]]
+        if len(sketch_counts) != len(counts):
+            raise ValueError("cannot merge latency sketches with different bucket counts")
+        for index, value in enumerate(sketch_counts):
+            counts[index] += value
+        total += int(sketch["count"])
+        total_seconds += float(sketch.get("sum_seconds", 0.0))
+    if bounds is None:
+        bounds = list(SKETCH_BOUNDS)
+        counts = [0] * (len(bounds) + 1)
+    return {"bounds": bounds, "counts": counts, "count": total, "sum_seconds": total_seconds}
+
+
+def sketch_percentile(sketch: Mapping[str, Any], q: float) -> float:
+    """The ``q``-th percentile read off a sketch (bucket upper bound).
+
+    The estimate is conservative — it reports the upper edge of the bucket
+    the rank falls in, so a merged fleet p99 never understates worker
+    latency.  Returns 0.0 for an empty sketch.
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile q must be in [0, 100], got {q}")
+    counts = [int(c) for c in sketch["counts"]]
+    bounds = [float(b) for b in sketch["bounds"]]
+    total = sum(counts)
+    if total == 0:
+        return 0.0
+    rank = max(1, int((q / 100.0) * total + 0.5))
+    seen = 0
+    for index, value in enumerate(counts):
+        seen += value
+        if seen >= rank:
+            if index < len(bounds):
+                return bounds[index]
+            # Overflow bucket: the best upper bound available is unknown, so
+            # report the largest finite bound rather than inventing a number.
+            return bounds[-1]
+    return bounds[-1]
+
+
+def summarize_sketch(
+    sketch: Mapping[str, Any], percentiles: Sequence[float] = (50.0, 90.0, 99.0)
+) -> Dict[str, float]:
+    """A ``summary()``-shaped dict (count/mean/percentiles) from a sketch.
+
+    ``max`` is not recoverable from a histogram and is reported as the
+    conservative upper bound of the highest non-empty bucket.
+    """
+    counts = [int(c) for c in sketch["counts"]]
+    bounds = [float(b) for b in sketch["bounds"]]
+    total = sum(counts)
+    out: Dict[str, float] = {
+        "count": float(sketch.get("count", total)),
+        "mean": (float(sketch.get("sum_seconds", 0.0)) / total) if total else 0.0,
+        "max": 0.0,
+    }
+    for index in range(len(counts) - 1, -1, -1):
+        if counts[index]:
+            out["max"] = bounds[min(index, len(bounds) - 1)]
+            break
+    for q in percentiles:
+        key = f"p{q:g}".replace(".", "_")
+        out[key] = sketch_percentile(sketch, q) if total else 0.0
+    return out
+
+
 class LatencyRecorder:
     """Thread-safe bounded reservoir of durations with percentile summaries.
 
@@ -94,6 +203,12 @@ class LatencyRecorder:
     numbers.  The reservoir keeps the most recent ``max_samples`` values
     (sliding window) so a long-running service reports *recent* latency, not
     the all-time mix, while ``count`` still counts every recorded value.
+
+    In parallel the recorder bins every value into the fixed
+    :data:`SKETCH_BOUNDS` histogram; :meth:`sketch` exposes that as a
+    JSON-friendly, *mergeable* percentile sketch covering all recorded
+    values (not just the window), which is what multi-process metric
+    aggregation consumes.
     """
 
     def __init__(self, max_samples: int = 4096):
@@ -101,13 +216,28 @@ class LatencyRecorder:
             raise ValueError("max_samples must be >= 1")
         self._samples: deque = deque(maxlen=int(max_samples))
         self._count = 0
+        self._sum_seconds = 0.0
+        self._buckets = [0] * (len(SKETCH_BOUNDS) + 1)
         self._lock = threading.Lock()
 
     def record(self, seconds: float) -> None:
         """Record one duration in seconds."""
+        value = float(seconds)
         with self._lock:
-            self._samples.append(float(seconds))
+            self._samples.append(value)
             self._count += 1
+            self._sum_seconds += value
+            self._buckets[bisect.bisect_left(SKETCH_BOUNDS, value)] += 1
+
+    def sketch(self) -> Dict[str, Any]:
+        """All-time mergeable histogram: bucket bounds, counts, count, sum."""
+        with self._lock:
+            return {
+                "bounds": list(SKETCH_BOUNDS),
+                "counts": list(self._buckets),
+                "count": self._count,
+                "sum_seconds": self._sum_seconds,
+            }
 
     @property
     def count(self) -> int:

@@ -17,7 +17,13 @@ from typing import Any, Callable, Iterable, List, Optional, Sequence
 from ..config import get_config
 from ..errors import ParallelError
 
-__all__ = ["SerialExecutor", "ThreadExecutor", "ProcessExecutor", "get_executor"]
+__all__ = [
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "get_executor",
+    "executor_for_jobs",
+]
 
 
 class BaseExecutor(abc.ABC):
@@ -117,3 +123,17 @@ def get_executor(kind: str = "serial", **kwargs) -> BaseExecutor:
     if kind == "process":
         return ProcessExecutor(**kwargs)
     raise ParallelError(f"unknown executor kind: {kind!r}")
+
+
+def executor_for_jobs(kind: str, jobs=None) -> BaseExecutor:
+    """:func:`get_executor` with the CLI's ``--jobs`` convention.
+
+    ``jobs`` is forwarded as ``max_workers`` except for the serial executor
+    (which takes none) or when unset (library default).  Every front end —
+    ``batch``, ``serve``, fleet workers — maps the flag through this one
+    helper so they cannot drift.
+    """
+    kwargs = {}
+    if jobs is not None and kind != "serial":
+        kwargs["max_workers"] = jobs
+    return get_executor(kind, **kwargs)

@@ -24,6 +24,15 @@ for request/response traffic:
   cache tier (atomic writes, mtime-LRU eviction, multi-process safe) that
   stacks under the in-memory cache as :class:`TieredResultCache`, so warm
   results survive restarts and are shared across worker processes.
+* :class:`ServeFleet` — the multi-process scale-out layer: a supervisor
+  running N HTTP worker processes behind one HOST:PORT via ``SO_REUSEPORT``
+  (kernel load balancing; single shared listener as the fallback), all
+  sharing one disk-cache directory as their L2.  Staggered startup,
+  heartbeat liveness, crash-restart with exponential backoff, fleet-wide
+  SIGTERM drain, and merged metrics/health across the workers.  Workers can
+  run the adaptive control loop (:class:`AdaptiveController`): batch size
+  and lane weights re-derived each tick from live telemetry, within bounds.
+  CLI: ``repro-segment serve --http HOST:PORT --workers N``.
 * :mod:`repro.serve.spool` — the job sources behind ``repro-segment serve``:
   a watched spool directory or JSONL job lines (with optional per-job
   priority and deadline), emitting a ``repro-serve-report/v1`` summary.
@@ -47,7 +56,8 @@ True
 """
 
 from .aio import AsyncSegmentationService, Priority, TokenBucket
-from .batcher import MicroBatcher
+from .batcher import AdaptiveConfig, AdaptiveController, MicroBatcher
+from .fleet import ServeFleet, WorkerSpec, merge_worker_metrics
 from .http import HttpSegmentationServer, status_for_exception
 from .http_client import HttpSegmentResult, SegmentClient
 from .cache import (
@@ -79,6 +89,11 @@ __all__ = [
     "Priority",
     "TokenBucket",
     "MicroBatcher",
+    "AdaptiveConfig",
+    "AdaptiveController",
+    "ServeFleet",
+    "WorkerSpec",
+    "merge_worker_metrics",
     "ResultCache",
     "CacheStats",
     "TieredResultCache",

@@ -60,6 +60,7 @@ from ..errors import (
     ServiceOverloadedError,
 )
 from ..metrics.runtime import LatencyRecorder
+from .batcher import AdaptiveConfig, AdaptiveController
 from .cache import CacheKey, ResultCache, config_digest, image_digest
 from .service import _engine_fingerprint, _segment_image
 
@@ -232,6 +233,21 @@ class AsyncSegmentationService:
     default_deadline:
         Deadline in seconds applied to submits that do not pass their own
         (``None`` = no deadline).
+    adaptive:
+        Enable the adaptive control loop: every
+        ``adaptive_config.tick_seconds`` the service re-derives its
+        micro-batch flush size and lane drain weights from the EWMA service
+        time and per-lane depth/shed telemetry
+        (:class:`~repro.serve.batcher.AdaptiveController`).  The configured
+        ``lane_weights`` become the per-lane floors and ``max_batch_size``
+        the default batch-size ceiling — adaptation shrinks and regrows
+        batches inside ``[1, max_batch_size]``, never past the configured
+        bound.  Chosen values plus adjustment counts are reported under
+        ``metrics()["adaptive"]``.
+    adaptive_config:
+        Overrides the control-loop corridor and cadence
+        (:class:`~repro.serve.batcher.AdaptiveConfig`); when given, its
+        ``max_batch_size`` replaces the default configured-value ceiling.
     clock:
         Monotonic time source, injectable for deterministic tests.
     """
@@ -247,6 +263,8 @@ class AsyncSegmentationService:
         client_rate: Optional[float] = None,
         client_burst: Optional[float] = None,
         default_deadline: Optional[float] = None,
+        adaptive: bool = False,
+        adaptive_config: Optional[AdaptiveConfig] = None,
         clock: Callable[[], float] = time.monotonic,
     ):
         if not isinstance(engine, BatchSegmentationEngine):
@@ -278,6 +296,22 @@ class AsyncSegmentationService:
         if any(weight < 1 for weight in weights.values()):
             raise ParameterError("lane weights must be >= 1")
         self.lane_weights = weights
+        self._base_lane_weights = dict(weights)
+        self._adaptive: Optional[AdaptiveController] = None
+        if adaptive:
+            if adaptive_config is None:
+                # The configured batch size stays the hard ceiling: adaptive
+                # may shrink batches under load and grow them back, but it
+                # must never override the caller's explicit --max-batch
+                # bound.  An explicit adaptive_config replaces this corridor.
+                adaptive_config = AdaptiveConfig(max_batch_size=int(max_batch_size))
+            self._adaptive = AdaptiveController(
+                adaptive_config,
+                batch_size=int(max_batch_size),
+                lane_weights=weights,
+            )
+            # The controller may clamp the starting size into its corridor.
+            self.max_batch_size = self._adaptive.batch_size
         if client_rate is not None and client_rate <= 0:
             raise ParameterError("client_rate must be positive or None")
         self.client_rate = client_rate
@@ -585,14 +619,37 @@ class AsyncSegmentationService:
     # ------------------------------------------------------------------ #
     # worker
     # ------------------------------------------------------------------ #
+    def _maybe_adapt(self) -> None:
+        """One bounded control tick: re-derive batch size and lane weights."""
+        controller = self._adaptive
+        if controller is None:
+            return
+        now = self._clock()
+        if not controller.due(now):
+            return
+        lane_stats = {
+            lane: {
+                "depth": len(state.queue),
+                "shed": state.shed_admission + state.shed_expired,
+            }
+            for lane, state in self._lanes.items()
+        }
+        batch_size, weights, _ = controller.update(
+            now, self._ewma_request_seconds, lane_stats
+        )
+        self.max_batch_size = batch_size
+        self.lane_weights = weights
+
     async def _worker_loop(self) -> None:
         assert self._wakeup is not None and self._loop is not None
         while True:
+            self._maybe_adapt()
             # Phase 1: wait for traffic (or for close + empty lanes, with no
             # submit still on its way into a lane).
             while self._queue_depth() == 0:
                 if self._closed and self._admitting == 0:
                     return
+                self._maybe_adapt()
                 self._wakeup.clear()
                 try:
                     await asyncio.wait_for(self._wakeup.wait(), timeout=_IDLE_POLL_SECONDS)
@@ -770,6 +827,7 @@ class AsyncSegmentationService:
                 "shed_expired": state.shed_expired,
                 "weight": self.lane_weights[lane],
                 "latency_seconds": state.latency.summary(),
+                "latency_sketch": state.latency.sketch(),
             }
         cache_stats = None
         if self.cache is not None:
@@ -792,10 +850,28 @@ class AsyncSegmentationService:
             "uptime_seconds": elapsed,
             "throughput_rps": self._completed / elapsed if elapsed > 0 else 0.0,
             "latency_seconds": self._latency.summary(),
+            "latency_sketch": self._latency.sketch(),
             "batches": self._batches,
             "mean_batch_size": self._batched_items / self._batches if self._batches else 0.0,
             "ewma_request_seconds": self._ewma_request_seconds,
+            "adaptive": self._adaptive_metrics(),
             "cache": cache_stats,
+        }
+
+    def _adaptive_metrics(self) -> Optional[Dict[str, Any]]:
+        controller = self._adaptive
+        if controller is None:
+            return None
+        return {
+            "enabled": True,
+            "ticks": controller.ticks,
+            "batch_adjustments": controller.batch_adjustments,
+            "weight_adjustments": controller.weight_adjustments,
+            "max_batch_size": self.max_batch_size,
+            "lane_weights": {lane.name.lower(): self.lane_weights[lane] for lane in Priority},
+            "lane_floors": {
+                lane.name.lower(): self._base_lane_weights[lane] for lane in Priority
+            },
         }
 
     def describe(self) -> Dict[str, Any]:
@@ -810,6 +886,7 @@ class AsyncSegmentationService:
             "client_rate": self.client_rate,
             "client_burst": self.client_burst,
             "default_deadline": self.default_deadline,
+            "adaptive": self._adaptive is not None,
             "cache": repr(self.cache) if self.cache is not None else None,
         }
 

@@ -103,13 +103,23 @@ def _json_safe(value: Any, depth: int = 0) -> Tuple[bool, Any]:
 
 @dataclass(frozen=True)
 class DiskCacheStats:
-    """Point-in-time effectiveness counters of a :class:`DiskResultCache`."""
+    """Point-in-time effectiveness counters of a :class:`DiskResultCache`.
+
+    ``evictions``/``evicted_bytes`` count entries (and their on-disk bytes)
+    removed by bound-enforcing sweeps; ``corrupt_dropped`` counts entries
+    deleted because they failed to decode (every one is also counted in
+    ``errors``, which additionally covers I/O failures).  Together with the
+    hit/miss counters these are the cache-warming and eviction telemetry the
+    serving layer surfaces through ``service.metrics()``.
+    """
 
     hits: int
     misses: int
     stores: int
     evictions: int
+    evicted_bytes: int
     expirations: int
+    corrupt_dropped: int
     errors: int
     currsize: int
     current_bytes: int
@@ -129,7 +139,9 @@ class DiskCacheStats:
             "misses": self.misses,
             "stores": self.stores,
             "evictions": self.evictions,
+            "evicted_bytes": self.evicted_bytes,
             "expirations": self.expirations,
+            "corrupt_dropped": self.corrupt_dropped,
             "errors": self.errors,
             "currsize": self.currsize,
             "current_bytes": self.current_bytes,
@@ -239,7 +251,9 @@ class DiskResultCache:
         self._misses = 0
         self._stores = 0
         self._evictions = 0
+        self._evicted_bytes = 0
         self._expirations = 0
+        self._corrupt_dropped = 0
         self._errors = 0
         # Approximate footprint, resynced from a real scan periodically and
         # whenever the bounds look exceeded; overwrites are double-counted,
@@ -323,6 +337,7 @@ class DiskResultCache:
             with self._stats_lock:
                 self._misses += 1
                 self._errors += 1
+                self._corrupt_dropped += 1
             try:
                 os.unlink(path)
             except OSError:
@@ -437,36 +452,45 @@ class DiskResultCache:
                 self._approx_entries = len(rows)
                 self._approx_bytes = total_bytes
             return
-        with _DirectoryLock(self._lock_path):
-            rows = self._scan()  # re-scan under the lock: another process may
-            total_bytes = sum(size for _, _, _, size in rows)  # have evicted
-            index = 0
-            evicted = 0
-            failed = 0
-            while rows[index:] and (
-                len(rows) - index > self.max_entries or total_bytes > self.max_bytes
-            ):
-                _, path, _, size = rows[index]
-                index += 1
-                try:
-                    os.unlink(path)
-                except FileNotFoundError:
-                    # Another process evicted it between our scan and now:
-                    # the bytes are gone all the same, so the running total
-                    # must shrink or this sweep over-evicts survivors.
+        index = 0
+        evicted = 0
+        evicted_bytes = 0
+        failed = 0
+        try:
+            with _DirectoryLock(self._lock_path):
+                rows = self._scan()  # re-scan under the lock: another process
+                total_bytes = sum(size for _, _, _, size in rows)  # may have evicted
+                while rows[index:] and (
+                    len(rows) - index > self.max_entries or total_bytes > self.max_bytes
+                ):
+                    _, path, _, size = rows[index]
+                    index += 1
+                    try:
+                        os.unlink(path)
+                    except FileNotFoundError:
+                        # Another process evicted it between our scan and now:
+                        # the bytes are gone all the same, so the running total
+                        # must shrink or this sweep over-evicts survivors.
+                        total_bytes -= size
+                        continue
+                    except OSError:
+                        failed += 1
+                        continue
                     total_bytes -= size
-                    continue
-                except OSError:
-                    failed += 1
-                    continue
-                total_bytes -= size
-                evicted += 1
+                    evicted += 1
+                    evicted_bytes += size
+                with self._stats_lock:
+                    self._approx_entries = max(0, len(rows) - index)
+                    self._approx_bytes = total_bytes
+        finally:
+            # Committed even when the sweep aborts part-way — a failure while
+            # releasing (or re-acquiring) the lock file must not erase the
+            # record of entries this sweep already deleted.
             with self._stats_lock:
                 self._puts_since_scan = 0
                 self._evictions += evicted
+                self._evicted_bytes += evicted_bytes
                 self._errors += failed
-                self._approx_entries = max(0, len(rows) - index)
-                self._approx_bytes = total_bytes
 
     @property
     def stats(self) -> DiskCacheStats:
@@ -478,7 +502,9 @@ class DiskResultCache:
                 misses=self._misses,
                 stores=self._stores,
                 evictions=self._evictions,
+                evicted_bytes=self._evicted_bytes,
                 expirations=self._expirations,
+                corrupt_dropped=self._corrupt_dropped,
                 errors=self._errors,
                 currsize=len(rows),
                 current_bytes=sum(size for _, _, _, size in rows),

@@ -185,6 +185,13 @@ class HttpSegmentationServer:
     host, port:
         Bind address; ``port=0`` picks a free port (read it back from
         :attr:`port` after :meth:`start`).
+    sock:
+        An already *bound* listening socket to serve on instead of binding
+        ``host:port``.  This is how the multi-process fleet
+        (:mod:`repro.serve.fleet`) runs several servers behind one address:
+        each worker hands in its own ``SO_REUSEPORT`` socket (kernel load
+        balancing), or a shared inherited listener where ``SO_REUSEPORT``
+        is unavailable.  ``host``/``port`` are read back from the socket.
     max_body_bytes:
         Bodies larger than this are refused with 413 before being read.
     drain_grace_seconds:
@@ -203,6 +210,7 @@ class HttpSegmentationServer:
         port: int = 0,
         max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
         drain_grace_seconds: float = 30.0,
+        sock: Any = None,
     ):
         for attr in ("submit", "metrics"):
             if not callable(getattr(service, attr, None)):
@@ -212,6 +220,7 @@ class HttpSegmentationServer:
         if drain_grace_seconds <= 0:
             raise ParameterError("drain_grace_seconds must be positive")
         self.service = service
+        self.sock = sock
         self.host = host
         self.port = int(port)
         self.max_body_bytes = int(max_body_bytes)
@@ -239,12 +248,18 @@ class HttpSegmentationServer:
             raise ParameterError("server already started")
         self._idle = asyncio.Event()
         self._idle.set()
-        self._server = await asyncio.start_server(
-            self._handle_connection, host=self.host, port=self.port, limit=_MAX_HEADER_BYTES
-        )
+        if self.sock is not None:
+            self._server = await asyncio.start_server(
+                self._handle_connection, sock=self.sock, limit=_MAX_HEADER_BYTES
+            )
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_connection, host=self.host, port=self.port, limit=_MAX_HEADER_BYTES
+            )
         sockets = self._server.sockets or []
         if sockets:
-            self.port = sockets[0].getsockname()[1]
+            name = sockets[0].getsockname()
+            self.host, self.port = name[0], name[1]
 
     def begin_drain(self) -> None:
         """Flip readiness to "draining" while existing requests keep running.

@@ -13,7 +13,14 @@ Transport choices mirror the server contract:
   trip — the property the content-addressed cache keys on);
 * error responses are mapped back to the library's own exception types, so
   ``client.segment(...)`` raises :class:`~repro.errors.QuotaExceededError`
-  exactly like the in-process ``await service.submit(...)`` would.
+  exactly like the in-process ``await service.submit(...)`` would;
+* transport failures are mapped too: connection refused/reset, a timeout,
+  or a half-written response all raise
+  :class:`~repro.errors.ServeConnectionError` (original error in
+  ``__cause__``).  Against a worker *fleet* mid-restart or mid-drain this
+  is the whole client contract — a request either completes bit-identically
+  or surfaces one well-typed exception; it never hangs a socket beyond the
+  configured timeout and never silently retries a non-idempotent POST.
 """
 
 from __future__ import annotations
@@ -23,6 +30,7 @@ import dataclasses
 import http.client
 import io
 import json
+import socket
 from typing import Any, Dict, Optional
 
 import numpy as np
@@ -33,6 +41,7 @@ from ..errors import (
     ParameterError,
     PayloadError,
     QuotaExceededError,
+    ServeConnectionError,
     ServeError,
     ServiceClosedError,
     ServiceOverloadedError,
@@ -107,6 +116,25 @@ class SegmentClient:
         path: str,
         body: Optional[bytes] = None,
         headers: Optional[Dict[str, str]] = None,
+    ):
+        try:
+            return self._request_raw(method, path, body, headers)
+        except (http.client.HTTPException, socket.timeout, OSError) as exc:
+            # One well-typed failure for "the server is unreachable / went
+            # away mid-request" — against a draining or restarting fleet the
+            # caller sees a library exception, never a bare socket error.
+            self.close()
+            raise ServeConnectionError(
+                f"{method} http://{self.host}:{self.port}{path} failed: "
+                f"{type(exc).__name__}: {exc}"
+            ) from exc
+
+    def _request_raw(
+        self,
+        method: str,
+        path: str,
+        body: Optional[bytes],
+        headers: Optional[Dict[str, str]],
     ):
         fresh = self._conn is None
         conn = self._connection()

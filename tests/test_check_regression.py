@@ -1,0 +1,103 @@
+"""Tests for the benchmark regression tripwire (``benchmarks/check_regression.py``).
+
+The tripwire guards CI, so its own comparison logic is pinned here: dotted
+path resolution, the >tolerance failure rule (regressions only — faster
+runs pass), schema-drift detection, and the update/candidate flows.
+"""
+
+import importlib.util
+import json
+import os
+
+import pytest
+
+_SCRIPT = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "benchmarks",
+    "check_regression.py",
+)
+
+
+@pytest.fixture(scope="module")
+def tripwire():
+    spec = importlib.util.spec_from_file_location("check_regression", _SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _write(path, document):
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(document, fh)
+
+
+def _baseline(source="report.json", tolerance=0.30, metrics=None):
+    return {
+        "schema": "repro-bench-baseline/v1",
+        "source": source,
+        "tolerance": tolerance,
+        "metrics": metrics if metrics is not None else {"a.rps": 100.0},
+    }
+
+
+def test_resolve_path_walks_nested_dicts(tripwire):
+    document = {"a": {"b": {"c": 3}}, "x": "text"}
+    assert tripwire.resolve_path(document, "a.b.c") == 3.0
+    assert tripwire.resolve_path(document, "a.missing") is None
+    assert tripwire.resolve_path(document, "x") is None  # non-numeric
+
+
+def test_regression_beyond_tolerance_fails(tripwire, tmp_path):
+    _write(str(tmp_path / "out" / "report.json"), {"a": {"rps": 65.0}})
+    failures, lines = tripwire.check_baseline(_baseline(), str(tmp_path / "out"))
+    assert len(failures) == 1
+    assert "regressed" in failures[0]
+    assert any("REGRESSION" in line for line in lines)
+
+
+def test_within_tolerance_and_improvements_pass(tripwire, tmp_path):
+    for value in (71.0, 100.0, 500.0):  # floor is 70.0
+        _write(str(tmp_path / "out" / "report.json"), {"a": {"rps": value}})
+        failures, _ = tripwire.check_baseline(_baseline(), str(tmp_path / "out"))
+        assert failures == [], value
+
+
+def test_missing_report_and_missing_metric_fail(tripwire, tmp_path):
+    failures, _ = tripwire.check_baseline(_baseline(), str(tmp_path / "out"))
+    assert "missing" in failures[0]
+    _write(str(tmp_path / "out" / "report.json"), {"other": 1})
+    failures, _ = tripwire.check_baseline(_baseline(), str(tmp_path / "out"))
+    assert "missing from the report" in failures[0]
+
+
+def test_main_exit_codes(tripwire, tmp_path):
+    out, base = str(tmp_path / "out"), str(tmp_path / "baselines")
+    _write(os.path.join(base, "b.json"), _baseline())
+    _write(os.path.join(out, "report.json"), {"a": {"rps": 99.0}})
+    assert tripwire.main(["--output", out, "--baselines", base]) == 0
+    _write(os.path.join(out, "report.json"), {"a": {"rps": 1.0}})
+    assert tripwire.main(["--output", out, "--baselines", base]) == 1
+    assert tripwire.main(["--output", out, "--baselines", str(tmp_path / "empty")]) == 2
+
+
+def test_update_refreshes_numbers_but_keeps_the_tracked_set(tripwire, tmp_path):
+    out, base = str(tmp_path / "out"), str(tmp_path / "baselines")
+    _write(os.path.join(base, "b.json"), _baseline(metrics={"a.rps": 100.0, "gone": 5.0}))
+    _write(os.path.join(out, "report.json"), {"a": {"rps": 250.0}})
+    assert tripwire.main(["--output", out, "--baselines", base, "--update"]) == 0
+    with open(os.path.join(base, "b.json")) as fh:
+        refreshed = json.load(fh)
+    assert refreshed["metrics"]["a.rps"] == 250.0
+    assert refreshed["metrics"]["gone"] == 5.0  # kept, not silently dropped
+    assert refreshed["tolerance"] == 0.30
+
+
+def test_write_candidates_copies_tracked_reports(tripwire, tmp_path):
+    out, base, cand = str(tmp_path / "out"), str(tmp_path / "baselines"), str(tmp_path / "cand")
+    _write(os.path.join(base, "b.json"), _baseline())
+    _write(os.path.join(out, "report.json"), {"a": {"rps": 123.0}})
+    assert tripwire.main(
+        ["--output", out, "--baselines", base, "--write-candidates", cand]
+    ) == 0
+    assert os.path.exists(os.path.join(cand, "report.json"))

@@ -507,3 +507,109 @@ def test_serve_async_with_tiered_disk_cache(tmp_path, rng, monkeypatch):
     second = json.loads(second_report.read_text())
     assert second["summary"]["num_cache_hits"] == 3
     assert second["metrics"]["cache"]["l2_hit_rate"] > 0.0
+
+
+def test_serve_http_worker_fleet_restarts_and_drains(tmp_path, rng):
+    """`serve --http --workers N`: kill a worker, fleet recovers, SIGTERM drains."""
+    import os
+    import re
+    import signal
+    import subprocess
+    import sys as _sys
+    import time
+
+    from repro.serve.http_client import SegmentClient
+
+    report_path = tmp_path / "fleet-report.json"
+    env = dict(os.environ)
+    src_dir = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+    env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [
+            _sys.executable, "-c",
+            "from repro.cli import main; import sys; sys.exit(main(sys.argv[1:]))",
+            "serve", "--http", "127.0.0.1:0", "--workers", "2",
+            "--cache-dir", str(tmp_path / "l2"), "--report", str(report_path),
+        ],
+        stderr=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+    try:
+        line = proc.stderr.readline()
+        match = re.search(r"http://([\d.]+):(\d+)", line)
+        assert match, f"no listening line in stderr: {line!r}"
+        host, port = match.group(1), int(match.group(2))
+        pids = []
+        for _ in range(2):
+            pid_line = proc.stderr.readline()
+            pid_match = re.search(r"worker slot=\d+ pid=(\d+)", pid_line)
+            assert pid_match, f"no worker pid line: {pid_line!r}"
+            pids.append(int(pid_match.group(1)))
+        def _children(pid):
+            # Union over every task: children are attributed to the thread
+            # that spawned them, and restarts come from the monitor thread.
+            try:
+                tasks = os.listdir(f"/proc/{pid}/task")
+            except OSError:
+                return None
+            out = set()
+            for task in tasks:
+                try:
+                    with open(f"/proc/{pid}/task/{task}/children") as fh:
+                        out.update(int(p) for p in fh.read().split())
+                except OSError:
+                    continue
+            return out
+
+        before = _children(proc.pid)
+        observable = before is not None
+        os.kill(pids[0], signal.SIGKILL)
+        image = (rng.random((10, 12, 3)) * 255).astype(np.uint8)
+        deadline = time.monotonic() + 60
+        served = False
+        while time.monotonic() < deadline:
+            try:
+                with SegmentClient(host, port, timeout=30) as client:
+                    result = client.segment(image)
+                assert result.num_segments >= 1
+                served = True
+                break
+            except Exception:  # noqa: BLE001 - killed worker's socket mid-restart
+                time.sleep(0.2)
+        assert served, "fleet never answered after the worker kill"
+        # Wait for the supervisor to actually respawn the killed slot before
+        # draining, so the report records the restart deterministically.
+        restarted = not observable
+        while observable and time.monotonic() < deadline:
+            children = _children(proc.pid) or set()
+            # The fleet is respawned once the child count is back to what it
+            # was before the kill (workers + resource tracker) without the
+            # victim among them.
+            if len(children) >= len(before) and pids[0] not in children:
+                restarted = True
+                break
+            time.sleep(0.1)
+        assert restarted, "supervisor never respawned the killed worker"
+        proc.send_signal(signal.SIGTERM)
+        assert proc.wait(timeout=90) == 0
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=30)
+        proc.stderr.close()
+    report = json.loads(report_path.read_text())
+    assert report["schema"] == "repro-http-serve-report/v1"
+    if observable:
+        assert report["fleet"]["restarts"] >= 1
+    assert report["fleet"]["workers"] == 2
+    assert report["metrics"]["completed"] >= 1
+    assert report["http"]["draining"] is True
+
+
+def test_serve_fleet_validates_the_spec_in_the_parent(capsys):
+    """A bad --method exits 2 immediately instead of crash-looping workers."""
+    assert main(["serve", "--http", "127.0.0.1:0", "--workers", "2",
+                 "--method", "no-such-method"]) == 2
+    assert "error:" in capsys.readouterr().err
+    assert main(["serve", "--http", "127.0.0.1:0", "--workers", "0"]) == 2

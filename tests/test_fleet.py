@@ -1,0 +1,246 @@
+"""Tests for the multi-process serving fleet (``repro.serve.fleet``).
+
+The integration tests spawn real worker processes (the same start method
+production uses), so they keep the workload tiny: 2 workers, small images,
+short waits.  The aggregation logic is additionally covered by pure unit
+tests over synthetic snapshots, which is where the merge semantics
+(counters sum, shared-L2 gauges take max, percentiles come from merged
+sketches) are pinned down exactly.
+"""
+
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro import BatchSegmentationEngine, IQFTSegmenter
+from repro.errors import ParameterError, ServeError
+from repro.metrics.runtime import LatencyRecorder
+from repro.serve import SegmentClient, ServeFleet, WorkerSpec, merge_worker_metrics
+
+pytestmark = pytest.mark.filterwarnings("ignore::ResourceWarning")
+
+_SPEC = WorkerSpec(max_wait_seconds=0.002, max_batch_size=8)
+
+
+def _fleet(workers=2, **kwargs):
+    kwargs.setdefault("stagger_seconds", 0.05)
+    kwargs.setdefault("restart_backoff_seconds", 0.2)
+    spec = kwargs.pop("spec", _SPEC)
+    return ServeFleet(spec, port=0, workers=workers, **kwargs)
+
+
+def _image(rng, side=14):
+    palette = (rng.random((16, 3)) * 255).astype(np.uint8)
+    return palette[rng.integers(0, 16, size=(side, side))]
+
+
+def _expected_labels(image):
+    engine = BatchSegmentationEngine(IQFTSegmenter(thetas=np.pi))
+    return engine.pipeline.run(image).segmentation.labels
+
+
+# --------------------------------------------------------------------------- #
+# metrics merging (pure)
+# --------------------------------------------------------------------------- #
+def _snapshot(completed, l2_hits=0, weight=4, latency=0.01):
+    recorder = LatencyRecorder()
+    for _ in range(completed):
+        recorder.record(latency)
+    return {
+        "requests": completed,
+        "completed": completed,
+        "failed": 0,
+        "queue_depth": 1,
+        "batches": completed,
+        "mean_batch_size": 1.0,
+        "throughput_rps": float(completed),
+        "uptime_seconds": 2.0,
+        "ewma_request_seconds": latency,
+        "shed": {"admission": 1, "expired": 0},
+        "latency_sketch": recorder.sketch(),
+        "lanes": {
+            "high": {
+                "depth": 1,
+                "submitted": completed,
+                "completed": completed,
+                "shed_admission": 0,
+                "shed_expired": 0,
+                "weight": weight,
+                "latency_sketch": recorder.sketch(),
+            }
+        },
+        "adaptive": {
+            "ticks": 3,
+            "batch_adjustments": 1,
+            "weight_adjustments": 2,
+            "max_batch_size": weight,
+        },
+        "cache": {
+            "l1": {"hits": 1, "misses": 2, "currsize": 3, "maxsize": 256},
+            "l2": {
+                "hits": l2_hits,
+                "misses": 2,
+                "currsize": 10,
+                "current_bytes": 1000,
+                "max_bytes": 4096,
+            },
+            "l1_hit_rate": 1 / 3,
+            "l2_hit_rate": l2_hits / 2,
+            "hit_rate": 0.0,
+        },
+    }
+
+
+def test_merge_sums_counters_and_merges_lanes():
+    merged = merge_worker_metrics([_snapshot(3), _snapshot(5)])
+    assert merged["workers_scraped"] == 2
+    assert merged["completed"] == 8
+    assert merged["queue_depth"] == 2
+    assert merged["shed"]["admission"] == 2
+    assert merged["throughput_rps"] == pytest.approx(8.0)
+    assert merged["lanes"]["high"]["completed"] == 8
+    assert merged["lanes"]["high"]["latency_seconds"]["count"] == 8.0
+    assert merged["latency_sketch"]["count"] == 8
+    assert merged["adaptive"]["ticks"] == 6
+
+
+def test_merge_takes_max_for_shared_l2_gauges():
+    merged = merge_worker_metrics([_snapshot(1, l2_hits=2), _snapshot(1, l2_hits=0)])
+    cache = merged["cache"]
+    assert cache["l2"]["hits"] == 2  # activity counters sum
+    assert cache["l2"]["currsize"] == 10  # same directory: max, not 20
+    assert cache["l2"]["current_bytes"] == 1000
+    assert cache["l1"]["currsize"] == 3  # per-worker L1s are distinct; max is a summary
+    lookups = cache["l1"]["hits"] + cache["l1"]["misses"]
+    assert cache["hit_rate"] == pytest.approx((cache["l1"]["hits"] + cache["l2"]["hits"]) / lookups)
+
+
+def test_merge_of_no_snapshots_is_explicit():
+    assert merge_worker_metrics([]) == {"workers_scraped": 0}
+
+
+def test_fleet_parameter_validation():
+    with pytest.raises(ParameterError):
+        ServeFleet("not-a-spec", workers=2)  # type: ignore[arg-type]
+    with pytest.raises(ParameterError):
+        ServeFleet(_SPEC, workers=0)
+    with pytest.raises(ParameterError):
+        ServeFleet(_SPEC, workers=1, heartbeat_interval=1.0, heartbeat_timeout=0.5)
+    with pytest.raises(ParameterError):
+        ServeFleet(_SPEC, workers=1, drain_grace_seconds=0)
+
+
+def test_worker_spec_theta_and_seed_kwargs():
+    spec = WorkerSpec(method="iqft-gray", theta=1.5)
+    assert spec.segmenter_kwargs() == {"theta": 1.5}
+    assert spec.theta_used == 1.5
+    spec = WorkerSpec(method="kmeans", seed=7)
+    assert spec.segmenter_kwargs() == {"seed": 7}
+    assert spec.theta_used is None
+
+
+# --------------------------------------------------------------------------- #
+# live fleets
+# --------------------------------------------------------------------------- #
+def test_fleet_serves_bit_identical_answers_and_aggregates_metrics(rng):
+    image = _image(rng)
+    expected = _expected_labels(image)
+    with _fleet(workers=2) as fleet:
+        assert fleet.wait_ready(60)
+        assert fleet.health()["status"] == "ok"
+        assert fleet.health()["accepting"] == 2
+        with SegmentClient("127.0.0.1", fleet.port, timeout=60) as client:
+            for _ in range(4):
+                result = client.segment(image)
+                assert np.array_equal(result.labels, expected)
+        live = fleet.metrics()
+        assert live["workers_scraped"] == 2
+        assert live["completed"] == 4
+        assert live["fleet"]["ready"] == 2
+        fleet.shutdown(drain=True)
+        final = fleet.final_metrics()
+    assert final["completed"] == 4
+    assert len(final["workers"]) == 2  # both drained cleanly and reported
+
+
+def test_fleet_restarts_a_sigkilled_worker_without_failing_survivors(rng):
+    image = _image(rng)
+    expected = _expected_labels(image)
+    with _fleet(workers=2) as fleet:
+        assert fleet.wait_ready(60)
+        victim = sorted(fleet.worker_pids())[0]
+        os.kill(victim, signal.SIGKILL)
+        # The surviving worker keeps answering while the slot restarts; a
+        # request may land on the dead accept queue and get a mapped error,
+        # but it must never hang and the fleet must recover fully.
+        deadline = time.monotonic() + 60
+        served = 0
+        while time.monotonic() < deadline:
+            try:
+                with SegmentClient("127.0.0.1", fleet.port, timeout=30) as client:
+                    result = client.segment(image)
+                assert np.array_equal(result.labels, expected)
+                served += 1
+            except ServeError:
+                pass  # the kernel routed us to the killed listener
+            health = fleet.health()
+            if fleet.restarts >= 1 and health["accepting"] == 2:
+                break
+            time.sleep(0.1)
+        else:
+            raise AssertionError("supervisor never restarted the killed worker")
+        assert served >= 1
+        assert victim not in fleet.worker_pids()
+
+
+def test_fleet_single_listener_fallback_serves(rng):
+    image = _image(rng)
+    expected = _expected_labels(image)
+    with _fleet(workers=2, reuse_port=False) as fleet:
+        assert fleet.wait_ready(60)
+        assert fleet.reuse_port is False
+        with SegmentClient("127.0.0.1", fleet.port, timeout=60) as client:
+            for _ in range(3):
+                assert np.array_equal(client.segment(image).labels, expected)
+
+
+def test_fleet_shares_one_disk_cache_and_restarts_warm(tmp_path, rng):
+    image = _image(rng)
+    expected = _expected_labels(image)
+    spec = WorkerSpec(max_wait_seconds=0.002, cache_dir=str(tmp_path / "l2"))
+    with _fleet(workers=2, spec=spec) as fleet:
+        assert fleet.wait_ready(60)
+        with SegmentClient("127.0.0.1", fleet.port, timeout=60) as client:
+            assert np.array_equal(client.segment(image).labels, expected)
+    # Second fleet over the same directory: the working set is already on
+    # disk, so the first repeat request is an L2 hit in some worker.
+    with _fleet(workers=2, spec=spec) as fleet:
+        assert fleet.wait_ready(60)
+        with SegmentClient("127.0.0.1", fleet.port, timeout=60) as client:
+            for _ in range(4):  # several sends: cover both kernel-balanced workers
+                assert np.array_equal(client.segment(image).labels, expected)
+        merged = fleet.metrics()
+    assert merged["cache"]["l2"]["hits"] > 0
+    assert merged["cache"]["l2"]["currsize"] >= 1
+
+
+def test_fleet_replaces_a_worker_stopped_by_an_external_sigterm(rng):
+    """A clean exit the supervisor did not order still brings the slot back."""
+    with _fleet(workers=2) as fleet:
+        assert fleet.wait_ready(60)
+        victim = sorted(fleet.worker_pids())[0]
+        os.kill(victim, signal.SIGTERM)  # worker drains and exits 0 — unsolicited
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline:
+            if fleet.restarts >= 1 and fleet.health()["accepting"] == 2:
+                break
+            time.sleep(0.1)
+        else:
+            raise AssertionError("externally stopped worker was never replaced")
+        assert victim not in fleet.worker_pids()
+        image = _image(rng)
+        with SegmentClient("127.0.0.1", fleet.port, timeout=30) as client:
+            assert client.segment(image).num_segments >= 1

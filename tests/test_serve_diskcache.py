@@ -393,3 +393,90 @@ def test_tiered_put_writes_through_both_tiers(tmp_path, rng):
 def test_tiered_rejects_non_cache_tiers(tmp_path):
     with pytest.raises(ParameterError):
         TieredResultCache(l1="nope", l2=DiskResultCache(str(tmp_path)))
+
+
+# --------------------------------------------------------------------------- #
+# eviction + corruption telemetry
+# --------------------------------------------------------------------------- #
+def test_eviction_counters_track_entries_and_bytes(tmp_path, rng):
+    cache = DiskResultCache(str(tmp_path), max_entries=2)
+    keys = [_key(rng, config=f"c{i}") for i in range(4)]
+    for key in keys:
+        cache.put(key, _value(rng))
+        time.sleep(0.01)  # distinct mtimes for deterministic LRU order
+    stats = cache.stats
+    assert stats.evictions == 2
+    assert stats.evicted_bytes > 0
+    assert stats.currsize <= 2
+    # evicted bytes + surviving bytes account for everything ever stored
+    assert stats.evicted_bytes + stats.current_bytes > 0
+    assert stats.as_dict()["evicted_bytes"] == stats.evicted_bytes
+
+
+def test_corrupt_dropped_counter_is_separate_from_io_errors(tmp_path, rng):
+    cache = DiskResultCache(str(tmp_path))
+    key = _key(rng)
+    cache.put(key, _value(rng))
+    with open(cache.path_for(key), "wb") as fh:
+        fh.write(b"garbage, not an npz")
+    assert cache.get(key) is None
+    stats = cache.stats
+    assert stats.corrupt_dropped == 1
+    assert stats.errors == 1  # corruption also counts as an error
+    assert not os.path.exists(cache.path_for(key))  # purged
+
+
+def test_sweep_counters_survive_a_failing_lock_release(tmp_path, rng, monkeypatch):
+    """Counters are committed even when the sweep aborts on the lock path."""
+    from repro.serve import diskcache as diskcache_module
+
+    cache = DiskResultCache(str(tmp_path), max_entries=1)
+    first = _key(rng, config="a")
+    cache.put(first, _value(rng))
+    time.sleep(0.01)
+
+    original_exit = diskcache_module._DirectoryLock.__exit__
+
+    def failing_exit(self, exc_type, exc, tb):
+        original_exit(self, exc_type, exc, tb)
+        raise OSError("lock file vanished under us")
+
+    monkeypatch.setattr(diskcache_module._DirectoryLock, "__exit__", failing_exit)
+    with pytest.raises(OSError):
+        cache.put(_key(rng, config="b"), _value(rng))
+    monkeypatch.setattr(diskcache_module._DirectoryLock, "__exit__", original_exit)
+    stats = cache.stats
+    assert stats.evictions == 1  # the eviction that happened is recorded
+    assert stats.evicted_bytes > 0
+
+
+def test_tiered_cache_surfaces_disk_telemetry(tmp_path, rng):
+    tiered = TieredResultCache(
+        l1=ResultCache(max_entries=8), l2=DiskResultCache(str(tmp_path), max_entries=1)
+    )
+    for i in range(3):
+        tiered.put(_key(rng, config=f"c{i}"), _value(rng))
+        time.sleep(0.01)
+    doc = tiered.stats.as_dict()
+    assert doc["l2"]["evictions"] >= 1
+    assert doc["l2"]["evicted_bytes"] > 0
+    assert "corrupt_dropped" in doc["l2"]
+
+
+def test_service_metrics_surface_disk_eviction_telemetry(tmp_path, rng):
+    """The new counters ride TieredResultCache into service.metrics()."""
+    from repro import BatchSegmentationEngine, IQFTSegmenter
+    from repro.serve import SegmentationService
+
+    tiered = TieredResultCache(
+        l1=ResultCache(max_entries=4), l2=DiskResultCache(str(tmp_path))
+    )
+    engine = BatchSegmentationEngine(IQFTSegmenter(thetas=np.pi))
+    with SegmentationService(engine, cache=tiered) as service:
+        image = (rng.random((8, 8, 3)) * 255).astype(np.uint8)
+        service.submit(image).result(timeout=30)
+        metrics = service.metrics()
+    l2 = metrics["cache"]["l2"]
+    for key in ("evictions", "evicted_bytes", "corrupt_dropped", "expirations"):
+        assert key in l2, key
+    assert l2["stores"] == 1
