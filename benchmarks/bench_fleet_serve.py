@@ -56,7 +56,7 @@ def _expected_labels(images):
     return [engine.pipeline.run(image).segmentation.labels for image in images]
 
 
-def _drive_fleet(port, images, expected, clients):
+def _drive_fleet(port, images, expected, clients, accept="json"):
     """``clients`` threads, each sending its share sequentially; fresh
     connection per request so SO_REUSEPORT keeps re-balancing."""
     latencies_lock = threading.Lock()
@@ -67,7 +67,9 @@ def _drive_fleet(port, images, expected, clients):
             for index in range(worker_id, len(images), clients):
                 t0 = time.perf_counter()
                 with SegmentClient("127.0.0.1", port, timeout=120) as client:
-                    result = client.segment(images[index], client_id=f"w{worker_id}")
+                    result = client.segment(
+                        images[index], client_id=f"w{worker_id}", accept=accept
+                    )
                 elapsed = time.perf_counter() - t0
                 with latencies_lock:
                     latencies.append(elapsed)
@@ -201,3 +203,91 @@ def test_fleet_restart_is_warm_through_the_shared_disk_cache(
     # The restarted fleet must actually answer from the shared disk tier.
     assert l2["hits"] > 0, f"warm fleet saw no L2 hits: {l2}"
     assert l2["currsize"] >= 1
+
+
+def test_fleet_shm_warm_hits_beat_disk_l2(
+    rng, tmp_path_factory, smoke_mode, emit_result, emit_json_result
+):
+    """Same-host warm path: the shm ring must answer faster than the disk L2.
+
+    Two 4-worker fleets serve an identical working set twice.  Both share
+    one disk cache per fleet; one additionally gets the shared-memory L1.5
+    ring.  ``cache_entries=1`` keeps the per-worker L1 out of the picture,
+    so every warm request is answered by the tier under test: a file open +
+    npz inflate (disk) versus one memcpy out of the ring (shm).  Labels are
+    asserted bit-identical to ``pipeline.run`` on every response.
+    """
+    count = 8 if smoke_mode else 12
+    side = 192 if smoke_mode else 256
+    rounds = 3 if smoke_mode else 4
+
+    images = _distinct_images(rng, count, side)
+    expected = _expected_labels(images)
+
+    def run_fleet(label, shm_bytes):
+        spec = WorkerSpec(
+            use_lut=False,
+            max_wait_seconds=0.002,
+            max_batch_size=8,
+            cache_dir=str(tmp_path_factory.mktemp(f"warm-{label}")),
+            cache_entries=1,
+            shm_bytes=shm_bytes,
+        )
+        with ServeFleet(spec, port=0, workers=4, stagger_seconds=0.05) as fleet:
+            assert fleet.wait_ready(120), f"{label} fleet never became ready"
+            _drive_fleet(fleet.port, images, expected, clients=4)  # warming pass
+            # Warm measurement: one sequential client on the zero-copy npy
+            # path, so each latency is the service time itself (tier fetch +
+            # response write), not queueing noise from CPU-contended clients.
+            latencies, elapsed = _drive_fleet(
+                fleet.port, images * rounds, expected * rounds, clients=1, accept="npy"
+            )
+            merged = fleet.metrics()
+        return latencies, elapsed, merged
+
+    disk_lat, disk_elapsed, disk_metrics = run_fleet("disk", shm_bytes=0)
+    shm_lat, shm_elapsed, shm_metrics = run_fleet("shm", shm_bytes=256 * 1024 * 1024)
+
+    assert "shm" not in disk_metrics["cache"]
+    shm_tier = shm_metrics["cache"]["shm"]
+    assert shm_tier["hits"] > 0, f"shm fleet answered no warm hits from the ring: {shm_tier}"
+
+    disk_p50 = percentile(disk_lat, 50.0)
+    shm_p50 = percentile(shm_lat, 50.0)
+    speedup = disk_p50 / shm_p50
+    warm = count * rounds
+    rows = [
+        ["disk L2", f"{warm / disk_elapsed:.1f}", f"{disk_p50 * 1e3:.2f}",
+         f"{percentile(disk_lat, 99.0) * 1e3:.2f}", str(disk_metrics["cache"]["l2"]["hits"])],
+        ["shm ring", f"{warm / shm_elapsed:.1f}", f"{shm_p50 * 1e3:.2f}",
+         f"{percentile(shm_lat, 99.0) * 1e3:.2f}", str(shm_tier["hits"])],
+        ["p50 speedup", f"{speedup:.2f}x", "", "", ""],
+    ]
+    emit_result(
+        f"Fleet warm hits, shm ring vs disk L2 — {warm} warm requests over {count} images "
+        f"{side}x{side}, 4 workers, sequential npy client, {os.cpu_count()} cpu(s)",
+        format_table("Warm tier", ["Tier", "req/s", "p50 [ms]", "p99 [ms]", "tier hits"], rows),
+    )
+    emit_json_result(
+        "bench_fleet_warm_shm",
+        {
+            "schema": "repro-bench-fleet-warm-shm/v1",
+            "smoke": smoke_mode,
+            "count": count,
+            "side": side,
+            "rounds": rounds,
+            "cpus": os.cpu_count(),
+            "disk_p50_seconds": disk_p50,
+            "shm_p50_seconds": shm_p50,
+            "warm_shm_speedup": speedup,
+            "shm_warm_rps": warm / shm_elapsed,
+            "shm_hits": int(shm_tier["hits"]),
+            "shm_torn_reads": int(shm_tier["torn_reads"]),
+        },
+    )
+    # The tentpole claim: on the same host, the shared-memory ring answers
+    # the warm working set faster than the shared disk cache.
+    assert shm_p50 < disk_p50, (
+        f"shm warm p50 {shm_p50 * 1e3:.2f} ms did not beat disk L2 p50 "
+        f"{disk_p50 * 1e3:.2f} ms"
+    )

@@ -137,6 +137,17 @@ def build_parser() -> argparse.ArgumentParser:
         "warm results survive restarts and are shared across --jobs workers",
     )
     srv.add_argument(
+        "--shm-mb", type=float, default=64.0,
+        help="shared-memory cache ring size in MiB for --workers fleets: a "
+        "same-host L1.5 tier between each worker's in-memory cache and the "
+        "--cache-dir disk tier, so any worker's result is a single-memcpy "
+        "hit for every other worker (0 disables, as does --no-shm)",
+    )
+    srv.add_argument(
+        "--no-shm", action="store_true",
+        help="disable the fleet's shared-memory cache tier",
+    )
+    srv.add_argument(
         "--async", dest="use_async", action="store_true",
         help="serve through the asyncio front end (priority lanes, per-job "
         "deadlines, deadline-aware shedding)",
@@ -548,6 +559,7 @@ def _build_worker_spec(args: argparse.Namespace, http_mode: bool):
         ),
         adaptive=args.adaptive,
         max_body_bytes=int(args.max_body_mb * 1024 * 1024),
+        shm_bytes=0 if args.no_shm else max(0, int(args.shm_mb * 1024 * 1024)),
     )
 
 

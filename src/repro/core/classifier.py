@@ -104,9 +104,16 @@ class IQFTClassifier:
             stop = min(start + chunk, arr.shape[0])
             block = phase_vectors(arr[start:stop])
             # amp_j = (1/N) Σ_k F_k · ω^{-jk}; W is symmetric so F @ W works
-            # row-wise without a transpose.
-            np.matmul(block, self._matrix, out=out[start:stop])
-            out[start:stop] *= inv_dim
+            # row-wise without a transpose.  The sum over k is accumulated in
+            # fixed column order rather than via np.matmul: BLAS gemm kernels
+            # round differently depending on the batch size N, which would make
+            # the LUT tables (built over a fixed 256-value ramp) differ in the
+            # last ulp from direct segmentation of arbitrary-size images.
+            dest = out[start:stop]
+            np.multiply(block[:, :1], self._matrix[0], out=dest)
+            for k in range(1, self._dim):
+                dest += block[:, k : k + 1] * self._matrix[k]
+            dest *= inv_dim
         if np.asarray(phases).ndim == 1:
             return out[0]
         return out

@@ -24,6 +24,12 @@ for request/response traffic:
   cache tier (atomic writes, mtime-LRU eviction, multi-process safe) that
   stacks under the in-memory cache as :class:`TieredResultCache`, so warm
   results survive restarts and are shared across worker processes.
+* :class:`SharedMemoryResultCache` — the same-host shared-memory L1.5 tier
+  for worker fleets: a fixed ring of digest-keyed slots in one
+  ``multiprocessing.shared_memory`` segment, validated lock-free with
+  generation counters + payload checksums (torn writes degrade to misses).
+  Stacked into :class:`TieredResultCache` between L1 and the disk L2, a warm
+  hit costs one memcpy instead of a file open + npz inflate.
 * :class:`ServeFleet` — the multi-process scale-out layer: a supervisor
   running N HTTP worker processes behind one HOST:PORT via ``SO_REUSEPORT``
   (kernel load balancing; single shared listener as the fallback), all
@@ -70,6 +76,7 @@ from .cache import (
 )
 from .diskcache import DiskCacheStats, DiskResultCache
 from .service import SegmentationService
+from .shmcache import SharedMemoryResultCache, ShmCacheStats
 from .spool import (
     Job,
     build_report,
@@ -100,6 +107,8 @@ __all__ = [
     "TieredCacheStats",
     "DiskResultCache",
     "DiskCacheStats",
+    "SharedMemoryResultCache",
+    "ShmCacheStats",
     "image_digest",
     "config_digest",
     "Job",

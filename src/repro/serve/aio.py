@@ -396,6 +396,11 @@ class AsyncSegmentationService:
                 self._wakeup.set()
         if self._worker_task is not None:
             await asyncio.gather(self._worker_task, return_exceptions=True)
+        # Tiers holding OS resources (an shm mapping) release them here —
+        # after the worker task is done, so no batch can still be writing.
+        closer = getattr(self.cache, "close", None)
+        if callable(closer):
+            closer()
 
     async def __aenter__(self) -> "AsyncSegmentationService":
         self._ensure_worker()

@@ -193,10 +193,11 @@ class ResultCache:
 
 @dataclass(frozen=True)
 class TieredCacheStats:
-    """Combined effectiveness snapshot of a two-tier (L1 + L2) cache."""
+    """Combined effectiveness snapshot of a tiered (L1 [+ shm] + L2) cache."""
 
     l1: Any
     l2: Any
+    shm: Any = None
 
     @property
     def l1_hit_rate(self) -> float:
@@ -205,26 +206,38 @@ class TieredCacheStats:
 
     @property
     def l2_hit_rate(self) -> float:
-        """L2 hits over the lookups that fell through L1."""
+        """L2 hits over the lookups that fell through the faster tiers."""
         return self.l2.hit_rate
+
+    @property
+    def shm_hit_rate(self) -> float:
+        """Shm hits over the lookups that fell through L1 (0.0 without shm)."""
+        return self.shm.hit_rate if self.shm is not None else 0.0
 
     def as_dict(self) -> dict:
         """JSON-friendly form used by service metric snapshots."""
-        return {
+        document = {
             "l1": self.l1.as_dict(),
             "l2": self.l2.as_dict(),
             "l1_hit_rate": self.l1_hit_rate,
             "l2_hit_rate": self.l2_hit_rate,
             "hit_rate": self.hit_rate,
         }
+        if self.shm is not None:
+            document["shm"] = self.shm.as_dict()
+            document["shm_hit_rate"] = self.shm_hit_rate
+        return document
 
     @property
     def hit_rate(self) -> float:
-        """Overall hit rate: a hit in either tier counts."""
+        """Overall hit rate: a hit in any tier counts."""
         lookups = self.l1.hits + self.l1.misses
         if not lookups:
             return 0.0
-        return (self.l1.hits + self.l2.hits) / lookups
+        hits = self.l1.hits + self.l2.hits
+        if self.shm is not None:
+            hits += self.shm.hits
+        return hits / lookups
 
 
 class TieredResultCache:
@@ -235,46 +248,79 @@ class TieredResultCache:
     writes through to both tiers, so a value computed by any worker process
     becomes visible to every process sharing the L2 directory.
 
+    An optional **shm** middle tier (the L1.5 of a same-host fleet, a
+    :class:`~repro.serve.shmcache.SharedMemoryResultCache`) slots between
+    them: probed after an L1 miss, promoted into on an L2 hit, and written
+    through on every put — so one worker's computation becomes another
+    worker's single-memcpy hit without touching the disk.
+
     The tiers stay plain ``get``/``put`` objects — an L1
     :class:`ResultCache` and an L2
     :class:`~repro.serve.diskcache.DiskResultCache` in production, anything
     duck-compatible in tests.
     """
 
-    def __init__(self, l1: Any, l2: Any):
-        for tier, name in ((l1, "l1"), (l2, "l2")):
+    def __init__(self, l1: Any, l2: Any, shm: Any = None):
+        for tier, name in ((l1, "l1"), (l2, "l2"), (shm, "shm")):
+            if tier is None and name == "shm":
+                continue
             if not (callable(getattr(tier, "get", None)) and callable(getattr(tier, "put", None))):
                 raise ParameterError(f"{name} must provide get(key) and put(key, value)")
         self.l1 = l1
         self.l2 = l2
+        self.shm = shm
 
     def get(self, key: CacheKey) -> Optional[Any]:
-        """L1 value, else the promoted L2 value, else ``None``."""
+        """L1 value, else shm, else the L2 value (promoted upward), else ``None``."""
         value = self.l1.get(key)
         if value is not None:
             return value
+        if self.shm is not None:
+            value = self.shm.get(key)
+            if value is not None:
+                self.l1.put(key, value)
+                return value
         value = self.l2.get(key)
         if value is not None:
+            if self.shm is not None:
+                self.shm.put(key, value)
             self.l1.put(key, value)
         return value
 
     def put(self, key: CacheKey, value: Any) -> None:
-        """Write-through: publish to both tiers."""
+        """Write-through: publish to every tier."""
         self.l1.put(key, value)
+        if self.shm is not None:
+            self.shm.put(key, value)
         self.l2.put(key, value)
 
     def clear(self) -> None:
-        """Drop every entry in both tiers."""
+        """Drop every entry in every tier."""
         self.l1.clear()
+        if self.shm is not None:
+            self.shm.clear()
         self.l2.clear()
 
+    def close(self) -> None:
+        """Release tiers that hold OS resources (e.g. an shm mapping)."""
+        for tier in (self.l1, self.shm, self.l2):
+            closer = getattr(tier, "close", None)
+            if callable(closer):
+                closer()
+
     def __contains__(self, key: CacheKey) -> bool:
-        return key in self.l1 or key in self.l2
+        if key in self.l1 or key in self.l2:
+            return True
+        return self.shm is not None and key in self.shm
 
     @property
     def stats(self) -> TieredCacheStats:
-        """Per-tier counters plus combined L1/L2 hit rates."""
-        return TieredCacheStats(l1=self.l1.stats, l2=self.l2.stats)
+        """Per-tier counters plus combined hit rates."""
+        return TieredCacheStats(
+            l1=self.l1.stats,
+            l2=self.l2.stats,
+            shm=self.shm.stats if self.shm is not None else None,
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"TieredResultCache(l1={self.l1!r}, l2={self.l2!r})"
+        return f"TieredResultCache(l1={self.l1!r}, shm={self.shm!r}, l2={self.l2!r})"

@@ -71,6 +71,12 @@ _LOCK_STALE_SECONDS = 30.0
 #: while still noticing entries written by other processes.
 _RESYNC_EVERY_PUTS = 64
 
+#: A read-mostly process resyncs its approximate footprint after observing
+#: this many entries vanish (lookups hitting ``FileNotFoundError`` while the
+#: counters still claim content) — without it, a worker whose siblings evict
+#: would hold a stale over-estimate indefinitely and keep sweeping.
+_VANISH_RESYNC_OBSERVATIONS = 16
+
 
 def _json_safe(value: Any, depth: int = 0) -> Tuple[bool, Any]:
     """``(keep, converted)`` — JSON-friendly view of an extras value.
@@ -181,7 +187,19 @@ class _DirectoryLock:
                     # monotonic deadline below stays the hard upper bound.
                     age = max(0.0, time.time() - os.path.getmtime(self._path))
                 except OSError:
-                    continue  # holder released between open and stat; retry
+                    # Holder released between open and stat — or stat keeps
+                    # failing.  This retry must pace itself and still honour
+                    # the deadline like the fresh-lock path below, or a
+                    # contended lock degenerates into a hot spin (and a
+                    # permanently failing stat into an unbreakable one).
+                    if time.monotonic() > deadline:
+                        try:
+                            os.unlink(self._path)
+                        except FileNotFoundError:
+                            pass
+                        continue
+                    time.sleep(0.01)
+                    continue
                 if age > self._stale_seconds or time.monotonic() > deadline:
                     try:  # break the stale lock and retry the exclusive open
                         os.unlink(self._path)
@@ -262,6 +280,7 @@ class DiskResultCache:
         self._approx_entries = len(rows)
         self._approx_bytes = sum(size for _, _, _, size in rows)
         self._puts_since_scan = 0
+        self._vanished_since_scan = 0
 
     # ------------------------------------------------------------------ #
     # paths + serialization
@@ -325,6 +344,11 @@ class DiskResultCache:
         except FileNotFoundError:
             with self._stats_lock:
                 self._misses += 1
+            # The entry may simply never have existed — but while the
+            # approximate footprint claims the directory holds content,
+            # enough of these observations mean sibling processes are
+            # evicting and this process's counters are drifting stale.
+            self._note_vanished()
             return None
         except OSError:
             with self._stats_lock:
@@ -338,10 +362,7 @@ class DiskResultCache:
                 self._misses += 1
                 self._errors += 1
                 self._corrupt_dropped += 1
-            try:
-                os.unlink(path)
-            except OSError:
-                pass
+            self._drop_entry(path, len(payload))
             return None
         # Age clamped at 0: after a backwards wall-clock step an entry can
         # carry a stored_at from the "future"; it is then simply fresh, not
@@ -350,18 +371,43 @@ class DiskResultCache:
             with self._stats_lock:
                 self._misses += 1
                 self._expirations += 1
-            try:
-                os.unlink(path)
-            except OSError:
-                pass
+            self._drop_entry(path, len(payload))
             return None
         try:
             os.utime(path)  # refresh mtime: LRU across every sharing process
         except OSError:
-            pass  # evicted under us after the read — the value is still good
+            # Evicted under us after the read — the value is still good, but
+            # the vanish is real drift evidence like any other.
+            self._note_vanished()
         with self._stats_lock:
             self._hits += 1
         return segmentation, binary
+
+    def _drop_entry(self, path: str, size: int) -> None:
+        """Unlink an entry this process decided to purge, keeping the
+        approximate footprint in step (no full rescan needed — the size of
+        what vanished is known exactly)."""
+        try:
+            os.unlink(path)
+        except OSError:
+            return
+        with self._stats_lock:
+            self._approx_entries = max(0, self._approx_entries - 1)
+            self._approx_bytes = max(0, self._approx_bytes - size)
+
+    def _note_vanished(self) -> None:
+        """Record an observed-vanished entry; resync once they accumulate."""
+        with self._stats_lock:
+            if self._approx_entries <= 0:
+                return
+            self._vanished_since_scan += 1
+            if self._vanished_since_scan < _VANISH_RESYNC_OBSERVATIONS:
+                return
+        rows = self._scan()
+        with self._stats_lock:
+            self._approx_entries = len(rows)
+            self._approx_bytes = sum(size for _, _, _, size in rows)
+            self._vanished_since_scan = 0
 
     def put(self, key: CacheKey, value: Tuple[SegmentationResult, np.ndarray]) -> None:
         """Publish an entry atomically, then enforce the size bounds."""
@@ -409,6 +455,7 @@ class DiskResultCache:
             self._approx_entries = 0
             self._approx_bytes = 0
             self._puts_since_scan = 0
+            self._vanished_since_scan = 0
 
     def __len__(self) -> int:
         return len(self._scan())
@@ -449,6 +496,7 @@ class DiskResultCache:
         if len(rows) <= self.max_entries and total_bytes <= self.max_bytes:
             with self._stats_lock:
                 self._puts_since_scan = 0
+                self._vanished_since_scan = 0
                 self._approx_entries = len(rows)
                 self._approx_bytes = total_bytes
             return
@@ -488,6 +536,7 @@ class DiskResultCache:
             # record of entries this sweep already deleted.
             with self._stats_lock:
                 self._puts_since_scan = 0
+                self._vanished_since_scan = 0
                 self._evictions += evicted
                 self._evicted_bytes += evicted_bytes
                 self._errors += failed

@@ -105,6 +105,13 @@ class WorkerSpec:
     adaptive: bool = False
     adaptive_config: Optional[Any] = None  # serve.batcher.AdaptiveConfig
     max_body_bytes: int = DEFAULT_MAX_BODY_BYTES
+    #: Shared-memory L1.5 tier: total segment size in bytes (0 disables) and
+    #: per-slot capacity (0 = library default).  ``shm_name`` is filled in by
+    #: the fleet supervisor after it creates the segment — workers only ever
+    #: attach, so a solo spec (no fleet) builds a cache without an shm tier.
+    shm_bytes: int = 0
+    shm_slot_bytes: int = 0
+    shm_name: Optional[str] = None
 
     @property
     def theta_used(self) -> Optional[float]:
@@ -120,19 +127,32 @@ class WorkerSpec:
         return method_kwargs(self.method, theta=self.theta, seed=self.seed)
 
     def build_cache(self) -> Any:
-        """Memory L1 (optionally over a shared disk L2), or ``None``."""
+        """Memory L1 (optionally over shm L1.5 and/or disk L2), or ``None``."""
+        from ..errors import CacheError
         from .cache import ResultCache, TieredResultCache
         from .diskcache import DiskResultCache
+        from .shmcache import SharedMemoryResultCache
 
         if not self.use_cache:
             return None
         memory = ResultCache(max_entries=self.cache_entries, ttl_seconds=self.ttl_seconds)
+        shm = None
+        if self.shm_name:
+            try:
+                shm = SharedMemoryResultCache.attach(self.shm_name, ttl_seconds=self.ttl_seconds)
+            except CacheError:
+                # /dev/shm gone, segment unlinked, or an alien superblock:
+                # the worker degrades to memory + disk rather than failing.
+                shm = None
         if self.cache_dir is None:
-            return memory
-        # The TTL must govern the disk tier too — otherwise expired L1
+            if shm is None:
+                return memory
+            # No disk tier: the shm ring itself is the shared L2.
+            return TieredResultCache(l1=memory, l2=shm)
+        # The TTL must govern the lower tiers too — otherwise expired L1
         # entries would simply be re-promoted from a never-expiring L2.
         disk = DiskResultCache(self.cache_dir, ttl_seconds=self.ttl_seconds)
-        return TieredResultCache(l1=memory, l2=disk)
+        return TieredResultCache(l1=memory, l2=disk, shm=shm)
 
     def build_service(self):
         """Construct the full async service stack this spec describes."""
@@ -323,15 +343,27 @@ _SUM_CACHE_KEYS = (
     "hits",
     "misses",
     "stores",
+    "store_skips",
     "evictions",
     "evicted_bytes",
     "expirations",
     "corrupt_dropped",
+    "torn_reads",
     "errors",
 )
-#: Gauge-like cache keys: workers sharing one L2 directory each report the
-#: same on-disk footprint, so summing would multiply it by the fleet size.
-_MAX_CACHE_KEYS = ("currsize", "current_bytes", "maxsize", "max_entries", "max_bytes")
+#: Gauge-like cache keys: workers sharing one L2 directory (or one shm
+#: segment) each report the same footprint, so summing would multiply it by
+#: the fleet size.
+_MAX_CACHE_KEYS = (
+    "currsize",
+    "current_bytes",
+    "maxsize",
+    "max_entries",
+    "max_bytes",
+    "slot_count",
+    "slot_bytes",
+    "size_bytes",
+)
 
 
 def _merge_cache_tier(tiers: List[Dict[str, Any]]) -> Dict[str, Any]:
@@ -355,15 +387,20 @@ def _merge_cache(stats: List[Optional[Dict[str, Any]]]) -> Optional[Dict[str, An
         l1 = _merge_cache_tier([s["l1"] for s in present])
         l2 = _merge_cache_tier([s["l2"] for s in present])
         l1_lookups = l1.get("hits", 0) + l1.get("misses", 0)
+        total_hits = l1.get("hits", 0) + l2.get("hits", 0)
         merged = {
             "l1": l1,
             "l2": l2,
             "l1_hit_rate": l1.get("hit_rate", 0.0),
             "l2_hit_rate": l2.get("hit_rate", 0.0),
-            "hit_rate": (
-                (l1.get("hits", 0) + l2.get("hits", 0)) / l1_lookups if l1_lookups else 0.0
-            ),
         }
+        shm_docs = [s["shm"] for s in present if isinstance(s.get("shm"), dict)]
+        if shm_docs:
+            shm = _merge_cache_tier(shm_docs)
+            merged["shm"] = shm
+            merged["shm_hit_rate"] = shm.get("hit_rate", 0.0)
+            total_hits += shm.get("hits", 0)
+        merged["hit_rate"] = total_hits / l1_lookups if l1_lookups else 0.0
         return merged
     return _merge_cache_tier(present)
 
@@ -567,6 +604,9 @@ class ServeFleet:
         self._placeholder: Optional[socket.socket] = None
         self._listen_sock: Optional[socket.socket] = None
         self._monitor: Optional[threading.Thread] = None
+        self._shm_cache: Optional[Any] = None
+        #: Survives shutdown so the final report still describes the ring.
+        self._shm_desc: Dict[str, Any] = {"enabled": False}
         self._started = False
         self._stopping = False
 
@@ -590,6 +630,7 @@ class ServeFleet:
                 self._listen_sock.bind((self.host, self.port))
                 self._listen_sock.listen(128)
                 self.port = self._listen_sock.getsockname()[1]
+            self._create_shm_segment()
             for slot in range(self.workers):
                 self._launch(slot)
                 if slot + 1 < self.workers and self.stagger_seconds:
@@ -604,6 +645,37 @@ class ServeFleet:
             # __enter__ returns (so __exit__ would never run).
             self.shutdown(drain=False)
             raise
+
+    def _create_shm_segment(self) -> None:
+        """Create the fleet's shared-memory cache ring, if the spec asks.
+
+        The supervisor owns the segment's whole lifecycle — created here,
+        unlinked in :meth:`shutdown` — so a crashed (even SIGKILLed) worker
+        can never leak it: workers only attach.  An environment without
+        usable shared memory (no ``/dev/shm``, no space) downgrades the
+        fleet to memory + disk caching instead of failing the start.
+        """
+        if not (self.spec.use_cache and self.spec.shm_bytes > 0):
+            return
+        from ..errors import CacheError
+        from .shmcache import DEFAULT_SLOT_BYTES, SharedMemoryResultCache
+
+        try:
+            self._shm_cache = SharedMemoryResultCache.create(
+                self.spec.shm_bytes,
+                slot_bytes=self.spec.shm_slot_bytes or DEFAULT_SLOT_BYTES,
+                ttl_seconds=self.spec.ttl_seconds,
+            )
+        except CacheError as exc:
+            self._shm_desc = {"enabled": False, "error": str(exc)}
+            return
+        self._shm_desc = {
+            "enabled": True,
+            "name": self._shm_cache.name,
+            "slot_count": self._shm_cache.slot_count,
+            "slot_bytes": self._shm_cache.slot_bytes,
+        }
+        self.spec = dataclasses.replace(self.spec, shm_name=self._shm_cache.name)
 
     def _launch(self, slot: int) -> None:
         recv_conn, send_conn = self._ctx.Pipe(duplex=False)
@@ -850,6 +922,7 @@ class ServeFleet:
             alive = sum(1 for h in self._handles.values() if h.process.is_alive())
             ready = sum(1 for h in self._handles.values() if h.state == "ready")
             pids = {h.slot: h.pid for h in self._handles.values()}
+        shm = dict(self._shm_desc)
         return {
             "workers": self.workers,
             "alive": alive,
@@ -859,6 +932,7 @@ class ServeFleet:
             "host": self.host,
             "port": self.port,
             "pids": pids,
+            "shm": shm,
         }
 
     @property
@@ -938,6 +1012,11 @@ class ServeFleet:
                     pass
         self._placeholder = None
         self._listen_sock = None
+        if self._shm_cache is not None:
+            # Every worker is dead by now; the owner unlinks the segment so
+            # nothing survives in /dev/shm past the fleet's lifetime.
+            self._shm_cache.close()
+            self._shm_cache = None
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -233,6 +233,7 @@ class HttpSegmentationServer:
         self._closed = False
         self._requests = 0
         self._responses: Dict[int, int] = {}
+        self._client_disconnects = 0
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -329,6 +330,7 @@ class HttpSegmentationServer:
             "responses": {str(code): count for code, count in sorted(self._responses.items())},
             "open_connections": len(self._conn_tasks),
             "inflight": self._inflight,
+            "client_disconnects": self._client_disconnects,
             "draining": self.draining,
         }
 
@@ -391,8 +393,14 @@ class HttpSegmentationServer:
                         self._idle.set()
                 if not keep_alive:
                     return
-        except (asyncio.IncompleteReadError, ConnectionError, asyncio.CancelledError):
-            pass  # client went away / server shutdown — nothing to answer
+        except (asyncio.IncompleteReadError, ConnectionError):
+            # Client went away mid-request or mid-response-write.  The
+            # in-flight count was already released by the finally above; the
+            # disconnect itself must still be visible in metrics — a reset
+            # is a completed-with-error request, not one that vanishes.
+            self._client_disconnects += 1
+        except asyncio.CancelledError:
+            pass  # server shutdown — nothing to answer
         finally:
             writer.close()
             try:
@@ -452,7 +460,7 @@ class HttpSegmentationServer:
     # ------------------------------------------------------------------ #
     # routing
     # ------------------------------------------------------------------ #
-    async def _dispatch(self, request: _Request) -> Tuple[int, Dict[str, str], bytes]:
+    async def _dispatch(self, request: _Request) -> Tuple[int, Dict[str, str], Any]:
         if request.path == "/healthz":
             if request.method != "GET":
                 return self._method_not_allowed("GET")
@@ -486,7 +494,7 @@ class HttpSegmentationServer:
             return self._json_response(503, {"status": "draining"})
         return self._json_response(200, {"status": "ok"})
 
-    async def _handle_segment(self, request: _Request) -> Tuple[int, Dict[str, str], bytes]:
+    async def _handle_segment(self, request: _Request) -> Tuple[int, Dict[str, str], Any]:
         # Decode and encode run off-loop: a 64 MiB PNG inflate (or a huge
         # labels-to-JSON encode) on the event loop would stall every other
         # connection, including the /healthz a load balancer is polling.
@@ -553,7 +561,7 @@ class HttpSegmentationServer:
 
     def _format_segment_response(
         self, request: _Request, result: Any, options: Dict[str, Any]
-    ) -> Tuple[int, Dict[str, str], bytes]:
+    ) -> Tuple[int, Dict[str, str], Any]:
         seg = result.segmentation
         scalars = {
             "shape": [int(v) for v in seg.labels.shape],
@@ -568,8 +576,21 @@ class HttpSegmentationServer:
         }
         accept = request.headers.get("accept", "").partition(";")[0].strip().lower()
         if accept == "application/x-npy":
-            buffer = io.BytesIO()
-            np.save(buffer, np.asarray(seg.labels), allow_pickle=False)
+            # Zero-copy body: the npy header bytes plus a memoryview straight
+            # over the labels array (which, on an shm/disk cache hit, is
+            # itself a view over the decoded cache buffer).  A warm hit
+            # therefore never copies the label array into the response.
+            labels = np.ascontiguousarray(np.asarray(seg.labels))
+            header_buffer = io.BytesIO()
+            np.lib.format.write_array_header_1_0(
+                header_buffer,
+                {
+                    "descr": np.lib.format.dtype_to_descr(labels.dtype),
+                    "fortran_order": False,
+                    "shape": labels.shape,
+                },
+            )
+            body = [header_buffer.getvalue(), memoryview(labels).cast("B")]
             headers = {
                 "Content-Type": "application/x-npy",
                 "X-Repro-Num-Segments": str(scalars["num_segments"]),
@@ -579,7 +600,7 @@ class HttpSegmentationServer:
                 "X-Repro-Coalesced": "true" if scalars["coalesced"] else "false",
                 "X-Repro-Runtime-Seconds": f"{scalars['runtime_seconds']:.6f}",
             }
-            return 200, headers, buffer.getvalue()
+            return 200, headers, body
         document = {
             "schema": "repro-http-segment/v1",
             **scalars,
@@ -603,19 +624,26 @@ class HttpSegmentationServer:
         await self._write_response(writer, status, headers, body, keep_alive=False)
 
     async def _write_response(
-        self, writer, status: int, headers: Dict[str, str], body: bytes, keep_alive: bool
+        self, writer, status: int, headers: Dict[str, str], body: Any, keep_alive: bool
     ) -> None:
+        # ``body`` is either one bytes object or a sequence of bytes-like
+        # chunks (the zero-copy npy path: header bytes + an array view) that
+        # are written without being concatenated into an intermediate copy.
+        chunks = body if isinstance(body, (list, tuple)) else (body,)
+        length = sum(memoryview(chunk).nbytes for chunk in chunks)
         self._responses[status] = self._responses.get(status, 0) + 1
         phrase = _STATUS_PHRASES.get(status, "Unknown")
         lines = [f"HTTP/1.1 {status} {phrase}"]
         out_headers = {
             "Server": "repro-segment",
-            "Content-Length": str(len(body)),
+            "Content-Length": str(length),
             "Connection": "keep-alive" if keep_alive else "close",
             **headers,
         }
         lines.extend(f"{name}: {value}" for name, value in out_headers.items())
-        writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body)
+        writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("latin-1"))
+        for chunk in chunks:
+            writer.write(chunk)
         await writer.drain()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

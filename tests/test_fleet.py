@@ -244,3 +244,106 @@ def test_fleet_replaces_a_worker_stopped_by_an_external_sigterm(rng):
         image = _image(rng)
         with SegmentClient("127.0.0.1", fleet.port, timeout=30) as client:
             assert client.segment(image).num_segments >= 1
+
+
+# --------------------------------------------------------------------------- #
+# shared-memory tier: merging, lifecycle, degradation
+# --------------------------------------------------------------------------- #
+def _shm_doc(hits, stores=1, torn_reads=0):
+    lookups = hits + 1
+    return {
+        "hits": hits,
+        "misses": 1,
+        "stores": stores,
+        "store_skips": 0,
+        "evictions": 0,
+        "torn_reads": torn_reads,
+        "expirations": 0,
+        "errors": 0,
+        "currsize": 2,
+        "slot_count": 15,
+        "slot_bytes": 1 << 20,
+        "size_bytes": (15 << 20) + 64,
+        "hit_rate": hits / lookups,
+    }
+
+
+def test_merge_includes_shm_tier_counters_and_gauges():
+    first, second = _snapshot(1), _snapshot(1)
+    first["cache"]["shm"] = _shm_doc(hits=2, torn_reads=1)
+    second["cache"]["shm"] = _shm_doc(hits=0)
+    merged = merge_worker_metrics([first, second])
+
+    shm = merged["cache"]["shm"]
+    assert shm["hits"] == 2
+    assert shm["torn_reads"] == 1  # summed like the other counters
+    assert shm["slot_count"] == 15  # one shared ring: max, not sum
+    assert shm["size_bytes"] == (15 << 20) + 64
+    assert merged["cache"]["shm_hit_rate"] == pytest.approx(2 / 4)  # 2 hits, 2 misses
+    # The combined hit rate counts shm hits alongside l1 + l2 over lookups.
+    assert merged["cache"]["hit_rate"] == pytest.approx((2 + 0 + 2) / 6)
+
+
+def test_merge_without_shm_docs_omits_the_tier():
+    merged = merge_worker_metrics([_snapshot(1), _snapshot(1)])
+    assert "shm" not in merged["cache"]
+    assert "shm_hit_rate" not in merged["cache"]
+
+
+def test_fleet_shm_tier_survives_sigkill_and_never_leaks(tmp_path, rng):
+    """The supervisor owns the segment: SIGKILLed workers cannot leak it."""
+    image_a, image_b = _image(rng), _image(rng)
+    expected_a, expected_b = _expected_labels(image_a), _expected_labels(image_b)
+    spec = WorkerSpec(
+        max_wait_seconds=0.002,
+        cache_dir=str(tmp_path / "l2"),
+        cache_entries=1,  # tiny L1: repeats must come from the shm ring
+        shm_bytes=8 * 1024 * 1024,
+        shm_slot_bytes=256 * 1024,
+    )
+    with _fleet(workers=2, spec=spec) as fleet:
+        assert fleet.wait_ready(60)
+        fleet_doc = fleet.metrics()["fleet"]
+        assert fleet_doc["shm"]["enabled"] is True
+        segment_name = fleet_doc["shm"]["name"]
+        assert os.path.exists(f"/dev/shm/{segment_name}")
+
+        for _ in range(6):  # alternate so the 1-entry L1 cannot answer repeats
+            with SegmentClient("127.0.0.1", fleet.port, timeout=60) as client:
+                assert np.array_equal(client.segment(image_a).labels, expected_a)
+            with SegmentClient("127.0.0.1", fleet.port, timeout=60) as client:
+                assert np.array_equal(client.segment(image_b).labels, expected_b)
+
+        merged = fleet.metrics()
+        assert merged["cache"]["shm"]["stores"] >= 1
+        assert "shm_hit_rate" in merged["cache"]
+
+        victim = sorted(fleet.worker_pids())[0]
+        os.kill(victim, signal.SIGKILL)
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline:
+            if fleet.restarts >= 1 and fleet.health()["accepting"] == 2:
+                break
+            time.sleep(0.1)
+        else:
+            raise AssertionError("supervisor never restarted the killed worker")
+        # The segment survived the SIGKILL (the dead worker's resource
+        # tracker must not have unlinked it) and the replacement re-attached.
+        assert os.path.exists(f"/dev/shm/{segment_name}")
+        with SegmentClient("127.0.0.1", fleet.port, timeout=30) as client:
+            assert np.array_equal(client.segment(image_a).labels, expected_a)
+        fleet.shutdown(drain=True)
+        assert not os.path.exists(f"/dev/shm/{segment_name}")
+
+
+def test_fleet_degrades_cleanly_when_shm_cannot_be_created(rng):
+    """An unusable shm size downgrades the fleet instead of failing start."""
+    spec = WorkerSpec(max_wait_seconds=0.002, shm_bytes=128)  # < one slot
+    with _fleet(workers=2, spec=spec) as fleet:
+        assert fleet.wait_ready(60)
+        shm_doc = fleet.metrics()["fleet"]["shm"]
+        assert shm_doc["enabled"] is False
+        assert "error" in shm_doc
+        image = _image(rng)
+        with SegmentClient("127.0.0.1", fleet.port, timeout=60) as client:
+            assert client.segment(image).num_segments >= 1

@@ -562,3 +562,81 @@ def test_concurrent_clients_get_bit_identical_results(rng):
         assert metrics["completed"] == 12
         assert metrics["failed"] == 0
         assert metrics["http"]["responses"]["200"] == 12
+
+
+# --------------------------------------------------------------------------- #
+# zero-copy npy responses + client disconnect accounting
+# --------------------------------------------------------------------------- #
+def test_npy_response_bytes_are_exactly_np_save_output(rng):
+    """The hand-built zero-copy header must stay bit-identical to np.save."""
+    image = _image(rng)
+    expected = _engine().pipeline.run(image).labels
+    reference = io.BytesIO()
+    np.save(reference, np.ascontiguousarray(expected), allow_pickle=False)
+
+    with _serve(lambda: AsyncSegmentationService(_engine(), max_wait_seconds=0.001)) as box:
+        response, payload = _post(
+            box["port"], "/v1/segment", _npy_bytes(image),
+            {"Content-Type": "application/x-npy", "Accept": "application/x-npy"},
+        )
+        assert response.status == 200
+        assert payload == reference.getvalue()
+        assert int(response.getheader("Content-Length")) == len(payload)
+
+
+def test_client_reset_midresponse_is_counted_and_releases_inflight(rng):
+    """A client that resets mid-body must not leak in-flight or vanish.
+
+    The connection handler used to swallow the reset silently: the counter
+    never existed and nothing distinguished "client gave up while we wrote"
+    from a request that never happened.  The reset must decrement in-flight
+    (so drains converge) and count in ``client_disconnects``.
+    """
+    import struct as _struct
+    import time
+
+    image = _image(rng, shape=(500, 500, 3))  # ~2 MB npy response >> buffers
+
+    def factory():
+        return AsyncSegmentationService(_engine(), max_wait_seconds=0.001)
+
+    with _serve(factory) as box:
+        body = _npy_bytes(image)
+        head = (
+            "POST /v1/segment HTTP/1.1\r\nHost: x\r\n"
+            "Content-Type: application/x-npy\r\n"
+            "Accept: application/x-npy\r\n"
+            f"Content-Length: {len(body)}\r\n\r\n"
+        ).encode()
+        sock = socket.create_connection(("127.0.0.1", box["port"]), timeout=30)
+        try:
+            sock.sendall(head + body)
+            # Wait for the response head: the server is now mid-body, with
+            # megabytes still to drain into a client that will never read.
+            first = sock.recv(64)
+            assert first.startswith(b"HTTP/1.1 200")
+            # RST instead of FIN: the drain fails with ConnectionResetError.
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_LINGER, _struct.pack("ii", 1, 0))
+        finally:
+            sock.close()
+
+        deadline = time.monotonic() + 10
+        while box["server"]._client_disconnects == 0 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert box["server"]._client_disconnects == 1
+        assert box["server"]._inflight == 0
+
+        # The server must still answer fresh requests, and the disconnect is
+        # visible in the metrics document.
+        response, payload = _get(box["port"], "/v1/metrics")
+        assert response.status == 200
+        metrics = json.loads(payload)
+        assert metrics["http"]["client_disconnects"] == 1
+        assert metrics["http"]["inflight"] == 1  # only the metrics request itself
+
+        # A graceful drain converges immediately: nothing is still counted
+        # as in-flight by the dead connection.
+        future = asyncio.run_coroutine_threadsafe(
+            box["server"].aclose(drain=True, close_service=True), box["loop"]
+        )
+        future.result(timeout=30)

@@ -480,3 +480,87 @@ def test_service_metrics_surface_disk_eviction_telemetry(tmp_path, rng):
     for key in ("evictions", "evicted_bytes", "corrupt_dropped", "expirations"):
         assert key in l2, key
     assert l2["stores"] == 1
+
+
+# --------------------------------------------------------------------------- #
+# lock pacing + footprint drift
+# --------------------------------------------------------------------------- #
+def test_lock_with_failing_stat_paces_and_eventually_breaks(tmp_path, monkeypatch):
+    """A lock whose mtime cannot be read must not degenerate into a hot spin.
+
+    The OSError branch used to retry immediately with no sleep and no
+    deadline check: a contended lock burned a core, and a permanently
+    failing ``stat`` spun forever.  It now paces itself like the fresh-lock
+    path and breaks the lock once the monotonic deadline passes.
+    """
+    from repro.serve import diskcache as dc
+
+    lock_path = str(tmp_path / ".repro-cache.lock")
+    fd = os.open(lock_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)  # "held"
+    os.close(fd)
+
+    calls = {"stat": 0}
+
+    def failing_getmtime(path):
+        calls["stat"] += 1
+        raise OSError("stat backend gone")
+
+    monkeypatch.setattr(dc.os.path, "getmtime", failing_getmtime)
+
+    lock = dc._DirectoryLock(lock_path, stale_seconds=0.25)
+    start = time.monotonic()
+    with lock:
+        assert lock._held
+    elapsed = time.monotonic() - start
+    assert elapsed < 10.0
+    # ~0.01 s pacing over a 0.25 s deadline is ~25 attempts; a hot spin
+    # would rack up millions.
+    assert calls["stat"] < 500
+
+
+def _worker_unlink_entries(cache_dir, out_queue):
+    """Delete every entry file, the way a sibling's eviction sweep would."""
+    try:
+        removed = 0
+        for name in os.listdir(cache_dir):
+            if name.endswith(".npz"):
+                os.unlink(os.path.join(cache_dir, name))
+                removed += 1
+        out_queue.put(("ok", removed))
+    except BaseException as exc:  # noqa: BLE001 - reported to the parent
+        out_queue.put(("error", f"{type(exc).__name__}: {exc}"))
+
+
+def test_vanished_entries_resync_approximate_footprint(tmp_path, rng):
+    """A read-mostly process must notice siblings emptying the directory.
+
+    The approximate counters previously only resynced on *puts*; a worker
+    that mostly reads would keep a stale over-estimate forever after another
+    process evicted its entries, and keep triggering sweeps.  Observing
+    enough lookups hit ``FileNotFoundError`` now forces a full rescan.
+    """
+    from repro.serve.diskcache import _VANISH_RESYNC_OBSERVATIONS
+
+    cache = DiskResultCache(str(tmp_path))
+    keys = [_key(rng, config=f"cfg-{i}") for i in range(4)]
+    for key in keys:
+        cache.put(key, _value(rng))
+    assert cache._approx_entries == 4
+    assert cache._approx_bytes > 0
+
+    ctx = multiprocessing.get_context("spawn")
+    out_queue = ctx.Queue()
+    worker = ctx.Process(target=_worker_unlink_entries, args=(str(tmp_path), out_queue))
+    worker.start()
+    kind, detail = out_queue.get(timeout=60)
+    worker.join(timeout=60)
+    assert worker.exitcode == 0
+    assert kind == "ok", detail
+    assert detail == 4
+
+    # No put happens here — only misses on vanished entries.
+    for index in range(_VANISH_RESYNC_OBSERVATIONS):
+        assert cache.get(keys[index % len(keys)]) is None
+
+    assert cache._approx_entries == 0
+    assert cache._approx_bytes == 0
