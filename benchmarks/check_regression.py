@@ -13,7 +13,8 @@ Baseline file format (one per tracked report)::
       "schema": "repro-bench-baseline/v1",
       "source": "bench_fleet_serve.json",   # report file in the output dir
       "tolerance": 0.30,                    # allowed fractional regression
-      "metrics": {"fleet1.rps": 140.0, "fleet4.rps": 280.0}
+      "metrics": {"fleet1.rps": 140.0, "fleet4.rps": 280.0},
+      "tolerances": {"fleet1.rps": 0.10}    # optional per-metric override
     }
 
 Only regressions fail; a faster run passes untouched (refresh baselines to
@@ -77,7 +78,12 @@ def check_baseline(
     failures: List[str] = []
     lines: List[str] = []
     source = baseline.get("source", "")
-    tolerance = float(baseline.get("tolerance", DEFAULT_TOLERANCE))
+    default_tolerance = float(baseline.get("tolerance", DEFAULT_TOLERANCE))
+    # An optional "tolerances" map overrides the file-wide tolerance per
+    # metric — a dimensionless ratio (say, traced-over-untraced throughput)
+    # can be gated tightly while raw req/s numbers stay hardware-tolerant.
+    per_metric = baseline.get("tolerances")
+    per_metric = per_metric if isinstance(per_metric, dict) else {}
     report = load_json(os.path.join(output_dir, source))
     if report is None:
         failures.append(f"{source}: report missing from {output_dir} (benchmark did not run?)")
@@ -87,6 +93,7 @@ def check_baseline(
         if current is None:
             failures.append(f"{source}: metric {dotted!r} missing from the report")
             continue
+        tolerance = float(per_metric.get(dotted, default_tolerance))
         floor = float(expected) * (1.0 - tolerance)
         status = "ok"
         if current < floor:

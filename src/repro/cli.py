@@ -1,10 +1,11 @@
 """Command-line interface.
 
-Five subcommands::
+Six subcommands::
 
     repro-segment segment  INPUT OUTPUT [--method iqft-rgb] [--theta 3.1416]
     repro-segment batch    INPUT_DIR [--report report.json] [--method ...]
     repro-segment serve    SPOOL_DIR|- [--watch] [--report report.json] [...]
+    repro-segment metrics  HOST:PORT [--json]
     repro-segment evaluate [--dataset voc|xview2] [--samples 20] [--methods ...]
     repro-segment experiment NAME   # table1, table2, table3, fig3, fig4, ...
 
@@ -13,9 +14,12 @@ the colourized label map; ``batch`` runs the batched engine over a directory
 of images (LUT fast path, optional tiling and process parallelism) and writes
 a JSON report; ``serve`` runs the micro-batching segmentation service over a
 spool directory (or JSONL job lines from stdin with ``-``) and writes per-job
-results plus a ``repro-serve-report/v1`` summary; ``evaluate`` runs the
-Table-III sweep on a synthetic dataset and prints the summary table;
-``experiment`` regenerates a specific table/figure and prints it.
+results plus a ``repro-serve-report/v1`` summary; ``metrics`` scrapes a
+running worker or fleet's ``/v1/metrics`` endpoint and prints a compact
+human summary (throughput, latency percentiles, per-tier cache hit rates,
+lane depths, adaptive state); ``evaluate`` runs the Table-III sweep on a
+synthetic dataset and prints the summary table; ``experiment`` regenerates a
+specific table/figure and prints it.
 """
 
 from __future__ import annotations
@@ -213,6 +217,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="watch mode exits once this file exists in the spool directory",
     )
     srv.add_argument("--limit", type=int, default=None, help="stop after N jobs")
+    srv.add_argument(
+        "--log-format", choices=("text", "json"), default="text",
+        help="structured-log format for serve-layer events on stderr "
+        "(fleet workers inherit it)",
+    )
+    srv.add_argument(
+        "--trace-sample-rate", type=float, default=1.0, metavar="RATE",
+        help="fraction of requests recorded by the flight recorder "
+        "(deterministic accumulator sampling; 0 disables tracing, except "
+        "requests carrying X-Repro-Trace-Id, which are always traced)",
+    )
+    srv.add_argument(
+        "--trace-ring", type=int, default=256, metavar="N",
+        help="completed traces retained per worker for GET /v1/trace/{id}",
+    )
+
+    met = sub.add_parser(
+        "metrics",
+        help="scrape a running /v1/metrics endpoint (worker or fleet) and "
+        "print a compact human summary",
+    )
+    met.add_argument("address", metavar="HOST:PORT", help="the serving endpoint to scrape")
+    met.add_argument("--timeout", type=float, default=10.0, help="scrape timeout in seconds")
+    met.add_argument(
+        "--json", action="store_true",
+        help="print the raw JSON snapshot instead of the summary table",
+    )
 
     ev = sub.add_parser("evaluate", help="run the Table-III sweep on a synthetic dataset")
     ev.add_argument("--dataset", choices=("voc", "xview2"), default="voc")
@@ -440,19 +471,19 @@ def _parse_lane_weights(text: str) -> dict:
     return dict(zip(("high", "normal", "low"), weights))
 
 
-def _parse_http_address(text: str) -> tuple:
+def _parse_http_address(text: str, flag: str = "--http") -> tuple:
     """``"HOST:PORT"`` → ``(host, port)``; the host defaults to loopback."""
     from .errors import ParameterError
 
     host, sep, port_text = text.rpartition(":")
     if not sep:
-        raise ParameterError(f"--http must be HOST:PORT, got {text!r}")
+        raise ParameterError(f"{flag} must be HOST:PORT, got {text!r}")
     try:
         port = int(port_text)
         if not 0 <= port <= 65535:
             raise ValueError
     except ValueError:
-        raise ParameterError(f"invalid --http port {port_text!r}") from None
+        raise ParameterError(f"invalid {flag} port {port_text!r}") from None
     return host or "127.0.0.1", port
 
 
@@ -560,6 +591,9 @@ def _build_worker_spec(args: argparse.Namespace, http_mode: bool):
         adaptive=args.adaptive,
         max_body_bytes=int(args.max_body_mb * 1024 * 1024),
         shm_bytes=0 if args.no_shm else max(0, int(args.shm_mb * 1024 * 1024)),
+        log_format=args.log_format,
+        trace_sample_rate=args.trace_sample_rate,
+        trace_ring=args.trace_ring,
     )
 
 
@@ -652,6 +686,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from .baselines.registry import get_segmenter
     from .engine import BatchSegmentationEngine
     from .errors import CacheError
+    from .obs import configure_logging
     from .serve import SegmentationService
     from .serve.spool import (
         build_report,
@@ -661,6 +696,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         run_jobs_async,
     )
 
+    configure_logging(format=args.log_format)
     http_mode = args.http is not None
     use_async = args.use_async or http_mode
     stdin_mode = args.source == "-"
@@ -714,12 +750,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 use_lut=not args.no_lut,
                 executor=_make_executor(args.executor, args.jobs),
             )
+            from .obs import Tracer
+
             service = SegmentationService(
                 engine,
                 max_batch_size=args.max_batch,
                 max_wait_seconds=args.max_wait,
                 queue_size=args.queue_size,
                 cache=_serve_cache(args),
+                tracer=Tracer(
+                    sample_rate=args.trace_sample_rate, ring_size=args.trace_ring
+                ),
             )
     except (ValueError, CacheError) as exc:  # ParameterError is a ValueError
         print(f"error: {exc}", file=sys.stderr)
@@ -800,6 +841,155 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _format_metrics_table(snapshot: dict) -> str:
+    """A compact human summary of one ``/v1/metrics`` snapshot.
+
+    Works on a single worker's snapshot and on a fleet's merged document
+    alike, and tolerates empty recorders: percentiles a fresh service has
+    not earned yet render as ``n/a``, never as 0 or NaN.
+    """
+
+    def num(value) -> int:
+        try:
+            return int(value)
+        except (TypeError, ValueError):
+            return 0
+
+    def ms(value) -> str:
+        if isinstance(value, (int, float)):
+            return f"{float(value) * 1000.0:.2f}ms"
+        return "n/a"
+
+    def rate(value) -> str:
+        try:
+            return f"{float(value):.0%}"
+        except (TypeError, ValueError):
+            return "n/a"
+
+    lines = []
+    fleet = snapshot.get("fleet")
+    if isinstance(fleet, dict):
+        lines.append(
+            "fleet        "
+            f"ready={num(fleet.get('ready'))}/{num(fleet.get('workers'))} "
+            f"restarts={num(fleet.get('restarts'))} "
+            f"scrape_failures={num(snapshot.get('scrape_failures', fleet.get('scrape_failures')))}"
+        )
+    lines.append(
+        "requests     "
+        f"completed={num(snapshot.get('completed'))} "
+        f"failed={num(snapshot.get('failed'))} "
+        f"cancelled={num(snapshot.get('cancelled'))} "
+        f"coalesced={num(snapshot.get('coalesced'))} "
+        f"queue_depth={num(snapshot.get('queue_depth'))}"
+    )
+    try:
+        throughput = float(snapshot.get("throughput_rps") or 0.0)
+        uptime = float(snapshot.get("uptime_seconds") or 0.0)
+        mean_batch = float(snapshot.get("mean_batch_size") or 0.0)
+    except (TypeError, ValueError):
+        throughput, uptime, mean_batch = 0.0, 0.0, 0.0
+    lines.append(
+        f"throughput   {throughput:.2f} req/s over {uptime:.0f}s, mean batch {mean_batch:.2f}"
+    )
+    latency = snapshot.get("latency_seconds")
+    latency = latency if isinstance(latency, dict) else {}
+    lines.append(
+        "latency      "
+        f"p50={ms(latency.get('p50'))} p99={ms(latency.get('p99'))} "
+        f"mean={ms(latency.get('mean'))} max={ms(latency.get('max'))}"
+    )
+    cache = snapshot.get("cache")
+    if isinstance(cache, dict):
+        tiers = [
+            (name, cache[name])
+            for name in ("l1", "shm", "l2")
+            if isinstance(cache.get(name), dict)
+        ]
+        if tiers:
+            parts = [f"{name}={rate(tier.get('hit_rate'))}" for name, tier in tiers]
+            parts.append(f"overall={rate(cache.get('hit_rate'))}")
+            lines.append("cache hits   " + " ".join(parts))
+        else:
+            lines.append(f"cache hits   memory={rate(cache.get('hit_rate'))}")
+    else:
+        lines.append("cache hits   off")
+    lanes = snapshot.get("lanes")
+    lanes = lanes if isinstance(lanes, dict) else {}
+    for name in ("high", "normal", "low"):
+        lane = lanes.get(name)
+        if not isinstance(lane, dict):
+            continue
+        lane_latency = lane.get("latency_seconds")
+        lane_latency = lane_latency if isinstance(lane_latency, dict) else {}
+        shed = num(lane.get("shed_admission")) + num(lane.get("shed_expired"))
+        lines.append(
+            f"lane {name:<8}"
+            f"depth={num(lane.get('depth'))} "
+            f"completed={num(lane.get('completed'))} "
+            f"shed={shed} "
+            f"weight={num(lane.get('weight'))} "
+            f"p99={ms(lane_latency.get('p99'))}"
+        )
+    adaptive = snapshot.get("adaptive")
+    if isinstance(adaptive, dict):
+        batch = adaptive.get("max_batch_size")
+        if isinstance(batch, dict):
+            batch_text = f"{num(batch.get('min'))}..{num(batch.get('max'))}"
+        else:
+            batch_text = str(num(batch))
+        lines.append(
+            "adaptive     "
+            f"ticks={num(adaptive.get('ticks'))} "
+            f"batch_adjustments={num(adaptive.get('batch_adjustments'))} "
+            f"weight_adjustments={num(adaptive.get('weight_adjustments'))} "
+            f"batch_size={batch_text}"
+        )
+    else:
+        lines.append("adaptive     off")
+    trace = snapshot.get("trace")
+    if isinstance(trace, dict):
+        lines.append(
+            "traces       "
+            f"recorded={num(trace.get('recorded'))} "
+            f"retained={num(trace.get('retained'))} "
+            f"sampled_out={num(trace.get('sampled_out'))}"
+        )
+    exemplar = snapshot.get("latency_exemplar")
+    if isinstance(exemplar, dict) and exemplar.get("trace_id"):
+        lines.append(
+            f"slowest      trace_id={exemplar.get('trace_id')} "
+            f"at {ms(exemplar.get('seconds'))}"
+        )
+    return "\n".join(lines)
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from .errors import ReproError
+    from .serve.http_client import SegmentClient
+
+    try:
+        host, port = _parse_http_address(args.address, flag="metrics address")
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        with SegmentClient(host, port, timeout=args.timeout) as client:
+            snapshot = client.metrics()
+    except (ReproError, OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not isinstance(snapshot, dict):
+        print("error: the endpoint returned a non-object metrics document", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+        return 0
+    print(f"metrics      http://{host}:{port}/v1/metrics")
+    print(_format_metrics_table(snapshot))
+    return 0
+
+
 def _cmd_evaluate(args: argparse.Namespace) -> int:
     from .datasets.synthetic_voc import SyntheticVOCDataset
     from .datasets.synthetic_xview import SyntheticXView2Dataset
@@ -874,6 +1064,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_batch(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "metrics":
+        return _cmd_metrics(args)
     if args.command == "evaluate":
         return _cmd_evaluate(args)
     if args.command == "experiment":

@@ -201,7 +201,9 @@ class BatchSegmentationEngine:
         ``extras["fast_path"]`` (``"lut"``, ``"palette-lut"``, ``"tiled"`` or
         ``"direct"``) so callers and reports can audit which path ran.
         """
+        prepare_start = time.perf_counter()
         prepared = self.pipeline._prepare(np.asarray(image))
+        prepare_seconds = time.perf_counter() - prepare_start
         segmenter = self.pipeline.segmenter
         start = time.perf_counter()
         labels: Optional[np.ndarray] = None
@@ -238,6 +240,9 @@ class BatchSegmentationEngine:
         elapsed = time.perf_counter() - start
         labels = np.asarray(labels).astype(np.int64, copy=False)
         extras["fast_path"] = fast_path
+        # Per-stage timing for trace spans: runtime_seconds stays label time
+        # only (its historical meaning), prepare cost is reported separately.
+        extras["prepare_seconds"] = prepare_seconds
         # Distinct-label count via bincount when labels are small non-negative
         # ints (O(N), where np.unique would sort the whole image).
         flat = labels.ravel()

@@ -142,20 +142,25 @@ def merge_sketches(sketches: Iterable[Mapping[str, Any]]) -> Dict[str, Any]:
     return {"bounds": bounds, "counts": counts, "count": total, "sum_seconds": total_seconds}
 
 
-def sketch_percentile(sketch: Mapping[str, Any], q: float) -> float:
+def sketch_percentile(sketch: Optional[Mapping[str, Any]], q: float) -> Optional[float]:
     """The ``q``-th percentile read off a sketch (bucket upper bound).
 
     The estimate is conservative — it reports the upper edge of the bucket
     the rank falls in, so a merged fleet p99 never understates worker
-    latency.  Returns 0.0 for an empty sketch.
+    latency.  The empty-input contract is explicit: a missing, malformed, or
+    zero-count sketch returns ``None`` — never ``NaN``, never an
+    ``IndexError`` — because fleet aggregation can scrape a worker before
+    its first request completes.
     """
     if not 0.0 <= q <= 100.0:
         raise ValueError(f"percentile q must be in [0, 100], got {q}")
-    counts = [int(c) for c in sketch["counts"]]
-    bounds = [float(b) for b in sketch["bounds"]]
+    if not isinstance(sketch, Mapping):
+        return None
+    counts = [int(c) for c in sketch.get("counts") or ()]
+    bounds = [float(b) for b in sketch.get("bounds") or ()]
     total = sum(counts)
-    if total == 0:
-        return 0.0
+    if total == 0 or not bounds:
+        return None
     rank = max(1, int((q / 100.0) * total + 0.5))
     seen = 0
     for index, value in enumerate(counts):
@@ -175,23 +180,27 @@ def summarize_sketch(
     """A ``summary()``-shaped dict (count/mean/percentiles) from a sketch.
 
     ``max`` is not recoverable from a histogram and is reported as the
-    conservative upper bound of the highest non-empty bucket.
+    conservative upper bound of the highest non-empty bucket.  An empty
+    sketch summarizes to ``count: 0`` with every statistic ``None`` (the
+    same explicit empty contract as :func:`sketch_percentile`).
     """
-    counts = [int(c) for c in sketch["counts"]]
-    bounds = [float(b) for b in sketch["bounds"]]
+    raw = sketch if isinstance(sketch, Mapping) else {}
+    counts = [int(c) for c in raw.get("counts") or ()]
+    bounds = [float(b) for b in raw.get("bounds") or ()]
     total = sum(counts)
-    out: Dict[str, float] = {
-        "count": float(sketch.get("count", total)),
-        "mean": (float(sketch.get("sum_seconds", 0.0)) / total) if total else 0.0,
-        "max": 0.0,
+    empty = total == 0 or not bounds
+    out: Dict[str, Optional[float]] = {
+        "count": float(sketch.get("count", total)) if isinstance(sketch, Mapping) else 0.0,
+        "mean": (float(sketch.get("sum_seconds", 0.0)) / total) if not empty else None,
+        "max": None,
     }
     for index in range(len(counts) - 1, -1, -1):
-        if counts[index]:
+        if counts[index] and bounds:
             out["max"] = bounds[min(index, len(bounds) - 1)]
             break
     for q in percentiles:
         key = f"p{q:g}".replace(".", "_")
-        out[key] = sketch_percentile(sketch, q) if total else 0.0
+        out[key] = sketch_percentile(sketch, q) if not empty else None
     return out
 
 
@@ -250,18 +259,20 @@ class LatencyRecorder:
 
         ``mean``, ``max`` and the percentiles all describe the *current
         window*, so the numbers are mutually comparable; only ``count`` is
-        all-time.  Returns zeros when nothing has been recorded yet so metric
-        snapshots stay JSON-friendly without ``None`` special cases.
+        all-time.  An empty recorder reports ``count: 0`` with every
+        statistic ``None`` — the explicit "no data yet" contract shared with
+        :func:`sketch_percentile` / :func:`summarize_sketch` — so a scrape
+        before the first request can never surface a fake 0.0 latency.
         """
         with self._lock:
             window = list(self._samples)
             count = self._count
-        out: Dict[str, float] = {
+        out: Dict[str, Optional[float]] = {
             "count": float(count),
-            "mean": sum(window) / len(window) if window else 0.0,
-            "max": max(window) if window else 0.0,
+            "mean": sum(window) / len(window) if window else None,
+            "max": max(window) if window else None,
         }
         for q in percentiles:
             key = f"p{q:g}".replace(".", "_")
-            out[key] = percentile(window, q) if window else 0.0
+            out[key] = percentile(window, q) if window else None
         return out

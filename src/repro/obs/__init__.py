@@ -1,0 +1,28 @@
+"""Observability: request tracing, structured logging, Prometheus exposition.
+
+Three zero-dependency building blocks threaded through the serving stack:
+
+* :mod:`repro.obs.trace` — a cheap per-request span recorder (plain tuples
+  appended to a list) with a bounded flight-recorder ring of completed
+  traces, deterministic sampling, and injectable monotonic clocks.
+* :mod:`repro.obs.log` — a JSON-lines / key=value structured logger shared
+  by the HTTP servers, the async service, the fleet supervisor, and the
+  spool driver.
+* :mod:`repro.obs.prom` — renders the existing ``metrics()`` tree (counters,
+  gauges, and the mergeable latency sketches) in Prometheus text exposition
+  format, plus a small validator used by CI.
+"""
+
+from .log import StructuredLogger, configure_logging, get_logger
+from .prom import render_prometheus, validate_exposition
+from .trace import Trace, Tracer
+
+__all__ = [
+    "StructuredLogger",
+    "Trace",
+    "Tracer",
+    "configure_logging",
+    "get_logger",
+    "render_prometheus",
+    "validate_exposition",
+]

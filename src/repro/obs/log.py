@@ -1,0 +1,179 @@
+"""Structured logging: one event per line, JSON or ``key=value`` text.
+
+Every log record is an *event name* plus flat fields.  In ``json`` format a
+line is a single JSON object::
+
+    {"ts": 1754500000.123, "level": "info", "event": "worker", "slot": 0, ...}
+
+In ``text`` format the same record renders as::
+
+    2026-08-07T12:26:40.123Z INFO worker slot=0 pid=4242
+
+Text is the default (it keeps existing log-grepping tooling working —
+``worker slot=0 pid=4242`` stays a literal substring); ``--log-format json``
+switches the whole process.  Worker processes bind their ``worker_id`` once
+and every subsequent line carries it.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+from datetime import datetime, timezone
+from typing import Any, Callable, Dict, Optional, TextIO
+
+__all__ = ["StructuredLogger", "configure_logging", "get_logger"]
+
+_LEVELS: Dict[str, int] = {"debug": 10, "info": 20, "warning": 30, "error": 40}
+
+LOG_FORMATS = ("text", "json")
+
+
+def _json_safe(value: Any) -> Any:
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): _json_safe(item) for key, item in value.items()}
+    return str(value)
+
+
+class StructuredLogger:
+    """A line-per-event logger writing to one stream (stderr by default).
+
+    The stream is resolved lazily so re-binding ``sys.stderr`` (pytest's
+    capture, the supervisor's pipes) is always respected.  Writes are
+    serialized under a lock and each record is flushed as one ``write()``
+    call, so worker lines interleave whole, never torn.
+    """
+
+    def __init__(
+        self,
+        stream: Optional[TextIO] = None,
+        format: str = "text",
+        level: str = "info",
+        worker_id: Optional[int] = None,
+        clock: Callable[[], float] = time.time,
+    ):
+        if format not in LOG_FORMATS:
+            raise ValueError(f"log format must be one of {LOG_FORMATS}, got {format!r}")
+        self._stream = stream
+        self.format = format
+        self.level = level
+        self.worker_id = worker_id
+        self.clock = clock
+        self._lock = threading.Lock()
+
+    # -- configuration -----------------------------------------------------
+    def configure(
+        self,
+        format: Optional[str] = None,
+        level: Optional[str] = None,
+        worker_id: Optional[int] = None,
+        stream: Optional[TextIO] = None,
+    ) -> "StructuredLogger":
+        if format is not None:
+            if format not in LOG_FORMATS:
+                raise ValueError(f"log format must be one of {LOG_FORMATS}, got {format!r}")
+            self.format = format
+        if level is not None:
+            if level not in _LEVELS:
+                raise ValueError(f"log level must be one of {sorted(_LEVELS)}, got {level!r}")
+            self.level = level
+        if worker_id is not None:
+            self.worker_id = worker_id
+        if stream is not None:
+            self._stream = stream
+        return self
+
+    def _resolve_stream(self) -> TextIO:
+        return self._stream if self._stream is not None else sys.stderr
+
+    # -- emission ----------------------------------------------------------
+    def log(
+        self,
+        event: str,
+        *,
+        level: str = "info",
+        trace_id: Optional[str] = None,
+        **fields: Any,
+    ) -> None:
+        if _LEVELS.get(level, 20) < _LEVELS.get(self.level, 20):
+            return
+        ts = self.clock()
+        if self.format == "json":
+            record: Dict[str, Any] = {"ts": round(ts, 6), "level": level, "event": event}
+            if self.worker_id is not None:
+                record["worker_id"] = self.worker_id
+            if trace_id is not None:
+                record["trace_id"] = trace_id
+            for key, value in fields.items():
+                record[key] = _json_safe(value)
+            line = json.dumps(record, separators=(",", ":"))
+        else:
+            stamp = (
+                datetime.fromtimestamp(ts, tz=timezone.utc)
+                .strftime("%Y-%m-%dT%H:%M:%S.%f")[:-3]
+            )
+            parts = [f"{stamp}Z", level.upper()]
+            if self.worker_id is not None:
+                parts.append(f"[w{self.worker_id}]")
+            parts.append(event)
+            if trace_id is not None:
+                parts.append(f"trace_id={trace_id}")
+            for key, value in fields.items():
+                parts.append(f"{key}={_render_text_value(value)}")
+            line = " ".join(parts)
+        stream = self._resolve_stream()
+        with self._lock:
+            try:
+                stream.write(line + "\n")
+                stream.flush()
+            except (ValueError, OSError):
+                pass  # closed/broken stream (interpreter teardown) — drop the line
+
+    def debug(self, event: str, **fields: Any) -> None:
+        self.log(event, level="debug", **fields)
+
+    def info(self, event: str, **fields: Any) -> None:
+        self.log(event, level="info", **fields)
+
+    def warning(self, event: str, **fields: Any) -> None:
+        self.log(event, level="warning", **fields)
+
+    def error(self, event: str, **fields: Any) -> None:
+        self.log(event, level="error", **fields)
+
+
+def _render_text_value(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    if isinstance(value, str):
+        if not value or any(ch.isspace() for ch in value):
+            return json.dumps(value)
+        return value
+    if isinstance(value, (dict, list, tuple)):
+        return json.dumps(_json_safe(value), separators=(",", ":"))
+    return str(value)
+
+
+#: Process-wide default logger — workers bind their identity once at startup.
+_DEFAULT = StructuredLogger()
+
+
+def get_logger() -> StructuredLogger:
+    """The process-wide logger (configure once via :func:`configure_logging`)."""
+    return _DEFAULT
+
+
+def configure_logging(
+    format: Optional[str] = None,
+    level: Optional[str] = None,
+    worker_id: Optional[int] = None,
+    stream: Optional[TextIO] = None,
+) -> StructuredLogger:
+    """Configure and return the process-wide logger."""
+    return _DEFAULT.configure(format=format, level=level, worker_id=worker_id, stream=stream)

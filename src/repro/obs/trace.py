@@ -1,0 +1,289 @@
+"""Per-request tracing with a bounded flight-recorder ring.
+
+A :class:`Trace` is a trace ID plus a flat list of **span tuples**
+``(name, parent, start, end, fields)`` — no span objects on the hot path, no
+locks on append (list.append is atomic under the GIL), and timestamps come
+from an injectable monotonic clock exactly like the rest of the serve layer.
+The nested span *tree* is only assembled when a trace is rendered with
+:meth:`Trace.to_dict`.
+
+The :class:`Tracer` mints trace IDs, applies deterministic sampling (an
+error-accumulator, so a 0.25 rate records exactly every fourth trace rather
+than a random subset), and keeps the most recent completed traces in a
+bounded ring served by ``GET /v1/trace/{id}`` and ``GET /v1/traces``.
+
+Client-supplied trace IDs (the ``X-Repro-Trace-Id`` header) are always
+sampled — when a caller asks for a trace they get one, whatever the ambient
+sample rate.
+"""
+
+from __future__ import annotations
+
+import binascii
+import os
+import threading
+import time
+from collections import OrderedDict
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+__all__ = ["Span", "Trace", "Tracer", "mint_trace_id"]
+
+#: One recorded span: (name, parent span name or None, start, end, fields).
+Span = Tuple[str, Optional[str], float, float, Dict[str, Any]]
+
+#: Span name of the implicit root every orphan span hangs off in the tree.
+ROOT_SPAN = "request"
+
+
+def mint_trace_id() -> str:
+    """A fresh 16-hex-char trace ID (64 random bits)."""
+    return binascii.hexlify(os.urandom(8)).decode("ascii")
+
+
+class Trace:
+    """One in-flight request's span buffer.
+
+    Spans are appended either via the :meth:`span` context manager (the
+    tracer's clock supplies start/end) or via :meth:`add` when the caller
+    already holds both timestamps (queue wait, for instance, starts at the
+    request's ``submitted_at``).
+    """
+
+    __slots__ = ("trace_id", "clock", "started_at", "finished_at", "spans", "fields")
+
+    def __init__(
+        self,
+        trace_id: str,
+        clock: Callable[[], float] = time.monotonic,
+        started_at: Optional[float] = None,
+    ):
+        self.trace_id = trace_id
+        self.clock = clock
+        self.started_at = clock() if started_at is None else started_at
+        self.finished_at: Optional[float] = None
+        self.spans: List[Span] = []
+        self.fields: Dict[str, Any] = {}
+
+    def add(
+        self,
+        name: str,
+        start: float,
+        end: float,
+        parent: Optional[str] = None,
+        **fields: Any,
+    ) -> None:
+        """Record an externally-timed span."""
+        self.spans.append((name, parent, start, end, fields))
+
+    def span(self, name: str, parent: Optional[str] = None, **fields: Any) -> "_SpanContext":
+        """Context manager recording a span around a block."""
+        return _SpanContext(self, name, parent, fields)
+
+    def annotate(self, **fields: Any) -> None:
+        """Attach trace-level fields (priority, cache_hit, status, ...)."""
+        self.fields.update(fields)
+
+    def finish(self, now: Optional[float] = None) -> None:
+        if self.finished_at is None:
+            self.finished_at = self.clock() if now is None else now
+
+    @property
+    def duration_seconds(self) -> float:
+        end = self.finished_at if self.finished_at is not None else self.clock()
+        return max(0.0, end - self.started_at)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The ``repro-trace/v1`` document: flat spans plus the nested tree."""
+        flat = [
+            {
+                "name": name,
+                "parent": parent,
+                "start": start - self.started_at,
+                "duration_seconds": max(0.0, end - start),
+                "fields": dict(fields),
+            }
+            for name, parent, start, end, fields in self.spans
+        ]
+        return {
+            "schema": "repro-trace/v1",
+            "trace_id": self.trace_id,
+            "duration_seconds": self.duration_seconds,
+            "fields": dict(self.fields),
+            "spans": flat,
+            "tree": self._tree(flat),
+        }
+
+    def _tree(self, flat: List[Dict[str, Any]]) -> Dict[str, Any]:
+        """Nest spans under their parents; orphans hang off the root.
+
+        The root is the span named ``request`` when one was recorded (the
+        HTTP edge records it), otherwise a synthetic node spanning the whole
+        trace.  Parent references are by span *name* — unknown parents fall
+        back to the root so a malformed span can never make the tree
+        unrenderable.
+        """
+        nodes = [
+            {
+                "name": entry["name"],
+                "start": entry["start"],
+                "duration_seconds": entry["duration_seconds"],
+                "fields": entry["fields"],
+                "children": [],
+            }
+            for entry in flat
+        ]
+        root = None
+        for node in nodes:
+            if node["name"] == ROOT_SPAN:
+                root = node
+                break
+        if root is None:
+            root = {
+                "name": ROOT_SPAN,
+                "start": 0.0,
+                "duration_seconds": self.duration_seconds,
+                "fields": {},
+                "children": [],
+            }
+        by_name: Dict[str, Dict[str, Any]] = {}
+        for node in nodes:
+            by_name.setdefault(node["name"], node)
+        for node, entry in zip(nodes, flat):
+            if node is root:
+                continue
+            parent = by_name.get(entry["parent"]) if entry["parent"] else None
+            if parent is None or parent is node:
+                parent = root
+            parent["children"].append(node)
+        for node in nodes:
+            node["children"].sort(key=lambda child: child["start"])
+        root["children"].sort(key=lambda child: child["start"])
+        return root
+
+
+class _SpanContext:
+    """Times a ``with`` block and appends one span tuple on exit."""
+
+    __slots__ = ("_trace", "_name", "_parent", "_fields", "_start")
+
+    def __init__(self, trace: Trace, name: str, parent: Optional[str], fields: Dict[str, Any]):
+        self._trace = trace
+        self._name = name
+        self._parent = parent
+        self._fields = fields
+
+    def __enter__(self) -> "_SpanContext":
+        self._start = self._trace.clock()
+        return self
+
+    def annotate(self, **fields: Any) -> None:
+        self._fields.update(fields)
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self._fields.setdefault("error", exc_type.__name__)
+        self._trace.add(
+            self._name, self._start, self._trace.clock(), self._parent, **self._fields
+        )
+
+
+class Tracer:
+    """Mints, samples, and retains traces (the per-worker flight recorder).
+
+    ``sample_rate`` is deterministic: an accumulator gains ``rate`` per
+    request and a trace is recorded each time it crosses 1.0, so 0.1 records
+    exactly one request in ten.  Completed traces land in a bounded
+    insertion-ordered ring (``ring_size`` most recent) with O(1) lookup by
+    trace ID.
+    """
+
+    def __init__(
+        self,
+        sample_rate: float = 1.0,
+        ring_size: int = 256,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if ring_size < 1:
+            raise ValueError(f"ring_size must be >= 1, got {ring_size}")
+        self.sample_rate = min(1.0, max(0.0, float(sample_rate)))
+        self.ring_size = int(ring_size)
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._ring: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        self._accumulator = 0.0
+        self._started = 0
+        self._sampled_out = 0
+        self._recorded = 0
+
+    def begin(self, trace_id: Optional[str] = None) -> Optional[Trace]:
+        """Start a trace, or return ``None`` when sampled out.
+
+        An explicit ``trace_id`` (client-supplied header) always samples.
+        """
+        with self._lock:
+            self._started += 1
+            if trace_id is None:
+                self._accumulator += self.sample_rate
+                if self._accumulator < 1.0:
+                    self._sampled_out += 1
+                    return None
+                self._accumulator -= 1.0
+        return Trace(trace_id if trace_id is not None else mint_trace_id(), clock=self.clock)
+
+    def record(self, trace: Optional[Trace]) -> None:
+        """Finish a trace and push it into the ring.
+
+        The hot path stops here: the ring retains the raw :class:`Trace`
+        and the ``repro-trace/v1`` document (flat spans + nested tree) is
+        only rendered — once, then cached in place — when somebody actually
+        reads it via :meth:`get` or :meth:`slowest`.
+        """
+        if trace is None:
+            return
+        trace.finish()
+        with self._lock:
+            self._recorded += 1
+            self._ring[trace.trace_id] = trace
+            self._ring.move_to_end(trace.trace_id)
+            while len(self._ring) > self.ring_size:
+                self._ring.popitem(last=False)
+
+    def _render(self, trace_id: str) -> Dict[str, Any]:
+        """Render (and cache) one ring entry's document.  Call under the lock."""
+        entry = self._ring[trace_id]
+        if isinstance(entry, Trace):
+            entry = entry.to_dict()
+            self._ring[trace_id] = entry  # same key: ring order is preserved
+        return entry
+
+    def get(self, trace_id: str) -> Optional[Dict[str, Any]]:
+        with self._lock:
+            if trace_id not in self._ring:
+                return None
+            return self._render(trace_id)
+
+    def slowest(self, n: int = 10) -> List[Dict[str, Any]]:
+        """The ``n`` slowest retained traces, slowest first."""
+        with self._lock:
+            durations = [
+                (
+                    entry.duration_seconds
+                    if isinstance(entry, Trace)
+                    else entry["duration_seconds"],
+                    trace_id,
+                )
+                for trace_id, entry in self._ring.items()
+            ]
+            durations.sort(key=lambda pair: pair[0], reverse=True)
+            return [self._render(trace_id) for _, trace_id in durations[: max(0, int(n))]]
+
+    def counters(self) -> Dict[str, float]:
+        with self._lock:
+            return {
+                "sample_rate": self.sample_rate,
+                "started": float(self._started),
+                "sampled_out": float(self._sampled_out),
+                "recorded": float(self._recorded),
+                "ring_size": float(self.ring_size),
+                "retained": float(len(self._ring)),
+            }

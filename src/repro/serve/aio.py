@@ -60,6 +60,8 @@ from ..errors import (
     ServiceOverloadedError,
 )
 from ..metrics.runtime import LatencyRecorder
+from ..obs.log import get_logger
+from ..obs.trace import Trace, Tracer
 from .batcher import AdaptiveConfig, AdaptiveController
 from .cache import CacheKey, ResultCache, config_digest, image_digest
 from .service import _engine_fingerprint, _segment_image
@@ -158,10 +160,21 @@ class _AsyncRequest:
         "client_id",
         "future",
         "submitted_at",
+        "trace",
     )
 
     def __init__(
-        self, image, ground_truth, void_mask, key, priority, deadline_at, client_id, future, submitted_at
+        self,
+        image,
+        ground_truth,
+        void_mask,
+        key,
+        priority,
+        deadline_at,
+        client_id,
+        future,
+        submitted_at,
+        trace=None,
     ):
         self.image = image
         self.ground_truth = ground_truth
@@ -172,6 +185,7 @@ class _AsyncRequest:
         self.client_id = client_id
         self.future = future
         self.submitted_at = submitted_at
+        self.trace = trace
 
 
 def _score_request(
@@ -250,6 +264,11 @@ class AsyncSegmentationService:
         ``max_batch_size`` replaces the default configured-value ceiling.
     clock:
         Monotonic time source, injectable for deterministic tests.
+    tracer:
+        The :class:`~repro.obs.trace.Tracer` minting and retaining
+        per-request traces (the flight recorder).  Defaults to a tracer on
+        the service clock at sample rate 1.0; pass
+        ``Tracer(sample_rate=0.0)`` to disable tracing entirely.
     """
 
     def __init__(
@@ -266,6 +285,7 @@ class AsyncSegmentationService:
         adaptive: bool = False,
         adaptive_config: Optional[AdaptiveConfig] = None,
         clock: Callable[[], float] = time.monotonic,
+        tracer: Optional[Tracer] = None,
     ):
         if not isinstance(engine, BatchSegmentationEngine):
             raise ParameterError("engine must be a BatchSegmentationEngine instance")
@@ -337,6 +357,13 @@ class AsyncSegmentationService:
         self._batched_items = 0
         self._ewma_request_seconds = 0.0
         self._latency = LatencyRecorder()
+        self.tracer = tracer if tracer is not None else Tracer(clock=clock)
+        self._cache_traced = bool(getattr(cache, "supports_trace", False))
+        # Slowest-recent traced completion: the exemplar attached to the
+        # Prometheus latency histogram.  Refreshed when a slower request
+        # lands or the current exemplar grows stale (completions-based age,
+        # so an idle service keeps its last evidence).
+        self._exemplar: Optional[Dict[str, Any]] = None
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -467,6 +494,7 @@ class AsyncSegmentationService:
         deadline: Optional[float] = None,
         client_id: Any = None,
         block: bool = True,
+        trace: Optional[Trace] = None,
     ) -> PipelineResult:
         """Segment one image and return its scored result.
 
@@ -480,7 +508,58 @@ class AsyncSegmentationService:
         raises :class:`~repro.errors.ServiceOverloadedError` immediately.
         Deadline, quota and close checks are never blocking.  The caller's
         buffer is snapshotted before queueing, exactly like the sync service.
+
+        ``trace`` threads an externally-owned :class:`~repro.obs.trace.Trace`
+        (the HTTP edge's) through the request; without one the service's own
+        tracer samples and records a trace end-to-end around the submit.
         """
+        owned = False
+        if trace is None:
+            trace = self.tracer.begin()
+            owned = trace is not None
+        if not owned:
+            return await self._submit_impl(
+                image,
+                ground_truth,
+                void_mask,
+                priority=priority,
+                deadline=deadline,
+                client_id=client_id,
+                block=block,
+                trace=trace,
+            )
+        start = trace.clock()
+        try:
+            result = await self._submit_impl(
+                image,
+                ground_truth,
+                void_mask,
+                priority=priority,
+                deadline=deadline,
+                client_id=client_id,
+                block=block,
+                trace=trace,
+            )
+        except BaseException as exc:
+            trace.annotate(error=type(exc).__name__)
+            raise
+        finally:
+            trace.add("service.submit", start, trace.clock())
+            self.tracer.record(trace)
+        return result
+
+    async def _submit_impl(
+        self,
+        image: np.ndarray,
+        ground_truth: Optional[np.ndarray],
+        void_mask: Optional[np.ndarray],
+        *,
+        priority: Any,
+        deadline: Optional[float],
+        client_id: Any,
+        block: bool,
+        trace: Optional[Trace],
+    ) -> PipelineResult:
         if self._closed:
             raise ServiceClosedError("cannot submit to a closed service")
         self._ensure_worker()
@@ -510,11 +589,16 @@ class AsyncSegmentationService:
         # worker alive until every submit past the closed check has either
         # queued or returned.
         self._admitting += 1
+        if trace is not None:
+            trace.annotate(priority=lane.name.lower())
         try:
             if self.cache is not None:
-                cached = await loop.run_in_executor(None, self.cache.get, key)
+                cached = await loop.run_in_executor(
+                    None, functools.partial(self._cache_get, key, trace)
+                )
                 if cached is not None:
                     segmentation, binary = cached
+                    score_start = self._clock()
                     result = await loop.run_in_executor(
                         None,
                         functools.partial(
@@ -528,9 +612,12 @@ class AsyncSegmentationService:
                             False,
                         ),
                     )
+                    if trace is not None:
+                        trace.add("scoring", score_start, self._clock())
+                        trace.annotate(cache_hit=True)
                     self._requests += 1
                     state.submitted += 1
-                    self._record_completion(state, now)
+                    self._record_completion(state, now, trace=trace)
                     return result
 
             if deadline is not None:
@@ -573,6 +660,7 @@ class AsyncSegmentationService:
                 client_id=client_id,
                 future=loop.create_future(),
                 submitted_at=now,
+                trace=trace,
             )
             self._requests += 1
             state.submitted += 1
@@ -621,6 +709,25 @@ class AsyncSegmentationService:
                     raise outcome
         return results
 
+    def _cache_get(self, key: CacheKey, trace: Optional[Trace] = None) -> Optional[Any]:
+        """Cache probe recording a ``cache.probe`` span (tier spans nested).
+
+        Runs on an executor/worker thread; a trace-aware cache (the tiered
+        cache) additionally records one span per tier probed with
+        hit-or-miss and payload bytes.
+        """
+        if self.cache is None:
+            return None
+        if trace is None:
+            return self.cache.get(key)
+        start = trace.clock()
+        if self._cache_traced:
+            value = self.cache.get(key, trace=trace)
+        else:
+            value = self.cache.get(key)
+        trace.add("cache.probe", start, trace.clock(), hit=value is not None)
+        return value
+
     # ------------------------------------------------------------------ #
     # worker
     # ------------------------------------------------------------------ #
@@ -639,11 +746,18 @@ class AsyncSegmentationService:
             }
             for lane, state in self._lanes.items()
         }
-        batch_size, weights, _ = controller.update(
+        batch_size, weights, changed = controller.update(
             now, self._ewma_request_seconds, lane_stats
         )
         self.max_batch_size = batch_size
         self.lane_weights = weights
+        if changed:
+            get_logger().info(
+                "adaptive.adjust",
+                batch_size=batch_size,
+                lane_weights={lane.name.lower(): weights[lane] for lane in Priority},
+                ewma_request_seconds=self._ewma_request_seconds,
+            )
 
     async def _worker_loop(self) -> None:
         assert self._wakeup is not None and self._loop is not None
@@ -676,6 +790,14 @@ class AsyncSegmentationService:
             if not batch:
                 continue
             started = self._clock()
+            for request in batch:
+                if request.trace is not None:
+                    request.trace.add(
+                        "batch.assemble",
+                        window_started,
+                        started,
+                        batch_size=len(batch),
+                    )
             try:
                 outcomes = await self._loop.run_in_executor(
                     None, functools.partial(self._process_batch, batch)
@@ -720,6 +842,13 @@ class AsyncSegmentationService:
                             )
                         )
                         continue
+                    if request.trace is not None:
+                        request.trace.add(
+                            "queue.wait",
+                            request.submitted_at,
+                            now,
+                            lane=lane.name.lower(),
+                        )
                     batch.append(request)
                     quota -= 1
                     progressed = True
@@ -750,6 +879,10 @@ class AsyncSegmentationService:
         def _emit(requests, segmentation, cache_hit, binary):
             for position, request in enumerate(requests):
                 coalesced = not cache_hit and position > 0
+                trace = request.trace
+                if trace is not None:
+                    trace.annotate(cache_hit=cache_hit, coalesced=coalesced)
+                    score_start = trace.clock()
                 try:
                     result = _score_request(
                         self.engine,
@@ -763,11 +896,13 @@ class AsyncSegmentationService:
                 except Exception as exc:  # noqa: BLE001 - scoring stays per-request
                     outcomes.append((request, exc, cache_hit, coalesced, binary))
                     continue
+                if trace is not None:
+                    trace.add("scoring", score_start, trace.clock())
                 outcomes.append((request, result, cache_hit, coalesced, binary))
 
         remaining: List[CacheKey] = []
         for group_key in order:
-            cached = self.cache.get(group_key) if self.cache is not None else None
+            cached = self._cache_get(group_key, groups[group_key][0].trace)
             if cached is not None:
                 segmentation, binary = cached
                 _emit(groups[group_key], segmentation, True, binary)
@@ -776,15 +911,31 @@ class AsyncSegmentationService:
 
         if remaining:
             representatives = [groups[group_key][0].image for group_key in remaining]
+            compute_start = self._clock()
             results = self.engine.executor.map(
                 functools.partial(_segment_image, self.engine), representatives
             )
+            compute_end = self._clock()
             for group_key, outcome in zip(remaining, results):
                 requests = groups[group_key]
                 if isinstance(outcome, Exception):
                     for request in requests:
                         outcomes.append((request, outcome, False, False, None))
                     continue
+                for request in requests:
+                    if request.trace is not None:
+                        # The compute span covers the batch scatter window
+                        # (groups run concurrently on the engine executor);
+                        # per-image strategy/runtime ride along as fields.
+                        request.trace.add(
+                            "engine.compute",
+                            compute_start,
+                            compute_end,
+                            strategy=str(outcome.extras.get("fast_path", "direct")),
+                            runtime_seconds=float(outcome.runtime_seconds),
+                            prepare_seconds=float(outcome.extras.get("prepare_seconds", 0.0)),
+                            batch_groups=len(remaining),
+                        )
                 binary = binarize_largest_background(outcome.labels)
                 if self.cache is not None:
                     self.cache.put(group_key, (outcome, binary))
@@ -803,17 +954,33 @@ class AsyncSegmentationService:
             if coalesced:
                 self._coalesced += 1
             state = self._lanes[request.priority]
-            self._record_completion(state, request.submitted_at, now=now)
+            self._record_completion(state, request.submitted_at, now=now, trace=request.trace)
             request.future.set_result(result)
 
     def _record_completion(
-        self, state: _LaneState, submitted_at: float, now: Optional[float] = None
+        self,
+        state: _LaneState,
+        submitted_at: float,
+        now: Optional[float] = None,
+        trace: Optional[Trace] = None,
     ) -> None:
         elapsed = (now if now is not None else self._clock()) - submitted_at
         state.completed += 1
         state.latency.record(elapsed)
         self._latency.record(elapsed)
         self._completed += 1
+        if trace is not None:
+            exemplar = self._exemplar
+            if (
+                exemplar is None
+                or elapsed >= exemplar["seconds"]
+                or self._completed - exemplar["at"] > 512
+            ):
+                self._exemplar = {
+                    "trace_id": trace.trace_id,
+                    "seconds": elapsed,
+                    "at": self._completed,
+                }
 
     # ------------------------------------------------------------------ #
     # observability
@@ -861,7 +1028,21 @@ class AsyncSegmentationService:
             "ewma_request_seconds": self._ewma_request_seconds,
             "adaptive": self._adaptive_metrics(),
             "cache": cache_stats,
+            "trace": self.tracer.counters(),
+            "latency_exemplar": (
+                {"trace_id": self._exemplar["trace_id"], "seconds": self._exemplar["seconds"]}
+                if self._exemplar is not None
+                else None
+            ),
         }
+
+    def trace(self, trace_id: str) -> Optional[Dict[str, Any]]:
+        """A completed trace from the flight recorder, or ``None``."""
+        return self.tracer.get(trace_id)
+
+    def traces(self, slowest: int = 10) -> List[Dict[str, Any]]:
+        """The slowest retained traces, slowest first."""
+        return self.tracer.slowest(slowest)
 
     def _adaptive_metrics(self) -> Optional[Dict[str, Any]]:
         controller = self._adaptive
@@ -893,6 +1074,7 @@ class AsyncSegmentationService:
             "default_deadline": self.default_deadline,
             "adaptive": self._adaptive is not None,
             "cache": repr(self.cache) if self.cache is not None else None,
+            "trace_sample_rate": self.tracer.sample_rate,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

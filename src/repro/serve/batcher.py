@@ -82,6 +82,7 @@ class MicroBatcher:
         self._items = 0
         self._max_batch_seen = 0
         self._flushes: Dict[str, int] = {"size": 0, "deadline": 0, "close": 0}
+        self._last_flush: Optional[Dict[str, Any]] = None
 
     # ------------------------------------------------------------------ #
     @property
@@ -141,7 +142,8 @@ class MicroBatcher:
 
         batch = [first]
         reason = "size"
-        deadline = self._clock() + self.max_wait_seconds
+        assembly_started = self._clock()
+        deadline = assembly_started + self.max_wait_seconds
         while len(batch) < self.max_batch_size:
             # Whatever is already queued joins the batch for free — even with
             # max_wait_seconds=0 a backlog flushes as one batch, not as a
@@ -170,6 +172,11 @@ class MicroBatcher:
             self._items += len(batch)
             self._max_batch_seen = max(self._max_batch_seen, len(batch))
             self._flushes[reason] += 1
+            self._last_flush = {
+                "reason": reason,
+                "batch_size": len(batch),
+                "assembly_seconds": self._clock() - assembly_started,
+            }
         return batch
 
     def drain(self) -> List[Any]:
@@ -195,6 +202,7 @@ class MicroBatcher:
                 "mean_batch_size": self._items / self._batches if self._batches else 0.0,
                 "max_batch_size": self._max_batch_seen,
                 "flushes": dict(self._flushes),
+                "last_flush": dict(self._last_flush) if self._last_flush else None,
             }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -36,6 +36,7 @@ __all__ = [
     "TieredResultCache",
     "image_digest",
     "config_digest",
+    "value_nbytes",
 ]
 
 CacheKey = Tuple[str, str]
@@ -60,6 +61,24 @@ def config_digest(config: Mapping[str, Any]) -> str:
     """A digest of a JSON-friendly configuration mapping (order-insensitive)."""
     payload = json.dumps(dict(config), sort_keys=True, default=str)
     return hashlib.blake2b(payload.encode("utf-8"), digest_size=16).hexdigest()
+
+
+def value_nbytes(value: Any) -> int:
+    """Approximate payload size of a cached value (array bytes only).
+
+    Cached values are :class:`~repro.base.SegmentationResult`-like objects,
+    bare arrays, or tuples of either; anything unrecognized counts zero
+    rather than guessing.  Used to annotate cache-hit trace spans with the
+    bytes a hit avoided recomputing/transferring.
+    """
+    if isinstance(value, np.ndarray):
+        return int(value.nbytes)
+    if isinstance(value, (tuple, list)):
+        return sum(value_nbytes(item) for item in value)
+    labels = getattr(value, "labels", None)
+    if isinstance(labels, np.ndarray):
+        return int(labels.nbytes)
+    return 0
 
 
 @dataclass(frozen=True)
@@ -127,12 +146,27 @@ class ResultCache:
         self._expirations = 0
 
     # ------------------------------------------------------------------ #
+    #: The serve layer passes ``get(key, trace=...)`` when this is set.
+    supports_trace = True
+
     def key_for(self, image: np.ndarray, config: str) -> CacheKey:
         """Build the cache key for ``image`` under a config digest."""
         return (image_digest(image), config)
 
-    def get(self, key: CacheKey) -> Optional[Any]:
+    def get(self, key: CacheKey, trace: Any = None) -> Optional[Any]:
         """The cached value, or ``None`` on miss/expiry (which counts a miss)."""
+        if trace is not None:
+            start = trace.clock()
+            value = self.get(key)
+            trace.add(
+                "cache.memory",
+                start,
+                trace.clock(),
+                parent="cache.probe",
+                hit=value is not None,
+                bytes=value_nbytes(value) if value is not None else 0,
+            )
+            return value
         now = self._clock()
         with self._lock:
             entry = self._entries.get(key)
@@ -270,8 +304,19 @@ class TieredResultCache:
         self.l2 = l2
         self.shm = shm
 
-    def get(self, key: CacheKey) -> Optional[Any]:
-        """L1 value, else shm, else the L2 value (promoted upward), else ``None``."""
+    #: The serve layer passes ``get(key, trace=...)`` when this is set.
+    supports_trace = True
+
+    def get(self, key: CacheKey, trace: Any = None) -> Optional[Any]:
+        """L1 value, else shm, else the L2 value (promoted upward), else ``None``.
+
+        With a ``trace``, each tier probed gets its own span
+        (``cache.l1`` / ``cache.shm`` / ``cache.l2``, nested under the
+        service's ``cache.probe`` span) annotated with hit-or-miss and the
+        payload bytes a hit returned.
+        """
+        if trace is not None:
+            return self._get_traced(key, trace)
         value = self.l1.get(key)
         if value is not None:
             return value
@@ -281,6 +326,35 @@ class TieredResultCache:
                 self.l1.put(key, value)
                 return value
         value = self.l2.get(key)
+        if value is not None:
+            if self.shm is not None:
+                self.shm.put(key, value)
+            self.l1.put(key, value)
+        return value
+
+    def _get_traced(self, key: CacheKey, trace: Any) -> Optional[Any]:
+        def probe(tier: Any, name: str) -> Optional[Any]:
+            start = trace.clock()
+            value = tier.get(key)
+            trace.add(
+                name,
+                start,
+                trace.clock(),
+                parent="cache.probe",
+                hit=value is not None,
+                bytes=value_nbytes(value) if value is not None else 0,
+            )
+            return value
+
+        value = probe(self.l1, "cache.l1")
+        if value is not None:
+            return value
+        if self.shm is not None:
+            value = probe(self.shm, "cache.shm")
+            if value is not None:
+                self.l1.put(key, value)
+                return value
+        value = probe(self.l2, "cache.l2")
         if value is not None:
             if self.shm is not None:
                 self.shm.put(key, value)

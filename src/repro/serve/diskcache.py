@@ -131,6 +131,7 @@ class DiskCacheStats:
     current_bytes: int
     max_entries: int
     max_bytes: int
+    hit_bytes: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -142,6 +143,7 @@ class DiskCacheStats:
         """JSON-friendly form used by service metric snapshots."""
         return {
             "hits": self.hits,
+            "hit_bytes": self.hit_bytes,
             "misses": self.misses,
             "stores": self.stores,
             "evictions": self.evictions,
@@ -266,6 +268,7 @@ class DiskResultCache:
         # executor threads (the async front end probes the cache off-loop).
         self._stats_lock = threading.Lock()
         self._hits = 0
+        self._hit_bytes = 0
         self._misses = 0
         self._stores = 0
         self._evictions = 0
@@ -381,6 +384,7 @@ class DiskResultCache:
             self._note_vanished()
         with self._stats_lock:
             self._hits += 1
+            self._hit_bytes += len(payload)
         return segmentation, binary
 
     def _drop_entry(self, path: str, size: int) -> None:
@@ -548,6 +552,7 @@ class DiskResultCache:
         with self._stats_lock:
             return DiskCacheStats(
                 hits=self._hits,
+                hit_bytes=self._hit_bytes,
                 misses=self._misses,
                 stores=self._stores,
                 evictions=self._evictions,

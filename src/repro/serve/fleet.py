@@ -67,6 +67,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..errors import ParameterError, ServeError
 from ..metrics.runtime import merge_sketches, summarize_sketch
+from ..obs import get_logger
 from .http import DEFAULT_MAX_BODY_BYTES
 
 __all__ = ["WorkerSpec", "ServeFleet", "merge_worker_metrics"]
@@ -112,6 +113,13 @@ class WorkerSpec:
     shm_bytes: int = 0
     shm_slot_bytes: int = 0
     shm_name: Optional[str] = None
+    #: Observability: the structured-log format workers emit on stderr, the
+    #: tracer's sample rate (1.0 traces everything, 0.0 disables — client
+    #: supplied ``X-Repro-Trace-Id`` requests are always traced), and the
+    #: per-worker flight-recorder ring size (completed traces retained).
+    log_format: str = "text"
+    trace_sample_rate: float = 1.0
+    trace_ring: int = 256
 
     @property
     def theta_used(self) -> Optional[float]:
@@ -158,6 +166,7 @@ class WorkerSpec:
         """Construct the full async service stack this spec describes."""
         from ..baselines.registry import get_segmenter
         from ..engine import BatchSegmentationEngine
+        from ..obs import Tracer
         from ..parallel.executor import executor_for_jobs
         from .aio import AsyncSegmentationService
 
@@ -178,6 +187,7 @@ class WorkerSpec:
             default_deadline=self.default_deadline_seconds,
             adaptive=self.adaptive,
             adaptive_config=self.adaptive_config,
+            tracer=Tracer(sample_rate=self.trace_sample_rate, ring_size=self.trace_ring),
         )
 
 
@@ -248,8 +258,10 @@ async def _worker_serve(  # pragma: no cover - runs in spawned worker processes
 ) -> None:
     import asyncio
 
+    from ..obs import configure_logging
     from .http import HttpSegmentationServer
 
+    log = configure_logging(format=spec.log_format, worker_id=slot)
     service = spec.build_service()
     stop = asyncio.Event()
     loop = asyncio.get_running_loop()
@@ -275,6 +287,13 @@ async def _worker_serve(  # pragma: no cover - runs in spawned worker processes
             "ready",
             {**worker_info, "port": ingress.port, "admin_port": admin.port},
         )
+        log.info(
+            "worker.ready",
+            slot=slot,
+            pid=worker_info["pid"],
+            port=ingress.port,
+            admin_port=admin.port,
+        )
 
         # Heartbeats must outlive the stop signal: they only cease once the
         # drain below has finished.  A worker that went silent on SIGTERM
@@ -296,6 +315,7 @@ async def _worker_serve(  # pragma: no cover - runs in spawned worker processes
         beat = asyncio.create_task(_heartbeats())
         try:
             await stop.wait()
+            log.info("worker.drain", slot=slot)
         finally:
             # Drain order mirrors the single-process CLI: stop accepting,
             # finish in-flight ingress requests (they may still submit),
@@ -341,6 +361,7 @@ def _worker_main(  # pragma: no cover - runs in spawned worker processes
 # --------------------------------------------------------------------------- #
 _SUM_CACHE_KEYS = (
     "hits",
+    "hit_bytes",
     "misses",
     "stores",
     "store_skips",
@@ -366,14 +387,47 @@ _MAX_CACHE_KEYS = (
 )
 
 
-def _merge_cache_tier(tiers: List[Dict[str, Any]]) -> Dict[str, Any]:
+def _as_int(value: Any, default: int = 0) -> int:
+    """Tolerant int coercion: a malformed admin snapshot degrades to 0."""
+    try:
+        return int(value)
+    except (TypeError, ValueError):
+        return default
+
+
+def _as_float(value: Any, default: float = 0.0) -> float:
+    """Tolerant float coercion for partially-corrupt worker snapshots."""
+    try:
+        result = float(value)
+    except (TypeError, ValueError):
+        return default
+    return result if result == result else default  # NaN → default
+
+
+def _merge_sketches_safe(sketches: List[Any]) -> Dict[str, Any]:
+    """Merge latency sketches, dropping malformed/disjoint ones wholesale.
+
+    A worker mid-upgrade (different bucket bounds) or a truncated snapshot
+    must degrade the fleet percentile to "unknown" — rendered as ``None``
+    by :func:`~repro.metrics.runtime.summarize_sketch` — never crash the
+    supervisor's scrape.
+    """
+    valid = [s for s in sketches if isinstance(s, dict) and s.get("bounds")]
+    try:
+        return merge_sketches(valid)
+    except (ValueError, TypeError):
+        return merge_sketches([])
+
+
+def _merge_cache_tier(tiers: List[Any]) -> Dict[str, Any]:
+    tiers = [tier for tier in tiers if isinstance(tier, dict)]
     merged: Dict[str, Any] = {}
     for key in _SUM_CACHE_KEYS:
         if any(key in tier for tier in tiers):
-            merged[key] = sum(int(tier.get(key, 0)) for tier in tiers)
+            merged[key] = sum(_as_int(tier.get(key, 0)) for tier in tiers)
     for key in _MAX_CACHE_KEYS:
         if any(key in tier for tier in tiers):
-            merged[key] = max(int(tier.get(key, 0)) for tier in tiers)
+            merged[key] = max(_as_int(tier.get(key, 0)) for tier in tiers)
     lookups = merged.get("hits", 0) + merged.get("misses", 0)
     merged["hit_rate"] = merged.get("hits", 0) / lookups if lookups else 0.0
     return merged
@@ -417,6 +471,11 @@ def merge_worker_metrics(snapshots: List[Dict[str, Any]]) -> Dict[str, Any]:
     each worker tunes its own weights, so a single number is a summary, not
     a shared setting.
     """
+    # A worker that answered its admin scrape with something other than a
+    # metrics object (truncated JSON parsed to a list, an error document)
+    # is skipped wholesale — the caller's scrape-failure counter is the
+    # place that kind of degradation is reported, not an exception here.
+    snapshots = [s for s in snapshots if isinstance(s, dict)]
     if not snapshots:
         return {"workers_scraped": 0}
     merged: Dict[str, Any] = {"workers_scraped": len(snapshots)}
@@ -430,40 +489,43 @@ def merge_worker_metrics(snapshots: List[Dict[str, Any]]) -> Dict[str, Any]:
         "queue_depth",
         "batches",
     ):
-        merged[key] = sum(int(s.get(key, 0)) for s in snapshots)
+        merged[key] = sum(_as_int(s.get(key, 0)) for s in snapshots)
+    sheds = [s.get("shed") for s in snapshots]
+    sheds = [shed for shed in sheds if isinstance(shed, dict)]
     merged["shed"] = {
-        "admission": sum(int(s.get("shed", {}).get("admission", 0)) for s in snapshots),
-        "expired": sum(int(s.get("shed", {}).get("expired", 0)) for s in snapshots),
+        "admission": sum(_as_int(shed.get("admission", 0)) for shed in sheds),
+        "expired": sum(_as_int(shed.get("expired", 0)) for shed in sheds),
     }
-    merged["uptime_seconds"] = max(float(s.get("uptime_seconds", 0.0)) for s in snapshots)
-    merged["throughput_rps"] = sum(float(s.get("throughput_rps", 0.0)) for s in snapshots)
+    merged["uptime_seconds"] = max(_as_float(s.get("uptime_seconds", 0.0)) for s in snapshots)
+    merged["throughput_rps"] = sum(_as_float(s.get("throughput_rps", 0.0)) for s in snapshots)
     total_items = sum(
-        float(s.get("mean_batch_size", 0.0)) * int(s.get("batches", 0)) for s in snapshots
+        _as_float(s.get("mean_batch_size", 0.0)) * _as_int(s.get("batches", 0))
+        for s in snapshots
     )
     merged["mean_batch_size"] = total_items / merged["batches"] if merged["batches"] else 0.0
-    ewmas = [float(s.get("ewma_request_seconds", 0.0)) for s in snapshots]
+    ewmas = [_as_float(s.get("ewma_request_seconds", 0.0)) for s in snapshots]
     calibrated = [value for value in ewmas if value > 0.0]
     merged["ewma_request_seconds"] = sum(calibrated) / len(calibrated) if calibrated else 0.0
 
-    sketch = merge_sketches([s.get("latency_sketch") for s in snapshots if s.get("latency_sketch")])
+    sketch = _merge_sketches_safe([s.get("latency_sketch") for s in snapshots])
     merged["latency_sketch"] = sketch
     merged["latency_seconds"] = summarize_sketch(sketch)
 
     lanes: Dict[str, Dict[str, Any]] = {}
-    lane_names = {name for s in snapshots for name in s.get("lanes", {})}
+    lane_maps = [s.get("lanes") for s in snapshots]
+    lane_maps = [lanes_doc for lanes_doc in lane_maps if isinstance(lanes_doc, dict)]
+    lane_names = {name for lanes_doc in lane_maps for name in lanes_doc}
     for name in sorted(lane_names):
-        per_worker = [s.get("lanes", {}).get(name) for s in snapshots]
-        per_worker = [lane for lane in per_worker if lane]
-        lane_sketch = merge_sketches(
-            [lane.get("latency_sketch") for lane in per_worker if lane.get("latency_sketch")]
-        )
+        per_worker = [lanes_doc.get(name) for lanes_doc in lane_maps]
+        per_worker = [lane for lane in per_worker if isinstance(lane, dict)]
+        lane_sketch = _merge_sketches_safe([lane.get("latency_sketch") for lane in per_worker])
         lanes[name] = {
-            "depth": sum(int(lane.get("depth", 0)) for lane in per_worker),
-            "submitted": sum(int(lane.get("submitted", 0)) for lane in per_worker),
-            "completed": sum(int(lane.get("completed", 0)) for lane in per_worker),
-            "shed_admission": sum(int(lane.get("shed_admission", 0)) for lane in per_worker),
-            "shed_expired": sum(int(lane.get("shed_expired", 0)) for lane in per_worker),
-            "weight": max(int(lane.get("weight", 0)) for lane in per_worker),
+            "depth": sum(_as_int(lane.get("depth", 0)) for lane in per_worker),
+            "submitted": sum(_as_int(lane.get("submitted", 0)) for lane in per_worker),
+            "completed": sum(_as_int(lane.get("completed", 0)) for lane in per_worker),
+            "shed_admission": sum(_as_int(lane.get("shed_admission", 0)) for lane in per_worker),
+            "shed_expired": sum(_as_int(lane.get("shed_expired", 0)) for lane in per_worker),
+            "weight": max((_as_int(lane.get("weight", 0)) for lane in per_worker), default=0),
             "latency_seconds": summarize_sketch(lane_sketch),
             "latency_sketch": lane_sketch,
         }
@@ -473,17 +535,28 @@ def merge_worker_metrics(snapshots: List[Dict[str, Any]]) -> Dict[str, Any]:
     if adaptive:
         merged["adaptive"] = {
             "enabled": True,
-            "ticks": sum(int(a.get("ticks", 0)) for a in adaptive),
-            "batch_adjustments": sum(int(a.get("batch_adjustments", 0)) for a in adaptive),
-            "weight_adjustments": sum(int(a.get("weight_adjustments", 0)) for a in adaptive),
+            "ticks": sum(_as_int(a.get("ticks", 0)) for a in adaptive),
+            "batch_adjustments": sum(_as_int(a.get("batch_adjustments", 0)) for a in adaptive),
+            "weight_adjustments": sum(_as_int(a.get("weight_adjustments", 0)) for a in adaptive),
             "max_batch_size": {
-                "min": min(int(a.get("max_batch_size", 0)) for a in adaptive),
-                "max": max(int(a.get("max_batch_size", 0)) for a in adaptive),
+                "min": min(_as_int(a.get("max_batch_size", 0)) for a in adaptive),
+                "max": max(_as_int(a.get("max_batch_size", 0)) for a in adaptive),
             },
         }
     else:
         merged["adaptive"] = None
     merged["cache"] = _merge_cache([s.get("cache") for s in snapshots])
+    trace_docs = [s.get("trace") for s in snapshots if isinstance(s.get("trace"), dict)]
+    if trace_docs:
+        merged["trace"] = {
+            key: sum(_as_int(t.get(key, 0)) for t in trace_docs)
+            for key in ("started", "sampled_out", "recorded", "retained")
+        }
+    exemplars = [s.get("latency_exemplar") for s in snapshots]
+    exemplars = [e for e in exemplars if isinstance(e, dict) and e.get("trace_id")]
+    merged["latency_exemplar"] = (
+        max(exemplars, key=lambda e: _as_float(e.get("seconds", 0.0))) if exemplars else None
+    )
     return merged
 
 
@@ -601,6 +674,7 @@ class ServeFleet:
         self._backoff: Dict[int, float] = {}
         self._restart_at: Dict[int, float] = {}
         self._restarts = 0
+        self._scrape_failures = 0
         self._placeholder: Optional[socket.socket] = None
         self._listen_sock: Optional[socket.socket] = None
         self._monitor: Optional[threading.Thread] = None
@@ -699,6 +773,7 @@ class ServeFleet:
             send_conn.close()
             raise
         send_conn.close()  # the worker holds the only sender now
+        get_logger().info("fleet.worker_launch", slot=slot, pid=process.pid)
         with self._lock:
             self._handles[slot] = _WorkerHandle(slot, process, recv_conn, self._clock())
             self._restart_at.pop(slot, None)
@@ -821,6 +896,13 @@ class ServeFleet:
             self._backoff[handle.slot] = next_backoff
             self._restart_at[handle.slot] = now + backoff
             handle.state = "dead"
+        get_logger().warning(
+            "fleet.worker_restart",
+            slot=handle.slot,
+            pid=handle.pid,
+            uptime_seconds=uptime,
+            backoff_seconds=backoff,
+        )
         handle.process.join(timeout=0)  # reap the zombie
 
     # ------------------------------------------------------------------ #
@@ -834,14 +916,29 @@ class ServeFleet:
                 if handle.state == "ready" and handle.admin_port is not None
             ]
 
+    def _count_scrape_failure(self, handle: _WorkerHandle, reason: str) -> None:
+        with self._lock:
+            self._scrape_failures += 1
+        get_logger().warning("fleet.scrape_failure", slot=handle.slot, reason=reason)
+
     def _scrape(self, handle: _WorkerHandle, path_timeout: float = 5.0) -> Optional[Dict[str, Any]]:
         from .http_client import SegmentClient
 
+        # A worker can die (or be killed and restarted) between being listed
+        # as ready and answering the scrape, or answer with a truncated or
+        # non-object body mid-crash.  Every failure mode degrades to "skip
+        # this worker and count it" — an aggregate over the survivors beats
+        # no aggregate at all.
         try:
             with SegmentClient("127.0.0.1", handle.admin_port, timeout=path_timeout) as client:
-                return client.metrics()
-        except ServeError:
+                snapshot = client.metrics()
+        except (ServeError, OSError, ValueError) as exc:
+            self._count_scrape_failure(handle, type(exc).__name__)
             return None
+        if not isinstance(snapshot, dict):
+            self._count_scrape_failure(handle, "malformed snapshot")
+            return None
+        return snapshot
 
     def metrics(self) -> Dict[str, Any]:
         """Aggregated fleet metrics: scrape every ready worker and merge.
@@ -864,9 +961,54 @@ class ServeFleet:
             )
             snapshots.append(snapshot)
         merged = merge_worker_metrics(snapshots)
+        merged["scrape_failures"] = self._scrape_failures
         merged["fleet"] = self.describe_fleet()
         merged["workers"] = per_worker
         return merged
+
+    def prometheus(self) -> str:
+        """The merged fleet metrics as Prometheus text exposition."""
+        from ..obs import render_prometheus
+
+        return render_prometheus(self.metrics())
+
+    def trace(self, trace_id: str) -> Optional[Dict[str, Any]]:
+        """Fleet-wide flight-recorder lookup.
+
+        SO_REUSEPORT means the supervisor cannot know which worker served a
+        given request, so it asks each ready worker's admin endpoint in turn
+        and returns the first retained trace (``None`` if every ring has
+        evicted it).  Dead or malformed workers are skipped and counted,
+        like a metrics scrape.
+        """
+        from .http_client import SegmentClient
+
+        for handle in self._ready_handles():
+            try:
+                with SegmentClient("127.0.0.1", handle.admin_port, timeout=5.0) as client:
+                    document = client.trace(trace_id)
+            except (ServeError, OSError, ValueError) as exc:
+                self._count_scrape_failure(handle, type(exc).__name__)
+                continue
+            if document is not None:
+                return document
+        return None
+
+    def traces(self, slowest: int = 10) -> List[Dict[str, Any]]:
+        """The fleet's ``slowest`` retained traces, merged across workers."""
+        from .http_client import SegmentClient
+
+        collected: List[Dict[str, Any]] = []
+        for handle in self._ready_handles():
+            try:
+                with SegmentClient("127.0.0.1", handle.admin_port, timeout=5.0) as client:
+                    documents = client.traces(slowest=slowest)
+            except (ServeError, OSError, ValueError) as exc:
+                self._count_scrape_failure(handle, type(exc).__name__)
+                continue
+            collected.extend(doc for doc in documents if isinstance(doc, dict))
+        collected.sort(key=lambda doc: _as_float(doc.get("duration_seconds", 0.0)), reverse=True)
+        return collected[: max(int(slowest), 0)]
 
     def final_metrics(self) -> Dict[str, Any]:
         """Merged *final* snapshots reported by workers as they drained.
@@ -928,6 +1070,7 @@ class ServeFleet:
             "alive": alive,
             "ready": ready,
             "restarts": self._restarts,
+            "scrape_failures": self._scrape_failures,
             "reuse_port": self.reuse_port,
             "host": self.host,
             "port": self.port,
@@ -971,6 +1114,7 @@ class ServeFleet:
         if not self._started or self._stopping:
             return
         self._stopping = True
+        get_logger().info("fleet.shutdown", drain=drain, workers=self.workers)
         if self._monitor is not None:
             # Wait for the monitor to actually exit before snapshotting the
             # handles: a restart `_launch` that was already past the stopping

@@ -30,7 +30,18 @@ Endpoints
 ``GET /v1/metrics``
     The full ``service.metrics()`` snapshot (per-lane depth/shed counters,
     L1/L2 cache hit rates, latency percentiles) plus an ``http`` sub-dict
-    with the server's own request/response counters.
+    with the server's own request/response counters.  With
+    ``?format=prometheus`` the same snapshot renders as Prometheus text
+    exposition (``text/plain; version=0.0.4``) via :mod:`repro.obs.prom`.
+
+``GET /v1/trace/{id}`` and ``GET /v1/traces?slowest=N``
+    The flight recorder.  Every request is traced (subject to the service
+    tracer's sample rate): the server mints a trace id — or adopts the one a
+    client sends in ``X-Repro-Trace-Id`` — records ingress/submit/encode
+    spans around the service's own queue/cache/compute spans, and echoes the
+    id back in the ``X-Repro-Trace-Id`` response header.  The trace route
+    returns the completed span tree by id (404 once evicted from the ring);
+    the traces route lists the N slowest retained traces.
 
 ``GET /healthz``
     Draining-aware readiness: 200 while serving, 503 once shutdown began —
@@ -58,6 +69,7 @@ import binascii
 import io
 import json
 from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qs
 
 import numpy as np
 
@@ -75,6 +87,7 @@ from ..errors import (
     DeadlineExceededError as _DeadlineExceededError,
 )
 from ..imaging.io_dispatch import decode_image
+from ..obs import get_logger, render_prometheus
 
 __all__ = [
     "HttpSegmentationServer",
@@ -261,6 +274,7 @@ class HttpSegmentationServer:
         if sockets:
             name = sockets[0].getsockname()
             self.host, self.port = name[0], name[1]
+        get_logger().info("http.listen", host=self.host, port=self.port)
 
     def begin_drain(self) -> None:
         """Flip readiness to "draining" while existing requests keep running.
@@ -268,6 +282,8 @@ class HttpSegmentationServer:
         ``GET /healthz`` answers 503 from here on, so a load balancer
         rotates this instance out before :meth:`aclose` severs anything.
         """
+        if not self._draining:
+            get_logger().info("http.drain", inflight=self._inflight)
         self._draining = True
 
     async def aclose(self, drain: bool = True, close_service: bool = True) -> None:
@@ -473,13 +489,63 @@ class HttpSegmentationServer:
             # submit path's cache probes.
             loop = asyncio.get_running_loop()
             metrics = await loop.run_in_executor(None, self.service.metrics)
-            return self._json_response(200, {**metrics, "http": self.http_metrics()})
+            document = {**metrics, "http": self.http_metrics()}
+            fmt = self._query_param(request, "format", "json").lower()
+            if fmt == "prometheus":
+                text = await loop.run_in_executor(None, render_prometheus, document)
+                headers = {"Content-Type": "text/plain; version=0.0.4; charset=utf-8"}
+                return 200, headers, text.encode("utf-8")
+            if fmt != "json":
+                return self._json_response(
+                    400, {"error": "PayloadError", "detail": f"unknown format {fmt!r}"}
+                )
+            return self._json_response(200, document)
+        if request.path == "/v1/traces":
+            if request.method != "GET":
+                return self._method_not_allowed("GET")
+            return self._handle_traces(request)
+        if request.path.startswith("/v1/trace/"):
+            if request.method != "GET":
+                return self._method_not_allowed("GET")
+            return self._handle_trace(request.path[len("/v1/trace/") :])
         if request.path == "/v1/segment":
             if request.method != "POST":
                 return self._method_not_allowed("POST")
             return await self._handle_segment(request)
         return self._json_response(
             404, {"error": "NotFound", "detail": f"no route {request.path!r}"}
+        )
+
+    @staticmethod
+    def _query_param(request: _Request, name: str, default: str) -> str:
+        values = parse_qs(request.query).get(name)
+        return values[0] if values else default
+
+    def _handle_trace(self, trace_id: str) -> Tuple[int, Dict[str, str], bytes]:
+        lookup = getattr(self.service, "trace", None)
+        document = lookup(trace_id) if callable(lookup) else None
+        if document is None:
+            return self._json_response(
+                404,
+                {"error": "NotFound", "detail": f"no retained trace {trace_id!r}"},
+            )
+        return self._json_response(200, document)
+
+    def _handle_traces(self, request: _Request) -> Tuple[int, Dict[str, str], bytes]:
+        listing = getattr(self.service, "traces", None)
+        if not callable(listing):
+            return self._json_response(200, {"schema": "repro-traces/v1", "traces": []})
+        raw = self._query_param(request, "slowest", "10")
+        try:
+            slowest = int(raw)
+            if slowest < 1:
+                raise ValueError
+        except ValueError:
+            return self._json_response(
+                400, {"error": "PayloadError", "detail": f"invalid slowest {raw!r}"}
+            )
+        return self._json_response(
+            200, {"schema": "repro-traces/v1", "traces": listing(slowest=slowest)}
         )
 
     def _method_not_allowed(self, allowed: str) -> Tuple[int, Dict[str, str], bytes]:
@@ -499,27 +565,72 @@ class HttpSegmentationServer:
         # labels-to-JSON encode) on the event loop would stall every other
         # connection, including the /healthz a load balancer is polling.
         loop = asyncio.get_running_loop()
+        # The HTTP edge owns the trace for the whole request: it begins the
+        # trace (adopting a client-sent id, which is always sampled), passes
+        # it down through service.submit (which then skips its own
+        # begin/record), and records it only after the response is encoded —
+        # so the flight recorder sees ingress and encode time too.
+        tracer = getattr(self.service, "tracer", None)
+        client_trace_id = request.headers.get("x-repro-trace-id") or None
+        trace = tracer.begin(trace_id=client_trace_id) if tracer is not None else None
+        request_start = trace.clock() if trace is not None else 0.0
         try:
-            image, options = await loop.run_in_executor(
-                None, self._parse_segment_request, request
+            try:
+                parse_start = request_start
+                image, options = await loop.run_in_executor(
+                    None, self._parse_segment_request, request
+                )
+                if trace is not None:
+                    trace.add(
+                        "ingress.parse",
+                        parse_start,
+                        trace.clock(),
+                        body_bytes=len(request.body),
+                    )
+                submit_start = trace.clock() if trace is not None else 0.0
+                result = await self.service.submit(
+                    image,
+                    priority=options["priority"],
+                    deadline=options["deadline"],
+                    client_id=options["client_id"],
+                    block=False,
+                    **({"trace": trace} if trace is not None else {}),
+                )
+                if trace is not None:
+                    trace.add("service.submit", submit_start, trace.clock())
+            except Exception as exc:  # noqa: BLE001 - mapped to a status, never fatal
+                status, extra = status_for_exception(exc)
+                expected = isinstance(exc, (ServeError, ReproError, ValueError))
+                detail = str(exc) if expected else repr(exc)
+                response = self._json_response(
+                    status, {"error": type(exc).__name__, "detail": detail}
+                )
+                response[1].update(extra)
+                if trace is not None:
+                    trace.annotate(error=type(exc).__name__, status=status)
+                self._attach_trace_id(response[1], trace, client_trace_id)
+                return response
+            encode_start = trace.clock() if trace is not None else 0.0
+            status, headers, body = await loop.run_in_executor(
+                None, self._format_segment_response, request, result, options
             )
-            result = await self.service.submit(
-                image,
-                priority=options["priority"],
-                deadline=options["deadline"],
-                client_id=options["client_id"],
-                block=False,
-            )
-        except Exception as exc:  # noqa: BLE001 - mapped to a status, never fatal
-            status, extra = status_for_exception(exc)
-            expected = isinstance(exc, (ServeError, ReproError, ValueError))
-            detail = str(exc) if expected else repr(exc)
-            response = self._json_response(status, {"error": type(exc).__name__, "detail": detail})
-            response[1].update(extra)
-            return response
-        return await loop.run_in_executor(
-            None, self._format_segment_response, request, result, options
-        )
+            if trace is not None:
+                trace.add("response.encode", encode_start, trace.clock())
+                trace.annotate(status=status)
+            self._attach_trace_id(headers, trace, client_trace_id)
+            return status, headers, body
+        finally:
+            if trace is not None:
+                trace.add("request", request_start, trace.clock(), path=request.path)
+                tracer.record(trace)
+
+    @staticmethod
+    def _attach_trace_id(
+        headers: Dict[str, str], trace: Any, client_trace_id: Optional[str]
+    ) -> None:
+        trace_id = trace.trace_id if trace is not None else client_trace_id
+        if trace_id:
+            headers["X-Repro-Trace-Id"] = trace_id
 
     def _parse_segment_request(self, request: _Request) -> Tuple[np.ndarray, Dict[str, Any]]:
         headers = request.headers

@@ -74,6 +74,9 @@ class HttpSegmentResult:
     runtime_seconds: float
     priority: str
     metrics: Dict[str, float]
+    #: Trace id echoed by the server (``X-Repro-Trace-Id``) — look the
+    #: request's span tree up at ``GET /v1/trace/{id}`` while it is retained.
+    trace_id: Optional[str] = None
 
     @property
     def shape(self) -> tuple:
@@ -171,7 +174,9 @@ class SegmentClient:
         raise exc_type(f"HTTP {response.status}: {detail}")
 
     @staticmethod
-    def _result_from_document(document: Dict[str, Any]) -> HttpSegmentResult:
+    def _result_from_document(
+        document: Dict[str, Any], trace_id: Optional[str] = None
+    ) -> HttpSegmentResult:
         return HttpSegmentResult(
             labels=np.asarray(document["labels"]),
             num_segments=int(document["num_segments"]),
@@ -182,6 +187,7 @@ class SegmentClient:
             runtime_seconds=float(document["runtime_seconds"]),
             priority=str(document["priority"]),
             metrics={key: float(value) for key, value in document["metrics"].items()},
+            trace_id=trace_id,
         )
 
     def close(self) -> None:
@@ -212,6 +218,26 @@ class SegmentClient:
         self._raise_for_status(response, payload)
         return json.loads(payload.decode("utf-8"))
 
+    def metrics_prometheus(self) -> str:
+        """The Prometheus text exposition from ``/v1/metrics?format=prometheus``."""
+        response, payload = self._request("GET", "/v1/metrics?format=prometheus")
+        self._raise_for_status(response, payload)
+        return payload.decode("utf-8")
+
+    def trace(self, trace_id: str) -> Optional[Dict[str, Any]]:
+        """One retained trace document by id, or ``None`` once evicted."""
+        response, payload = self._request("GET", f"/v1/trace/{trace_id}")
+        if response.status == 404:
+            return None
+        self._raise_for_status(response, payload)
+        return json.loads(payload.decode("utf-8"))
+
+    def traces(self, slowest: int = 10) -> list:
+        """The ``slowest`` retained trace documents, slowest first."""
+        response, payload = self._request("GET", f"/v1/traces?slowest={int(slowest)}")
+        self._raise_for_status(response, payload)
+        return json.loads(payload.decode("utf-8")).get("traces", [])
+
     def segment(
         self,
         image: np.ndarray,
@@ -220,12 +246,15 @@ class SegmentClient:
         deadline_ms: Optional[float] = None,
         client_id: Optional[str] = None,
         accept: str = "json",
+        trace_id: Optional[str] = None,
     ) -> HttpSegmentResult:
         """Segment one image over the wire; raises the mapped serve errors.
 
         ``accept="json"`` (default) parses the JSON document; ``"npy"``
         requests the labels as an ``.npy`` body (scalar metadata rides in
-        response headers, ``metrics`` is then empty).
+        response headers, ``metrics`` is then empty).  ``trace_id`` travels
+        as ``X-Repro-Trace-Id`` (forcing the request to be traced); either
+        way the server's echoed id lands in the result's ``trace_id``.
         """
         if accept not in ("json", "npy"):
             raise ParameterError('accept must be "json" or "npy"')
@@ -240,8 +269,11 @@ class SegmentClient:
             headers["X-Repro-Deadline-Ms"] = f"{float(deadline_ms):g}"
         if client_id is not None:
             headers["X-Repro-Client"] = str(client_id)
+        if trace_id is not None:
+            headers["X-Repro-Trace-Id"] = str(trace_id)
         response, payload = self._request("POST", "/v1/segment", buffer.getvalue(), headers)
         self._raise_for_status(response, payload)
+        echoed = response.getheader("X-Repro-Trace-Id")
         if accept == "npy":
             labels = np.load(io.BytesIO(payload), allow_pickle=False)
             return HttpSegmentResult(
@@ -254,8 +286,9 @@ class SegmentClient:
                 runtime_seconds=float(response.getheader("X-Repro-Runtime-Seconds", "0")),
                 priority=str(priority or "normal").lower(),
                 metrics={},
+                trace_id=echoed,
             )
-        return self._result_from_document(json.loads(payload.decode("utf-8")))
+        return self._result_from_document(json.loads(payload.decode("utf-8")), trace_id=echoed)
 
     def segment_json(
         self,
@@ -280,7 +313,10 @@ class SegmentClient:
             {"Content-Type": "application/json"},
         )
         self._raise_for_status(response, body)
-        return self._result_from_document(json.loads(body.decode("utf-8")))
+        return self._result_from_document(
+            json.loads(body.decode("utf-8")),
+            trace_id=response.getheader("X-Repro-Trace-Id"),
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"SegmentClient(host={self.host!r}, port={self.port})"

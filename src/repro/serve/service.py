@@ -44,6 +44,7 @@ from ..core.pipeline import PipelineResult
 from ..engine import BatchSegmentationEngine
 from ..errors import ParameterError, ServiceClosedError, ServiceOverloadedError
 from ..metrics.runtime import LatencyRecorder
+from ..obs.trace import Trace, Tracer
 from .batcher import MicroBatcher
 from .cache import CacheKey, ResultCache, config_digest, image_digest
 
@@ -110,15 +111,16 @@ def _segment_image(engine: BatchSegmentationEngine, image: np.ndarray):
 class _Request:
     """One in-flight request: payload, cache key, future, and timing."""
 
-    __slots__ = ("image", "ground_truth", "void_mask", "key", "future", "submitted_at")
+    __slots__ = ("image", "ground_truth", "void_mask", "key", "future", "submitted_at", "trace")
 
-    def __init__(self, image, ground_truth, void_mask, key, submitted_at):
+    def __init__(self, image, ground_truth, void_mask, key, submitted_at, trace=None):
         self.image = image
         self.ground_truth = ground_truth
         self.void_mask = void_mask
         self.key = key
         self.future: "Future[PipelineResult]" = Future()
         self.submitted_at = submitted_at
+        self.trace = trace
 
 
 class SegmentationService:
@@ -158,6 +160,7 @@ class SegmentationService:
         queue_size: int = 64,
         cache: Any = "default",
         clock: Callable[[], float] = time.monotonic,
+        tracer: Optional[Tracer] = None,
     ):
         if not isinstance(engine, BatchSegmentationEngine):
             raise ParameterError("engine must be a BatchSegmentationEngine instance")
@@ -186,6 +189,8 @@ class SegmentationService:
         self._failed = 0
         self._cancelled = 0
         self._coalesced = 0
+        self.tracer = tracer if tracer is not None else Tracer(clock=clock)
+        self._cache_traced = bool(getattr(cache, "supports_trace", False))
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -276,7 +281,8 @@ class SegmentationService:
         # The content key drives both caching and within-batch coalescing, so
         # it is computed even when the cache is disabled.
         key: CacheKey = (image_digest(arr), self._config_digest)
-        request = _Request(arr, ground_truth, void_mask, key, submitted_at)
+        trace = self.tracer.begin()
+        request = _Request(arr, ground_truth, void_mask, key, submitted_at, trace=trace)
 
         with self._lock:
             if self._closed:
@@ -286,7 +292,7 @@ class SegmentationService:
             self.start()
 
         if self.cache is not None:
-            cached = self.cache.get(key)
+            cached = self._cache_get(key, trace)
             if cached is not None:
                 segmentation, binary = cached
                 self._resolve(request, segmentation, cache_hit=True, binary=binary)
@@ -326,6 +332,20 @@ class SegmentationService:
         ]
         return [future.result() for future in futures]
 
+    def _cache_get(self, key: CacheKey, trace: Optional[Trace] = None) -> Optional[Any]:
+        """Cache probe recording a ``cache.probe`` span (tier spans nested)."""
+        if self.cache is None:
+            return None
+        if trace is None:
+            return self.cache.get(key)
+        start = trace.clock()
+        if self._cache_traced:
+            value = self.cache.get(key, trace=trace)
+        else:
+            value = self.cache.get(key)
+        trace.add("cache.probe", start, trace.clock(), hit=value is not None)
+        return value
+
     # ------------------------------------------------------------------ #
     # worker
     # ------------------------------------------------------------------ #
@@ -358,6 +378,10 @@ class SegmentationService:
                 self._cancelled += dropped
         if not live:
             return
+        drained_at = self._clock()
+        for request in live:
+            if request.trace is not None:
+                request.trace.add("queue.wait", request.submitted_at, drained_at)
         # Coalesce identical images within the batch: one engine evaluation
         # per distinct content digest (independent of whether the cache is
         # enabled — the digest is always computed at submit time).
@@ -376,7 +400,7 @@ class SegmentationService:
             remaining = []
             for group_key in order:
                 requests = groups[group_key]
-                cached = self.cache.get(group_key)
+                cached = self._cache_get(group_key, requests[0].trace)
                 if cached is not None:
                     segmentation, binary = cached
                     for request in requests:
@@ -388,11 +412,25 @@ class SegmentationService:
                 return
 
         representatives = [groups[group_key][0].image for group_key in order]
+        compute_start = self._clock()
         results = self.engine.executor.map(
             functools.partial(_segment_image, self.engine), representatives
         )
+        compute_end = self._clock()
         for group_key, outcome in zip(order, results):
             requests = groups[group_key]
+            if not isinstance(outcome, Exception):
+                for request in requests:
+                    if request.trace is not None:
+                        request.trace.add(
+                            "engine.compute",
+                            compute_start,
+                            compute_end,
+                            strategy=str(outcome.extras.get("fast_path", "direct")),
+                            runtime_seconds=float(outcome.runtime_seconds),
+                            prepare_seconds=float(outcome.extras.get("prepare_seconds", 0.0)),
+                            batch_groups=len(order),
+                        )
             if isinstance(outcome, Exception):
                 for request in requests:
                     request.future.set_exception(outcome)
@@ -425,6 +463,8 @@ class SegmentationService:
         if coalesced:
             with self._lock:
                 self._coalesced += 1
+        trace = request.trace
+        score_start = trace.clock() if trace is not None else 0.0
         try:
             tagged = dataclasses.replace(
                 segmentation,
@@ -447,10 +487,17 @@ class SegmentationService:
                 request.future.set_exception(exc)
             with self._lock:
                 self._failed += 1
+            if trace is not None:
+                trace.annotate(error=type(exc).__name__)
+                self.tracer.record(trace)
             return
         self._latency.record(self._clock() - request.submitted_at)
         with self._lock:
             self._completed += 1
+        if trace is not None:
+            trace.add("scoring", score_start, trace.clock())
+            trace.annotate(cache_hit=cache_hit, coalesced=coalesced)
+            self.tracer.record(trace)
         request.future.set_result(result)
 
     # ------------------------------------------------------------------ #
@@ -475,9 +522,19 @@ class SegmentationService:
             "uptime_seconds": elapsed,
             "throughput_rps": completed / elapsed if elapsed > 0 else 0.0,
             "latency_seconds": self._latency.summary(),
+            "latency_sketch": self._latency.sketch(),
             "batcher": self._batcher.stats,
             "cache": self._cache_stats(),
+            "trace": self.tracer.counters(),
         }
+
+    def trace(self, trace_id: str) -> Optional[Dict[str, Any]]:
+        """A completed trace from the flight recorder, or ``None``."""
+        return self.tracer.get(trace_id)
+
+    def traces(self, slowest: int = 10) -> List[Dict[str, Any]]:
+        """The slowest retained traces, slowest first."""
+        return self.tracer.slowest(slowest)
 
     def _cache_stats(self) -> Optional[Dict[str, Any]]:
         """Stats of whatever cache is attached (tiered caches report L1/L2)."""

@@ -50,7 +50,7 @@ import time
 import zlib
 from dataclasses import dataclass
 from multiprocessing import resource_tracker, shared_memory
-from typing import Any, Optional, Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -117,6 +117,7 @@ class ShmCacheStats:
     slot_count: int
     slot_bytes: int
     size_bytes: int
+    hit_bytes: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -128,6 +129,7 @@ class ShmCacheStats:
         """JSON-friendly form used by service metric snapshots."""
         return {
             "hits": self.hits,
+            "hit_bytes": self.hit_bytes,
             "misses": self.misses,
             "stores": self.stores,
             "store_skips": self.store_skips,
@@ -173,6 +175,7 @@ class SharedMemoryResultCache:
         self._write_lock = threading.Lock()
         self._stats_lock = threading.Lock()
         self._hits = 0
+        self._hit_bytes = 0
         self._misses = 0
         self._stores = 0
         self._store_skips = 0
@@ -418,6 +421,7 @@ class SharedMemoryResultCache:
             return None
         with self._stats_lock:
             self._hits += 1
+            self._hit_bytes += payload_len
         return value
 
     def put(self, key: CacheKey, value: Tuple[SegmentationResult, np.ndarray]) -> None:
@@ -511,6 +515,7 @@ class SharedMemoryResultCache:
         with self._stats_lock:
             return ShmCacheStats(
                 hits=self._hits,
+                hit_bytes=self._hit_bytes,
                 misses=self._misses,
                 stores=self._stores,
                 store_skips=self._store_skips,

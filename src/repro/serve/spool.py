@@ -33,6 +33,7 @@ from typing import Any, Dict, Iterable, Iterator, List, Optional, TextIO
 import numpy as np
 
 from ..imaging.io_dispatch import IMAGE_EXTENSIONS
+from ..obs import get_logger
 from .service import SegmentationService
 
 __all__ = [
@@ -147,6 +148,7 @@ def iter_jsonl_jobs(stream: TextIO, priority_field: str = "priority") -> Iterato
             if deadline_ms is not None:
                 deadline_ms = float(deadline_ms)
         except (TypeError, ValueError) as exc:
+            get_logger().warning("spool.bad_job_line", line=lineno, error=str(exc))
             yield Job(id=f"line-{lineno}", error=f"invalid job line: {exc}")
             continue
         path = str(payload["path"])
@@ -165,6 +167,9 @@ def _job_entry(job: Job, outcome: Any) -> Dict[str, Any]:
     entry: Dict[str, Any] = {"id": job.id, "file": job.path}
     if isinstance(outcome, BaseException):
         entry["error"] = f"{type(outcome).__name__}: {outcome}"
+        get_logger().warning(
+            "spool.job_error", job_id=job.id, file=job.path, error=entry["error"]
+        )
         return entry
     seg = outcome.segmentation
     entry.update(

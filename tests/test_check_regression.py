@@ -101,3 +101,22 @@ def test_write_candidates_copies_tracked_reports(tripwire, tmp_path):
         ["--output", out, "--baselines", base, "--write-candidates", cand]
     ) == 0
     assert os.path.exists(os.path.join(cand, "report.json"))
+
+
+def test_per_metric_tolerance_overrides_file_wide_default(tripwire, tmp_path):
+    baseline = _baseline(metrics={"a.rps": 100.0, "a.ratio": 1.0})
+    baseline["tolerances"] = {"a.ratio": 0.05}  # tight gate on the ratio only
+    # rps within the wide 30% default, ratio 10% down: only the ratio trips.
+    _write(str(tmp_path / "out" / "report.json"), {"a": {"rps": 75.0, "ratio": 0.90}})
+    failures, _ = tripwire.check_baseline(baseline, str(tmp_path / "out"))
+    assert len(failures) == 1
+    assert "a.ratio" in failures[0]
+    # Both inside their own floors: clean.
+    _write(str(tmp_path / "out" / "report.json"), {"a": {"rps": 75.0, "ratio": 0.96}})
+    failures, _ = tripwire.check_baseline(baseline, str(tmp_path / "out"))
+    assert failures == []
+    # A malformed override map degrades to the file-wide tolerance.
+    baseline["tolerances"] = "broken"
+    _write(str(tmp_path / "out" / "report.json"), {"a": {"rps": 75.0, "ratio": 0.90}})
+    failures, _ = tripwire.check_baseline(baseline, str(tmp_path / "out"))
+    assert failures == []

@@ -458,9 +458,18 @@ def test_serve_http_end_to_end_with_graceful_sigterm(tmp_path, rng):
         env=env,
     )
     try:
-        line = proc.stderr.readline()
-        match = re.search(r"http://([\d.]+):(\d+)", line)
-        assert match, f"no listening line in stderr: {line!r}"
+        # Structured serve-layer log events share stderr with the CLI's own
+        # announcements, so scan for the listening line instead of assuming
+        # it arrives first.
+        match = None
+        for _ in range(50):
+            line = proc.stderr.readline()
+            if not line:
+                break
+            match = re.search(r"listening on http://([\d.]+):(\d+)", line)
+            if match:
+                break
+        assert match, "no listening line in stderr"
         host, port = match.group(1), int(match.group(2))
         with SegmentClient(host, port, timeout=60) as client:
             assert client.health()["status_code"] == 200
@@ -536,16 +545,30 @@ def test_serve_http_worker_fleet_restarts_and_drains(tmp_path, rng):
         env=env,
     )
     try:
-        line = proc.stderr.readline()
-        match = re.search(r"http://([\d.]+):(\d+)", line)
-        assert match, f"no listening line in stderr: {line!r}"
+        # Supervisor and worker log events interleave with the CLI's own
+        # announcements on stderr; scan for the lines we need rather than
+        # assuming exact positions.
+        match = None
+        for _ in range(100):
+            line = proc.stderr.readline()
+            if not line:
+                break
+            match = re.search(r"listening on http://([\d.]+):(\d+)", line)
+            if match:
+                break
+        assert match, "no listening line in stderr"
         host, port = match.group(1), int(match.group(2))
         pids = []
-        for _ in range(2):
+        for _ in range(100):
             pid_line = proc.stderr.readline()
+            if not pid_line:
+                break
             pid_match = re.search(r"worker slot=\d+ pid=(\d+)", pid_line)
-            assert pid_match, f"no worker pid line: {pid_line!r}"
-            pids.append(int(pid_match.group(1)))
+            if pid_match:
+                pids.append(int(pid_match.group(1)))
+                if len(pids) == 2:
+                    break
+        assert len(pids) == 2, "missing worker pid lines in stderr"
         def _children(pid):
             # Union over every task: children are attributed to the thread
             # that spawned them, and restarts come from the monitor thread.

@@ -347,3 +347,101 @@ def test_fleet_degrades_cleanly_when_shm_cannot_be_created(rng):
         image = _image(rng)
         with SegmentClient("127.0.0.1", fleet.port, timeout=60) as client:
             assert client.segment(image).num_segments >= 1
+
+
+# --------------------------------------------------------------------------- #
+# aggregation under degradation: malformed snapshots, dead workers
+# --------------------------------------------------------------------------- #
+def test_merge_skips_non_dict_snapshots_wholesale():
+    merged = merge_worker_metrics([_snapshot(3), None, ["truncated"], "garbage"])
+    assert merged["workers_scraped"] == 1
+    assert merged["completed"] == 3
+
+
+def test_merge_tolerates_malformed_counter_values():
+    bad = _snapshot(2)
+    bad["completed"] = "not-a-number"
+    bad["throughput_rps"] = float("nan")
+    bad["uptime_seconds"] = None
+    bad["shed"] = "broken"
+    bad["lanes"] = ["broken"]
+    bad["adaptive"] = 7
+    bad["cache"] = "broken"
+    merged = merge_worker_metrics([_snapshot(3), bad])
+    assert merged["workers_scraped"] == 2
+    assert merged["completed"] == 3  # the string degrades to 0, not a crash
+    assert merged["throughput_rps"] == pytest.approx(3.0)  # NaN -> 0.0
+    assert merged["shed"]["admission"] == 1
+    assert merged["lanes"]["high"]["completed"] == 3
+    assert merged["adaptive"]["ticks"] == 3
+    assert merged["cache"]["l1"]["hits"] == 1
+
+
+def test_merge_drops_disjoint_latency_sketches_instead_of_raising():
+    bad = _snapshot(2)
+    bad["latency_sketch"] = {"bounds": [0.5, 1.0], "counts": [1, 1, 0], "count": 2}
+    merged = merge_worker_metrics([_snapshot(3), bad])
+    # Disjoint bounds cannot be merged without misattributing counts, so the
+    # fleet percentile degrades to the explicit "no data" contract.
+    assert merged["latency_sketch"]["count"] == 0
+    assert merged["latency_seconds"]["p99"] is None
+    assert merged["completed"] == 5  # counters still merge fine
+
+
+def test_merge_sums_trace_counters_and_takes_slowest_exemplar():
+    left, right = _snapshot(2), _snapshot(3)
+    left["trace"] = {"started": 2, "sampled_out": 1, "recorded": 1, "retained": 1}
+    right["trace"] = {"started": 3, "sampled_out": 0, "recorded": 3, "retained": 3}
+    left["latency_exemplar"] = {"trace_id": "a" * 16, "seconds": 0.5}
+    right["latency_exemplar"] = {"trace_id": "b" * 16, "seconds": 0.1}
+    merged = merge_worker_metrics([left, right])
+    assert merged["trace"] == {"started": 5, "sampled_out": 1, "recorded": 4, "retained": 4}
+    assert merged["latency_exemplar"]["trace_id"] == "a" * 16
+
+
+def test_merge_exemplar_absent_or_malformed_is_none():
+    merged = merge_worker_metrics([_snapshot(1), _snapshot(1)])
+    assert merged["latency_exemplar"] is None
+    bad = _snapshot(1)
+    bad["latency_exemplar"] = {"trace_id": "", "seconds": 1.0}  # no id -> skipped
+    assert merge_worker_metrics([bad])["latency_exemplar"] is None
+
+
+class _DeadHandle:
+    """Looks enough like a worker handle to be scraped; nothing listens."""
+
+    def __init__(self, slot, admin_port):
+        self.slot = slot
+        self.admin_port = admin_port
+
+
+def _closed_port():
+    import socket
+
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def test_fleet_scrape_of_dead_worker_counts_failure_and_skips(monkeypatch):
+    fleet = ServeFleet(_SPEC, port=0, workers=1)
+    dead = _DeadHandle(slot=0, admin_port=_closed_port())
+    monkeypatch.setattr(fleet, "_ready_handles", lambda: [dead])
+    merged = fleet.metrics()
+    assert merged["workers_scraped"] == 0
+    assert merged["scrape_failures"] >= 1
+    assert merged["fleet"]["scrape_failures"] == merged["scrape_failures"]
+    # Trace lookups degrade the same way: skip, count, return "not found".
+    before = fleet.metrics()["scrape_failures"]
+    assert fleet.trace("deadbeefdeadbeef") is None
+    assert fleet.traces() == []
+    assert fleet.describe_fleet()["scrape_failures"] > before
+
+
+def test_fleet_metrics_with_zero_ready_workers_is_explicit():
+    fleet = ServeFleet(_SPEC, port=0, workers=1)  # never started
+    merged = fleet.metrics()
+    assert merged["workers_scraped"] == 0
+    assert merged["scrape_failures"] == 0
+    assert merged["workers"] == []
+    assert merged["fleet"]["ready"] == 0

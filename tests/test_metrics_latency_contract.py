@@ -1,0 +1,85 @@
+"""Empty-statistics contract for latency summaries (``repro.metrics.runtime``).
+
+Fleet aggregation can scrape a worker before its first request completes, so
+every summary/percentile helper must answer "no data yet" with ``None`` —
+never ``NaN``, never an ``IndexError``, never a fake ``0.0`` latency.
+"""
+
+import math
+
+import pytest
+
+from repro.metrics.runtime import (
+    SKETCH_BOUNDS,
+    LatencyRecorder,
+    merge_sketches,
+    sketch_percentile,
+    summarize_sketch,
+)
+
+
+def test_empty_recorder_summary_is_all_none_except_count():
+    summary = LatencyRecorder().summary()
+    assert summary["count"] == 0.0
+    for key in ("mean", "max", "p50", "p90", "p99"):
+        assert summary[key] is None, key
+
+
+def test_populated_recorder_summary_has_no_nones():
+    recorder = LatencyRecorder()
+    for value in (0.010, 0.020, 0.030):
+        recorder.record(value)
+    summary = recorder.summary()
+    assert summary["count"] == 3.0
+    assert summary["mean"] == pytest.approx(0.020)
+    assert summary["max"] == pytest.approx(0.030)
+    for key in ("p50", "p90", "p99"):
+        assert summary[key] is not None
+        assert not math.isnan(summary[key])
+
+
+def test_sketch_percentile_empty_inputs_return_none():
+    assert sketch_percentile(None, 50.0) is None
+    assert sketch_percentile("not-a-sketch", 50.0) is None
+    assert sketch_percentile({}, 99.0) is None
+    assert sketch_percentile({"bounds": [], "counts": []}, 50.0) is None
+    zero = {"bounds": list(SKETCH_BOUNDS), "counts": [0] * (len(SKETCH_BOUNDS) + 1)}
+    assert sketch_percentile(zero, 99.0) is None
+
+
+def test_sketch_percentile_validates_q_and_bounds_rank():
+    recorder = LatencyRecorder()
+    recorder.record(0.012)
+    sketch = recorder.sketch()
+    with pytest.raises(ValueError):
+        sketch_percentile(sketch, 101.0)
+    with pytest.raises(ValueError):
+        sketch_percentile(sketch, -0.5)
+    # Conservative: reports the upper bound of the bucket holding the rank.
+    p50 = sketch_percentile(sketch, 50.0)
+    assert p50 is not None and p50 >= 0.012
+
+
+def test_summarize_empty_sketch_is_count_zero_stats_none():
+    summary = summarize_sketch(merge_sketches([]))
+    assert summary["count"] == 0.0
+    for key in ("mean", "max", "p50", "p90", "p99"):
+        assert summary[key] is None, key
+
+
+def test_summarize_populated_sketch_round_trips():
+    recorder = LatencyRecorder()
+    for value in (0.004, 0.050, 0.900):
+        recorder.record(value)
+    summary = summarize_sketch(recorder.sketch())
+    assert summary["count"] == 3.0
+    assert summary["mean"] == pytest.approx((0.004 + 0.050 + 0.900) / 3)
+    assert summary["max"] is not None and summary["max"] >= 0.900
+    assert summary["p50"] is not None
+
+
+def test_merge_sketches_rejects_mismatched_bounds():
+    left = {"bounds": [0.1, 1.0], "counts": [1, 0, 0], "count": 1, "sum_seconds": 0.1}
+    right = {"bounds": [0.2, 2.0], "counts": [1, 0, 0], "count": 1, "sum_seconds": 0.2}
+    with pytest.raises(ValueError):
+        merge_sketches([left, right])

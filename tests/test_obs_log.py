@@ -1,0 +1,120 @@
+"""Tests for structured logging (``repro.obs.log``)."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs import StructuredLogger, configure_logging, get_logger
+
+
+def _logger(**kwargs):
+    stream = io.StringIO()
+    kwargs.setdefault("clock", lambda: 1754500000.123456)
+    return StructuredLogger(stream=stream, **kwargs), stream
+
+
+# --------------------------------------------------------------------------- #
+# JSON format
+# --------------------------------------------------------------------------- #
+def test_json_lines_parse_and_carry_identity():
+    log, stream = _logger(format="json", worker_id=3)
+    log.info("worker.ready", slot=3, pid=4242)
+    log.warning("spool.job_error", trace_id="deadbeefdeadbeef", error="boom")
+    lines = stream.getvalue().splitlines()
+    assert len(lines) == 2
+    first = json.loads(lines[0])
+    assert first == {
+        "ts": 1754500000.123456,
+        "level": "info",
+        "event": "worker.ready",
+        "worker_id": 3,
+        "slot": 3,
+        "pid": 4242,
+    }
+    second = json.loads(lines[1])
+    assert second["level"] == "warning"
+    assert second["trace_id"] == "deadbeefdeadbeef"
+
+
+def test_json_format_coerces_unserializable_values():
+    log, stream = _logger(format="json")
+    log.info("event", path=object(), nested={"tuple": (1, 2)}, flag=True)
+    record = json.loads(stream.getvalue())
+    assert isinstance(record["path"], str)
+    assert record["nested"] == {"tuple": [1, 2]}
+    assert record["flag"] is True
+
+
+# --------------------------------------------------------------------------- #
+# text format
+# --------------------------------------------------------------------------- #
+def test_text_format_renders_stamp_level_event_and_fields_in_order():
+    log, stream = _logger(format="text")
+    log.info("http.listen", host="127.0.0.1", port=8080, rate=0.123456789)
+    line = stream.getvalue().rstrip("\n")
+    stamp, level, event, rest = line.split(" ", 3)
+    assert stamp.endswith("Z") and "T" in stamp
+    assert level == "INFO"
+    assert event == "http.listen"
+    assert rest == "host=127.0.0.1 port=8080 rate=0.123457"  # %.6g floats
+
+
+def test_text_format_prefixes_worker_id_and_quotes_spaced_strings():
+    log, stream = _logger(format="text", worker_id=1)
+    log.error("worker.crash", reason="exit code 9")
+    line = stream.getvalue()
+    assert " ERROR [w1] worker.crash " in line
+    assert 'reason="exit code 9"' in line
+
+
+def test_text_format_keeps_grep_compatible_worker_line():
+    # The fleet-smoke CI step greps the literal substring "worker slot=" —
+    # the structured text format must keep emitting it.
+    log, stream = _logger(format="text")
+    log.info("worker", slot=0, pid=4242)
+    assert "worker slot=0 pid=4242" in stream.getvalue()
+
+
+# --------------------------------------------------------------------------- #
+# levels and configuration
+# --------------------------------------------------------------------------- #
+def test_level_filtering_suppresses_below_threshold():
+    log, stream = _logger(format="json", level="warning")
+    log.debug("a")
+    log.info("b")
+    log.warning("c")
+    log.error("d")
+    events = [json.loads(line)["event"] for line in stream.getvalue().splitlines()]
+    assert events == ["c", "d"]
+
+
+def test_configure_rejects_unknown_format_and_level():
+    log, _ = _logger()
+    with pytest.raises(ValueError):
+        log.configure(format="xml")
+    with pytest.raises(ValueError):
+        log.configure(level="loud")
+    with pytest.raises(ValueError):
+        StructuredLogger(format="yaml")
+
+
+def test_configure_logging_updates_the_process_wide_logger():
+    original = (get_logger().format, get_logger().level, get_logger().worker_id)
+    stream = io.StringIO()
+    try:
+        log = configure_logging(format="json", level="debug", stream=stream)
+        assert log is get_logger()
+        log.debug("probe", ok=True)
+        assert json.loads(stream.getvalue())["event"] == "probe"
+    finally:
+        get_logger().configure(format=original[0], level=original[1], stream=None)
+        get_logger()._stream = None
+        get_logger().worker_id = original[2]
+
+
+def test_closed_stream_drops_the_line_instead_of_raising():
+    stream = io.StringIO()
+    log = StructuredLogger(stream=stream, format="text")
+    stream.close()
+    log.info("event", ok=True)  # must not raise

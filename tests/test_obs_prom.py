@@ -1,0 +1,235 @@
+"""Tests for Prometheus exposition rendering and validation (``repro.obs.prom``)."""
+
+from repro.metrics.runtime import LatencyRecorder
+from repro.obs import render_prometheus, validate_exposition
+from repro.obs.prom import main
+
+
+def _metrics():
+    """A service-shaped metrics tree with every family populated."""
+    recorder = LatencyRecorder()
+    for value in (0.004, 0.012, 0.045, 0.210):
+        recorder.record(value)
+    sketch = recorder.sketch()
+    return {
+        "requests": 4,
+        "completed": 4,
+        "failed": 0,
+        "coalesced": 1,
+        "in_flight": 0,
+        "queue_depth": 2,
+        "uptime_seconds": 12.5,
+        "throughput_rps": 0.32,
+        "batches": 3,
+        "mean_batch_size": 1.33,
+        "workers_scraped": 2,
+        "scrape_failures": 1,
+        "shed": {"admission": 1, "expired": 0},
+        "lanes": {
+            "high": {
+                "depth": 0,
+                "submitted": 2,
+                "completed": 2,
+                "shed_admission": 0,
+                "shed_expired": 0,
+                "weight": 4,
+                "latency_sketch": sketch,
+            },
+            "normal": {
+                "depth": 2,
+                "submitted": 2,
+                "completed": 2,
+                "shed_admission": 1,
+                "shed_expired": 0,
+                "weight": 2,
+                "latency_sketch": sketch,
+            },
+        },
+        "latency_sketch": sketch,
+        "latency_exemplar": {"trace_id": "deadbeefdeadbeef", "seconds": 0.210},
+        "cache": {
+            "l1": {"hits": 3, "misses": 1, "currsize": 2, "maxsize": 256, "hit_bytes": 1024},
+            "l2": {"hits": 1, "misses": 3, "entries": 4, "size_bytes": 4096},
+        },
+        "trace": {"started": 4, "recorded": 4, "sampled_out": 0, "retained": 4},
+        "http": {
+            "requests": 4,
+            "responses": {"200": 3, "429": 1},
+            "inflight": 0,
+            "open_connections": 1,
+            "client_disconnects": 0,
+            "draining": 0,
+        },
+    }
+
+
+# --------------------------------------------------------------------------- #
+# rendering
+# --------------------------------------------------------------------------- #
+def test_render_produces_valid_exposition():
+    text = render_prometheus(_metrics())
+    assert validate_exposition(text) == []
+    assert text.endswith("\n")
+    assert "# TYPE repro_requests_total counter" in text
+    assert "repro_requests_total 4" in text
+    assert 'repro_shed_total{reason="admission"} 1' in text
+    assert 'repro_lane_completed_total{lane="high"} 2' in text
+    assert "# TYPE repro_fleet_scrape_failures_total counter" in text
+
+
+def test_render_sketch_as_cumulative_histogram_with_inf_sum_count():
+    text = render_prometheus(_metrics())
+    bucket_lines = [
+        line for line in text.splitlines()
+        if line.startswith("repro_request_latency_seconds_bucket")
+    ]
+    assert bucket_lines, "latency histogram missing"
+    assert bucket_lines[-1].startswith('repro_request_latency_seconds_bucket{le="+Inf"} ')
+    # Cumulative: bucket values never decrease.
+    values = [float(line.rsplit(" ", 1)[1]) for line in bucket_lines]
+    assert values == sorted(values)
+    assert values[-1] == 4.0
+    assert "repro_request_latency_seconds_sum " in text
+    assert "repro_request_latency_seconds_count 4" in text
+
+
+def test_render_attaches_slow_request_exemplar_trace_id():
+    text = render_prometheus(_metrics())
+    assert (
+        'repro_request_latency_exemplar_seconds{trace_id="deadbeefdeadbeef"} 0.21'
+        in text
+    )
+
+
+def test_render_cache_tiers_get_tier_labels():
+    text = render_prometheus(_metrics())
+    assert 'repro_cache_hits_total{tier="l1"} 3' in text
+    assert 'repro_cache_hits_total{tier="l2"} 1' in text
+    assert 'repro_cache_hit_bytes_total{tier="l1"} 1024' in text
+
+
+def test_render_flat_single_tier_cache_labels_memory():
+    text = render_prometheus({"cache": {"hits": 5, "misses": 2, "currsize": 3}})
+    assert 'repro_cache_hits_total{tier="memory"} 5' in text
+    assert validate_exposition(text) == []
+
+
+def test_render_extra_labels_and_empty_tree():
+    text = render_prometheus({"completed": 7}, extra_labels={"worker": "3"})
+    assert 'repro_completed_total{worker="3"} 7' in text
+    assert render_prometheus({}) == ""
+    assert validate_exposition("") == []
+
+
+def test_render_skips_malformed_subtrees():
+    text = render_prometheus(
+        {
+            "completed": 1,
+            "lanes": "broken",
+            "cache": {"l1": "broken"},
+            "latency_sketch": {"bounds": [0.1]},  # counts missing -> not a sketch
+            "latency_exemplar": {"trace_id": None},
+        }
+    )
+    assert "repro_completed_total 1" in text
+    assert validate_exposition(text) == []
+
+
+# --------------------------------------------------------------------------- #
+# validation (the CI checker)
+# --------------------------------------------------------------------------- #
+def test_validator_flags_sample_without_type():
+    assert any("no preceding TYPE" in e for e in validate_exposition("repro_x 1\n"))
+
+
+def test_validator_flags_missing_trailing_newline():
+    text = "# TYPE repro_x counter\nrepro_x 1"
+    assert any("end with a newline" in e for e in validate_exposition(text))
+
+
+def test_validator_flags_non_cumulative_histogram():
+    text = (
+        "# TYPE repro_lat histogram\n"
+        'repro_lat_bucket{le="0.1"} 5\n'
+        'repro_lat_bucket{le="0.5"} 3\n'
+        'repro_lat_bucket{le="+Inf"} 5\n'
+        "repro_lat_sum 1\n"
+        "repro_lat_count 5\n"
+    )
+    assert any("not cumulative" in e for e in validate_exposition(text))
+
+
+def test_validator_flags_missing_inf_bucket_and_sum():
+    text = (
+        "# TYPE repro_lat histogram\n"
+        'repro_lat_bucket{le="0.1"} 5\n'
+        "repro_lat_count 5\n"
+    )
+    errors = validate_exposition(text)
+    assert any("missing +Inf bucket" in e for e in errors)
+
+
+def test_validator_flags_inf_bucket_count_mismatch():
+    text = (
+        "# TYPE repro_lat histogram\n"
+        'repro_lat_bucket{le="+Inf"} 4\n'
+        "repro_lat_sum 1\n"
+        "repro_lat_count 5\n"
+    )
+    assert any("+Inf bucket != _count" in e for e in validate_exposition(text))
+
+
+def test_validator_flags_malformed_lines_and_values():
+    errors = validate_exposition(
+        "# TYPE repro_x counter\n"
+        "repro_x notanumber\n"
+        "# BOGUS comment here\n"
+        "}}malformed{{ 1\n"
+    )
+    assert any("invalid sample value" in e for e in errors)
+    assert any("malformed comment" in e for e in errors)
+    assert any("malformed sample" in e for e in errors)
+
+
+def test_validator_flags_duplicate_and_invalid_type():
+    errors = validate_exposition(
+        "# TYPE repro_x counter\n"
+        "# TYPE repro_x counter\n"
+        "# TYPE repro_y teapot\n"
+        "repro_x 1\n"
+    )
+    assert any("duplicate TYPE" in e for e in errors)
+    assert any("invalid TYPE" in e for e in errors)
+
+
+def test_validator_flags_malformed_label():
+    text = '# TYPE repro_x counter\nrepro_x{9bad="v"} 1\n'
+    assert any("malformed label" in e for e in validate_exposition(text))
+
+
+def test_checker_main_accepts_valid_file_and_rejects_invalid(tmp_path, capsys):
+    good = tmp_path / "good.prom"
+    good.write_text(render_prometheus(_metrics()), encoding="utf-8")
+    assert main([str(good)]) == 0
+    assert "exposition ok" in capsys.readouterr().out
+
+    bad = tmp_path / "bad.prom"
+    bad.write_text("repro_x 1\n", encoding="utf-8")
+    assert main([str(bad)]) == 1
+    assert "exposition error" in capsys.readouterr().err
+
+
+def test_checker_main_reads_stdin(monkeypatch, capsys):
+    import io as _io
+
+    monkeypatch.setattr("sys.stdin", _io.StringIO("# TYPE repro_x counter\nrepro_x 1\n"))
+    assert main([]) == 0
+    assert "1 samples" in capsys.readouterr().out
+
+
+def test_sketch_with_overflow_bucket_renders_inf_total():
+    # Overflow bucket (counts longer than bounds) lands in +Inf only.
+    sketch = {"bounds": [0.1, 1.0], "counts": [1, 2, 3], "count": 6, "sum_seconds": 9.0}
+    text = render_prometheus({"latency_sketch": sketch})
+    assert 'repro_request_latency_seconds_bucket{le="+Inf"} 6' in text
+    assert validate_exposition(text) == []

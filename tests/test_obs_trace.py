@@ -1,0 +1,190 @@
+"""Tests for per-request tracing (``repro.obs.trace``)."""
+
+import re
+import threading
+
+import pytest
+
+from repro.obs import Trace, Tracer
+from repro.obs.trace import mint_trace_id
+
+
+class FakeClock:
+    """Deterministic monotonic clock: returns the current value, advances on demand."""
+
+    def __init__(self, start=100.0):
+        self.now = start
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+        return self.now
+
+
+# --------------------------------------------------------------------------- #
+# trace IDs
+# --------------------------------------------------------------------------- #
+def test_mint_trace_id_is_16_hex_chars_and_unique():
+    ids = {mint_trace_id() for _ in range(64)}
+    assert len(ids) == 64
+    for trace_id in ids:
+        assert re.fullmatch(r"[0-9a-f]{16}", trace_id)
+
+
+# --------------------------------------------------------------------------- #
+# Trace: spans, tree assembly, document shape
+# --------------------------------------------------------------------------- #
+def test_trace_document_spans_are_relative_and_nested():
+    clock = FakeClock()
+    trace = Trace("deadbeefdeadbeef", clock=clock)
+    request_start = clock.now
+    with trace.span("cache.probe"):
+        with trace.span("cache.l1", parent="cache.probe", hit=False):
+            clock.advance(0.010)
+        with trace.span("cache.l2", parent="cache.probe", hit=True):
+            clock.advance(0.005)
+    with trace.span("engine.compute", strategy="lut"):
+        clock.advance(0.100)
+    trace.annotate(status=200)
+    trace.add("request", request_start, clock.now, path="/v1/segment")
+    trace.finish()
+
+    doc = trace.to_dict()
+    assert doc["schema"] == "repro-trace/v1"
+    assert doc["trace_id"] == "deadbeefdeadbeef"
+    assert doc["duration_seconds"] == pytest.approx(0.115)
+    assert doc["fields"] == {"status": 200}
+
+    by_name = {span["name"]: span for span in doc["spans"]}
+    # Starts are relative to the trace start, durations positive.
+    assert by_name["request"]["start"] == pytest.approx(0.0)
+    assert by_name["cache.l1"]["duration_seconds"] == pytest.approx(0.010)
+    assert by_name["cache.l2"]["start"] == pytest.approx(0.010)
+    assert by_name["engine.compute"]["fields"] == {"strategy": "lut"}
+    assert by_name["cache.l2"]["parent"] == "cache.probe"
+
+    tree = doc["tree"]
+    assert tree["name"] == "request"
+    children = [node["name"] for node in tree["children"]]
+    assert children == ["cache.probe", "engine.compute"]  # sorted by start
+    probe = tree["children"][0]
+    assert [node["name"] for node in probe["children"]] == ["cache.l1", "cache.l2"]
+
+
+def test_trace_tree_without_request_span_gets_synthetic_root():
+    clock = FakeClock()
+    trace = Trace("a" * 16, clock=clock)
+    with trace.span("engine.compute"):
+        clock.advance(0.02)
+    trace.finish()
+    tree = trace.to_dict()["tree"]
+    assert tree["name"] == "request"
+    assert tree["duration_seconds"] == pytest.approx(0.02)
+    assert [node["name"] for node in tree["children"]] == ["engine.compute"]
+
+
+def test_trace_tree_unknown_parent_falls_back_to_root():
+    clock = FakeClock()
+    trace = Trace("b" * 16, clock=clock)
+    trace.add("orphan", clock.now, clock.advance(0.01), parent="no-such-span")
+    trace.finish()
+    tree = trace.to_dict()["tree"]
+    assert [node["name"] for node in tree["children"]] == ["orphan"]
+
+
+def test_span_context_records_error_class_on_exception():
+    clock = FakeClock()
+    trace = Trace("c" * 16, clock=clock)
+    with pytest.raises(ValueError):
+        with trace.span("scoring"):
+            raise ValueError("boom")
+    name, parent, _, _, fields = trace.spans[0]
+    assert name == "scoring"
+    assert fields["error"] == "ValueError"
+
+
+def test_trace_duration_is_live_until_finished():
+    clock = FakeClock()
+    trace = Trace("d" * 16, clock=clock)
+    clock.advance(0.5)
+    assert trace.duration_seconds == pytest.approx(0.5)
+    trace.finish()
+    clock.advance(5.0)
+    assert trace.duration_seconds == pytest.approx(0.5)  # frozen at finish
+
+
+# --------------------------------------------------------------------------- #
+# Tracer: deterministic sampling, forced ids, the ring
+# --------------------------------------------------------------------------- #
+def test_tracer_sampling_is_deterministic_every_fourth():
+    tracer = Tracer(sample_rate=0.25, clock=FakeClock())
+    sampled = [tracer.begin() is not None for _ in range(8)]
+    # Error accumulator crosses 1.0 on the 4th and 8th begin — exactly 1 in 4.
+    assert sampled == [False, False, False, True, False, False, False, True]
+    counters = tracer.counters()
+    assert counters["started"] == 8.0
+    assert counters["sampled_out"] == 6.0
+
+
+def test_tracer_client_supplied_id_always_samples():
+    tracer = Tracer(sample_rate=0.0, clock=FakeClock())
+    assert tracer.begin() is None  # ambient traffic sampled out entirely
+    trace = tracer.begin(trace_id="feedfacefeedface")
+    assert trace is not None
+    assert trace.trace_id == "feedfacefeedface"
+    tracer.record(trace)
+    assert tracer.get("feedfacefeedface")["trace_id"] == "feedfacefeedface"
+
+
+def test_tracer_ring_evicts_oldest_and_slowest_orders_by_duration():
+    clock = FakeClock()
+    tracer = Tracer(sample_rate=1.0, ring_size=3, clock=clock)
+    durations = [0.05, 0.01, 0.04, 0.02, 0.03]
+    ids = []
+    for duration in durations:
+        trace = tracer.begin()
+        ids.append(trace.trace_id)
+        clock.advance(duration)
+        tracer.record(trace)
+    assert tracer.get(ids[0]) is None  # evicted
+    assert tracer.get(ids[1]) is None
+    assert tracer.get(ids[2]) is not None
+    slowest = tracer.slowest(2)
+    assert [doc["trace_id"] for doc in slowest] == [ids[2], ids[4]]
+    counters = tracer.counters()
+    assert counters["recorded"] == 5.0
+    assert counters["retained"] == 3.0
+    assert counters["ring_size"] == 3.0
+
+
+def test_tracer_record_none_is_a_noop_and_ring_size_validated():
+    tracer = Tracer(sample_rate=0.0)
+    tracer.record(tracer.begin())  # begin() sampled out -> None -> no-op
+    assert tracer.counters()["recorded"] == 0.0
+    with pytest.raises(ValueError):
+        Tracer(ring_size=0)
+
+
+def test_tracer_sample_rate_is_clamped():
+    assert Tracer(sample_rate=7.0).sample_rate == 1.0
+    assert Tracer(sample_rate=-1.0).sample_rate == 0.0
+
+
+def test_tracer_is_thread_safe_under_concurrent_begin_record():
+    tracer = Tracer(sample_rate=1.0, ring_size=64)
+
+    def worker():
+        for _ in range(100):
+            tracer.record(tracer.begin())
+
+    threads = [threading.Thread(target=worker) for _ in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    counters = tracer.counters()
+    assert counters["started"] == 400.0
+    assert counters["recorded"] == 400.0
+    assert counters["retained"] == 64.0

@@ -62,7 +62,13 @@ def test_merge_rejects_mismatched_bounds():
 def test_merge_of_nothing_is_an_empty_sketch():
     merged = merge_sketches([])
     assert merged["count"] == 0
-    assert sketch_percentile(merged, 99.0) == 0.0
+    # explicit empty contract: None, never a fake 0.0 latency
+    assert sketch_percentile(merged, 99.0) is None
+    summary = summarize_sketch(merged)
+    assert summary["count"] == 0.0
+    assert summary["mean"] is None
+    assert summary["max"] is None
+    assert summary["p99"] is None
 
 
 # --------------------------------------------------------------------------- #

@@ -132,3 +132,19 @@ def test_constructor_validation():
         MicroBatcher(max_wait_seconds=-0.1)
     with pytest.raises(ParameterError):
         MicroBatcher(queue_size=0)
+
+
+def test_stats_expose_last_flush_reason_size_and_assembly_time():
+    batcher = MicroBatcher(max_batch_size=2, max_wait_seconds=0.01, queue_size=8)
+    assert batcher.stats["last_flush"] is None  # nothing flushed yet
+    batcher.put("a")
+    batcher.put("b")
+    assert batcher.next_batch() == ["a", "b"]
+    last = batcher.stats["last_flush"]
+    assert last["reason"] == "size"
+    assert last["batch_size"] == 2
+    assert last["assembly_seconds"] >= 0.0
+    batcher.put("c")
+    assert batcher.next_batch() == ["c"]
+    assert batcher.stats["last_flush"]["reason"] == "deadline"
+    assert batcher.stats["last_flush"]["batch_size"] == 1
