@@ -1,0 +1,74 @@
+"""Backend parity benchmark — throughput per backend, exactness-guarded.
+
+Runs the engine's LUT fast path through every *available* array backend on
+the same workload, asserts the labels are bit-identical to the NumPy
+reference (the contract ``tests/test_backend_parity.py`` property-tests),
+and reports per-backend throughput in megapixels/second.  The JSON report
+feeds the CI regression tripwire (``check_regression.py``), which gates the
+always-available NumPy path; accelerator numbers ride along on hosts that
+have them.
+
+With ``--smoke`` the workload shrinks and only exactness is asserted —
+which is what CI guards.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro import BatchSegmentationEngine, IQFTSegmenter, available_backends
+from repro.metrics.report import format_table
+
+_THETA = np.pi
+
+
+@pytest.fixture(scope="module")
+def rng():
+    return np.random.default_rng(2023)
+
+
+def _throughput_mpps(engine, images, repeats):
+    pixels = sum(img.shape[0] * img.shape[1] for img in images)
+    best = float("inf")
+    results = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        results = [engine.segment(img) for img in images]
+        best = min(best, time.perf_counter() - start)
+    return pixels / best / 1e6, results
+
+
+def test_backend_parity_throughput(rng, smoke_mode, emit_result, emit_json_result):
+    side = 96 if smoke_mode else 384
+    repeats = 2 if smoke_mode else 5
+    palette = rng.integers(0, 256, size=(32, 3)).astype(np.uint8)
+    images = [
+        palette[rng.integers(0, len(palette), size=(side, side))] for _ in range(4)
+    ]
+
+    backends = available_backends()
+    assert "numpy" in backends
+
+    reference_engine = BatchSegmentationEngine(IQFTSegmenter(thetas=_THETA), backend="numpy")
+    _, reference_results = _throughput_mpps(reference_engine, images, repeats=1)
+
+    report = {"schema": "repro-bench-backend-parity/v1", "side": side, "backends": {}}
+    rows = []
+    for name in backends:
+        engine = BatchSegmentationEngine(IQFTSegmenter(thetas=_THETA), backend=name)
+        mpps, results = _throughput_mpps(engine, images, repeats)
+        # exactness guard: every backend must reproduce the reference labels
+        # bit-for-bit — a fast-but-wrong backend fails here, not in the rps.
+        for got, want in zip(results, reference_results):
+            assert got.extras["backend"] == name
+            assert np.array_equal(got.labels, want.labels), f"backend {name!r} diverged"
+        report["backends"][name] = {"mpps": round(mpps, 3)}
+        report[name] = {"mpps": round(mpps, 3)}  # flat path for the tripwire
+        rows.append([name, f"{mpps:.1f}"])
+
+    emit_result(
+        f"Backend parity — palette-LUT path on 4×{side}x{side} uint8 RGB",
+        format_table("Backend throughput", ["Backend", "Mpix/s"], rows),
+    )
+    emit_json_result("bench_backend_parity", report)

@@ -19,7 +19,7 @@ import numpy as np
 
 from repro import BatchSegmentationEngine, IQFTSegmenter
 from repro.datasets import ShapesDataset
-from repro.imaging.image import as_uint8_image
+from repro.imaging import as_uint8_image
 
 
 def main() -> None:

@@ -26,9 +26,9 @@ import sys
 import numpy as np
 
 from repro.datasets import DirectoryDataset, SyntheticVOCDataset
-from repro.experiments.runner import ExperimentRunner, MethodSpec
-from repro.imaging.image import as_uint8_image
-from repro.imaging.io_dispatch import write_image
+from repro.experiments import ExperimentRunner, MethodSpec
+from repro.imaging import as_uint8_image
+from repro.imaging import write_image
 
 
 def _build_demo_directory(root: str, count: int = 6) -> None:

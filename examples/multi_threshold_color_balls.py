@@ -25,11 +25,11 @@ import sys
 import numpy as np
 
 from repro import IQFTGrayscaleSegmenter, KMeansSegmenter, OtsuSegmenter, mean_iou
-from repro.core.labels import binarize_by_overlap
-from repro.core.thresholds import thresholds_for_theta
+from repro.core import binarize_by_overlap
+from repro.core import thresholds_for_theta
 from repro.datasets import make_balls_image
 from repro.imaging import rgb_to_gray, write_png
-from repro.imaging.image import as_uint8_image
+from repro.imaging import as_uint8_image
 from repro.viz import colorize_labels
 
 

@@ -24,8 +24,8 @@ import sys
 
 import numpy as np
 
-from repro.core import IQFTSegmenter, ShotBasedIQFTSegmenter
-from repro.core.labels import binarize_by_overlap
+from repro import IQFTSegmenter, ShotBasedIQFTSegmenter
+from repro.core import binarize_by_overlap
 from repro.datasets import SyntheticVOCDataset
 from repro.metrics import mean_iou
 from repro.quantum import NoiseModel

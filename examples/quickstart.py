@@ -19,10 +19,10 @@ import sys
 import numpy as np
 
 from repro import IQFTSegmenter, KMeansSegmenter, OtsuSegmenter, mean_iou
-from repro.core.labels import binarize_by_overlap
+from repro.core import binarize_by_overlap
 from repro.datasets import ShapesDataset
 from repro.imaging import write_png
-from repro.imaging.image import as_uint8_image
+from repro.imaging import as_uint8_image
 from repro.viz import colorize_labels
 
 

@@ -23,10 +23,10 @@ import os
 import sys
 
 from repro.datasets import SyntheticXView2Dataset
-from repro.experiments.table3 import format_table3, run_table3
-from repro.imaging.image import as_uint8_image
+from repro.experiments import format_table3, run_table3
+from repro.imaging import as_uint8_image
 from repro.viz import overlay_mask
-from repro.viz.export import save_side_by_side
+from repro.viz import save_side_by_side
 
 
 def main(num_tiles: int, output_dir: str) -> None:
@@ -51,7 +51,7 @@ def main(num_tiles: int, output_dir: str) -> None:
     sample = dataset[index]
 
     from repro import IQFTSegmenter
-    from repro.core.labels import binarize_by_overlap
+    from repro.core import binarize_by_overlap
 
     labels = IQFTSegmenter().segment(sample.image).labels
     binary = binarize_by_overlap(labels, sample.mask)

@@ -24,7 +24,7 @@ import sys
 import numpy as np
 
 from repro import IQFTSegmenter, mean_iou, tune_theta_supervised, tune_theta_unsupervised
-from repro.core.labels import binarize_by_overlap
+from repro.core import binarize_by_overlap
 from repro.datasets import SyntheticVOCDataset
 
 

@@ -1,0 +1,44 @@
+"""Pluggable array-compute backends for the segmentation engine.
+
+The engine's hot paths — LUT gather, palette dedup, the chunked complex
+matmul — dispatch through an :class:`ArrayBackend`, so the same public API
+runs on plain NumPy (the always-available reference), torch, or CuPy
+without forking any call surface.  See :mod:`repro.backend.base` for the
+kernel contract and the per-backend exactness guarantees (integer kernels
+bit-exact, float kernels tolerance-exact), and the README's "Writing a
+backend" guide for the extension recipe.
+
+Quick start
+-----------
+>>> from repro.backend import available_backends, get_backend
+>>> "numpy" in available_backends()
+True
+>>> get_backend("numpy").name
+'numpy'
+"""
+
+from .base import ArrayBackend
+from .numpy_backend import NumpyBackend
+from .registry import (
+    ENV_BACKEND,
+    available_backends,
+    backend_status,
+    default_backend_name,
+    get_backend,
+    register_backend,
+    registered_backends,
+    resolve_backend,
+)
+
+__all__ = [
+    "ArrayBackend",
+    "NumpyBackend",
+    "ENV_BACKEND",
+    "available_backends",
+    "backend_status",
+    "default_backend_name",
+    "get_backend",
+    "register_backend",
+    "registered_backends",
+    "resolve_backend",
+]

@@ -1,0 +1,78 @@
+"""Optional CuPy adapter: the engine's kernels on a CUDA device via CuPy.
+
+Install with ``pip install repro-iqft-segmentation[cupy]`` (pick the wheel
+matching the local CUDA toolkit).  Imports cleanly without CuPy; the
+registry then lists the backend as unavailable (skip-not-fail).
+
+Exactness mirrors the torch adapter: integer gather/dedup are bit-identical
+to the NumPy reference, the float kernel is tolerance-exact (cuBLAS
+reassociation), so only explicitly-requested float compute routes here.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Tuple
+
+import numpy as np
+
+from .base import ArrayBackend
+
+try:  # pragma: no cover - requires a CUDA host
+    import cupy
+except ImportError:  # pragma: no cover - the numpy-only install path
+    cupy = None
+
+__all__ = ["CupyBackend"]
+
+
+class CupyBackend(ArrayBackend):  # pragma: no cover - requires a CUDA host
+    """Kernel adapter over CuPy device arrays."""
+
+    name = "cupy"
+    bit_exact_float = False
+    float_rtol = 1e-12
+    float_atol = 1e-13
+
+    def __init__(self):
+        if cupy is None:
+            raise RuntimeError("cupy is not installed (pip install repro[cupy])")
+
+    @classmethod
+    def is_available(cls) -> bool:
+        if cupy is None:
+            return False
+        try:
+            return int(cupy.cuda.runtime.getDeviceCount()) > 0
+        except Exception:  # noqa: BLE001 - any CUDA probe failure means "no device"
+            return False
+
+    def describe(self) -> Dict[str, Any]:
+        device = cupy.cuda.Device()
+        return {
+            "name": self.name,
+            "device": f"cuda:{device.id}",
+            "substrate": f"cupy {cupy.__version__}",
+            "bit_exact_float": False,
+        }
+
+    # ------------------------------------------------------------------ #
+    def gather(self, table: np.ndarray, indices: np.ndarray) -> np.ndarray:
+        idx = np.asarray(indices)
+        out = cupy.asarray(table)[cupy.asarray(idx.astype(np.int64, copy=False))]
+        return cupy.asnumpy(out)
+
+    def unique_inverse(self, codes: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        unique, inverse = cupy.unique(cupy.asarray(codes), return_inverse=True)
+        return cupy.asnumpy(unique), cupy.asnumpy(inverse).reshape(-1)
+
+    def phase_amplitudes(
+        self, phases: np.ndarray, bits: np.ndarray, matrix: np.ndarray
+    ) -> np.ndarray:
+        phase = cupy.asarray(np.asarray(phases, dtype=np.float64))
+        block = cupy.exp(1j * (phase @ cupy.asarray(bits, dtype=np.float64).T))
+        amps = (block @ cupy.asarray(matrix)) / matrix.shape[0]
+        return cupy.asnumpy(amps)
+
+    # ------------------------------------------------------------------ #
+    def cost_hints(self) -> Dict[str, float]:
+        return {"gather_min_pixels": 65536.0, "tile_pixels_scale": 8.0}

@@ -232,6 +232,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-ring", type=int, default=256, metavar="N",
         help="completed traces retained per worker for GET /v1/trace/{id}",
     )
+    srv.add_argument(
+        "--backend", default=None, metavar="NAME[,NAME...]",
+        help="array backend for the engine kernels (numpy/torch/cupy; "
+        "default: $REPRO_BACKEND or numpy).  With --workers, a "
+        "comma-separated list assigns backends round-robin across worker "
+        "slots — labels stay bit-identical, so the mixed fleet shares one "
+        "cache",
+    )
 
     met = sub.add_parser(
         "metrics",
@@ -444,10 +452,10 @@ def _cmd_batch(args: argparse.Namespace) -> int:
 def _serve_cache(args: argparse.Namespace):
     """Build the cache stack for ``serve``: memory L1, optional disk L2.
 
-    Delegates to :meth:`~repro.serve.fleet.WorkerSpec.build_cache` so the
+    Delegates to :meth:`~repro.serve.WorkerSpec.build_cache` so the
     sync front end stacks its tiers exactly like the async/fleet workers.
     """
-    from .serve.fleet import WorkerSpec
+    from .serve import WorkerSpec
 
     return WorkerSpec(
         cache_entries=args.cache_size,
@@ -492,7 +500,7 @@ def _run_http_serve(args: argparse.Namespace, service, theta_used, host: str, po
     import asyncio
     import signal
 
-    from .serve.http import HttpSegmentationServer
+    from .serve import HttpSegmentationServer
 
     async def _drive() -> dict:
         stop = asyncio.Event()
@@ -556,15 +564,27 @@ def _run_http_serve(args: argparse.Namespace, service, theta_used, host: str, po
     return 0
 
 
+def _parse_backend_names(raw):
+    """Split a ``--backend`` value into a list of names (``None`` passes)."""
+    if raw is None:
+        return None
+    names = [name.strip() for name in str(raw).split(",") if name.strip()]
+    if not names:
+        from .errors import ParameterError
+
+        raise ParameterError("--backend must name at least one backend")
+    return names
+
+
 def _build_worker_spec(args: argparse.Namespace, http_mode: bool):
     """The picklable service recipe shared by every async serve mode.
 
     Single-process ``--http``, the JSONL/spool ``--async`` drivers and the
     ``--workers N`` fleet all construct their service through one
-    :class:`~repro.serve.fleet.WorkerSpec`, so a fleet worker is configured
+    :class:`~repro.serve.WorkerSpec`, so a fleet worker is configured
     exactly like the single process it replaces.
     """
-    from .serve.fleet import WorkerSpec
+    from .serve import WorkerSpec
 
     return WorkerSpec(
         method=args.method,
@@ -594,6 +614,7 @@ def _build_worker_spec(args: argparse.Namespace, http_mode: bool):
         log_format=args.log_format,
         trace_sample_rate=args.trace_sample_rate,
         trace_ring=args.trace_ring,
+        backend=(_parse_backend_names(getattr(args, "backend", None)) or [None])[0],
     )
 
 
@@ -604,9 +625,16 @@ def _run_fleet_serve(  # pragma: no cover - driven via subprocess in the CLI tes
     import signal
     import threading
 
-    from .serve.fleet import ServeFleet
+    from .serve import ServeFleet
 
-    fleet = ServeFleet(spec, host=host, port=port, workers=args.workers)
+    names = _parse_backend_names(args.backend)
+    fleet = ServeFleet(
+        spec,
+        host=host,
+        port=port,
+        workers=args.workers,
+        backends=names if names and len(names) > 1 else None,
+    )
     stop = threading.Event()
 
     def _on_signal(signum, frame):  # noqa: ARG001 - signal handler signature
@@ -688,7 +716,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from .errors import CacheError
     from .obs import configure_logging
     from .serve import SegmentationService
-    from .serve.spool import (
+    from .serve import (
         build_report,
         iter_jsonl_jobs,
         iter_spool_jobs,
@@ -729,6 +757,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             from .errors import ParameterError
 
             raise ParameterError("--max-body-mb must allow at least one byte")
+        if args.backend and "," in args.backend and not fleet_mode:
+            from .errors import ParameterError
+
+            raise ParameterError(
+                "a comma-separated --backend list (mixed fleet) requires --workers"
+            )
         if http_mode:
             http_host, http_port = _parse_http_address(args.http)
         if use_async:
@@ -749,6 +783,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 get_segmenter(args.method, **kwargs),
                 use_lut=not args.no_lut,
                 executor=_make_executor(args.executor, args.jobs),
+                backend=(_parse_backend_names(args.backend) or [None])[0],
             )
             from .obs import Tracer
 
@@ -966,7 +1001,7 @@ def _format_metrics_table(snapshot: dict) -> str:
 
 def _cmd_metrics(args: argparse.Namespace) -> int:
     from .errors import ReproError
-    from .serve.http_client import SegmentClient
+    from .serve import SegmentClient
 
     try:
         host, port = _parse_http_address(args.address, flag="metrics address")

@@ -25,9 +25,11 @@ from ..errors import ParameterError, ShapeError
 from .classifier import IQFTClassifier
 from .lut import (
     MAX_CACHED_PALETTE_COLORS,
+    apply_lut,
     lut_eligible,
     pack_rgb_codes,
     rgb_palette_label_lut,
+    unique_codes,
     unpack_rgb_codes,
 )
 from .phase_encoding import DEFAULT_THETA, normalize_pixels, pixel_phases
@@ -149,7 +151,10 @@ class IQFTSegmenter(BaseSegmenter):
         return labels.reshape(height, width)
 
     def labels_from_lut(
-        self, image: np.ndarray, extras: Optional[Dict[str, Any]] = None
+        self,
+        image: np.ndarray,
+        extras: Optional[Dict[str, Any]] = None,
+        backend: Optional[Any] = None,
     ) -> Optional[np.ndarray]:
         """Palette-LUT fast path: exact labels via per-colour lookup, or ``None``.
 
@@ -158,7 +163,11 @@ class IQFTSegmenter(BaseSegmenter):
         (its palette) instead of one per pixel.  Colours are deduplicated on
         packed 24-bit codes, classified through the exact
         phase-encoding + matmul path, and scattered back — bit-identical to
-        :meth:`segment` by construction.  Non-integer or out-of-range input
+        :meth:`segment` by construction, on every backend: dedup and the
+        final per-pixel gather are integer kernels under the bit-exact
+        contract, so an :class:`~repro.backend.base.ArrayBackend` offloads
+        the memory-bound halves while the per-*colour* classification stays
+        on the exact reference path.  Non-integer or out-of-range input
         returns ``None`` (callers fall back to the matrix path), as does
         ``store_probabilities`` mode: the fast path computes no per-pixel
         probability maps, so it must not swallow that contract.  Diagnostics
@@ -172,7 +181,7 @@ class IQFTSegmenter(BaseSegmenter):
         if not lut_eligible(arr, normalize=self.normalize):
             return None
         codes = pack_rgb_codes(arr)
-        palette, inverse = np.unique(codes, return_inverse=True)
+        palette, inverse = unique_codes(codes, backend=backend)
         cacheable = palette.size <= MAX_CACHED_PALETTE_COLORS
         if cacheable:
             # Cross-image cache: identical palettes (synthetic scenes, video
@@ -200,7 +209,8 @@ class IQFTSegmenter(BaseSegmenter):
         self._last_extras = info
         if extras is not None:
             extras.update(info)
-        return palette_labels[np.asarray(inverse).reshape(-1)].reshape(arr.shape[:2])
+        scattered = apply_lut(palette_labels, np.asarray(inverse).reshape(-1), backend=backend)
+        return scattered.reshape(arr.shape[:2])
 
     def _extras(self) -> Dict[str, Any]:
         return dict(self._last_extras)

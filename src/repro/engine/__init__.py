@@ -11,8 +11,15 @@ a throughput-oriented service layer:
 
 ``repro-segment batch`` is the CLI front end; ``SegmentationPipeline.run_many``
 delegates to the engine, so existing batch callers transparently benefit.
+
+This module is also the engine's **public surface toward the serving layer**:
+everything serve-side code needs from the compute core — the engine itself,
+the pipeline result type, label post-processing — is re-exported here, so
+``repro.serve`` never has to reach into ``repro.core`` internals (a layering
+rule CI enforces with ``tools/check_layering.py``).
 """
 
+from ..core.labels import binarize_largest_background
 from ..core.lut import (
     DEFAULT_NUM_LEVELS,
     clear_lut_cache,
@@ -24,6 +31,7 @@ from ..core.lut import (
     rgb_palette_label_lut,
     unpack_rgb_codes,
 )
+from ..core.pipeline import PipelineResult, SegmentationPipeline
 from .engine import (
     DEFAULT_AUTO_TILE_PIXELS,
     DEFAULT_STREAM_WINDOW,
@@ -33,6 +41,9 @@ from .engine import (
 
 __all__ = [
     "BatchSegmentationEngine",
+    "PipelineResult",
+    "SegmentationPipeline",
+    "binarize_largest_background",
     "DEFAULT_TILE_SHAPE",
     "DEFAULT_AUTO_TILE_PIXELS",
     "DEFAULT_STREAM_WINDOW",

@@ -23,12 +23,15 @@ here, so every existing caller of the batch API gets the fast paths for free.
 from __future__ import annotations
 
 import functools
+import inspect
 import itertools
 import time
-from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
 import numpy as np
 
+from ..backend.base import ArrayBackend
+from ..backend.registry import resolve_backend
 from ..base import BaseSegmenter, SegmentationResult
 from ..core.pipeline import PipelineResult, SegmentationPipeline
 from ..errors import ParameterError
@@ -54,8 +57,20 @@ DEFAULT_STREAM_WINDOW = 32
 
 _TILING_MODES = ("auto", "always", "never")
 
+_FLOAT_COMPUTE_MODES = ("exact", "backend")
+
 #: Sentinel distinguishing "companion iterator exhausted" from a None item.
 _EXHAUSTED = object()
+
+
+@functools.lru_cache(maxsize=None)
+def _hook_accepts_backend(func) -> bool:
+    # Cached on the underlying function object (stable per class), so the
+    # signature walk happens once per segmenter type, not once per image.
+    try:
+        return "backend" in inspect.signature(func).parameters
+    except (TypeError, ValueError):  # pragma: no cover - exotic callables
+        return False
 
 
 def _segment_tile(segmenter: BaseSegmenter, block: np.ndarray) -> np.ndarray:
@@ -102,6 +117,20 @@ class BatchSegmentationEngine:
         A :class:`~repro.parallel.executor.BaseExecutor` used both for tiles
         within an image and for images within :meth:`map`.  Defaults to the
         serial executor (deterministic, no processes).
+    backend:
+        The :class:`~repro.backend.base.ArrayBackend` running the engine's
+        array kernels — a backend instance, a registered name (``"numpy"``,
+        ``"torch"``, ``"cupy"``), or ``None`` for the process default (the
+        ``REPRO_BACKEND`` environment variable, falling back to ``"numpy"``).
+        Integer kernels (LUT gather, palette dedup) are bit-exact on every
+        backend, so switching backends never changes labels.
+    float_compute:
+        ``"exact"`` (default) keeps the float classifier kernel on the
+        bit-exact NumPy reference regardless of ``backend`` — accelerators
+        then serve only the memory-bound integer fast paths.  ``"backend"``
+        routes the float kernel through ``backend`` too, trading bit-exact
+        reproducibility for device throughput within the backend's documented
+        ``float_rtol``/``float_atol``.
     """
 
     def __init__(
@@ -114,6 +143,8 @@ class BatchSegmentationEngine:
         tile_shape: Tuple[int, int] = DEFAULT_TILE_SHAPE,
         auto_tile_pixels: int = DEFAULT_AUTO_TILE_PIXELS,
         executor: Optional[BaseExecutor] = None,
+        backend: Optional[Union[str, ArrayBackend]] = None,
+        float_compute: str = "exact",
     ):
         self.pipeline = SegmentationPipeline(
             segmenter, to_grayscale=to_grayscale, target_shape=target_shape
@@ -127,11 +158,33 @@ class BatchSegmentationEngine:
             raise ParameterError("auto_tile_pixels must be positive")
         if executor is not None and not isinstance(executor, BaseExecutor):
             raise ParameterError("executor must be a BaseExecutor instance")
+        if float_compute not in _FLOAT_COMPUTE_MODES:
+            raise ParameterError(
+                f"float_compute must be one of {_FLOAT_COMPUTE_MODES}, got {float_compute!r}"
+            )
         self.use_lut = bool(use_lut)
         self.tiling = tiling
         self.tile_shape = (th, tw)
         self.auto_tile_pixels = int(auto_tile_pixels)
         self.executor = executor if executor is not None else SerialExecutor()
+        self.backend = resolve_backend(backend)
+        self.float_compute = float_compute
+        if float_compute == "backend":
+            self._wire_float_backend(self.pipeline.segmenter, self.backend)
+
+    @staticmethod
+    def _wire_float_backend(segmenter: BaseSegmenter, backend: ArrayBackend) -> None:
+        # Explicit opt-in only: the classifier refuses ambient backend
+        # selection, so "backend" float mode is wired here, at the one place
+        # the trade-off (throughput vs bit-exactness) is a named parameter.
+        classifier = getattr(segmenter, "_classifier", None)
+        use = getattr(classifier, "use_backend", None)
+        if use is None:
+            raise ParameterError(
+                f"float_compute='backend' requires a segmenter with a backend-aware "
+                f"classifier; {type(segmenter).__name__} has none"
+            )
+        use(backend)
 
     @classmethod
     def from_pipeline(
@@ -142,6 +195,8 @@ class BatchSegmentationEngine:
         tile_shape: Tuple[int, int] = DEFAULT_TILE_SHAPE,
         auto_tile_pixels: int = DEFAULT_AUTO_TILE_PIXELS,
         executor: Optional[BaseExecutor] = None,
+        backend: Optional[Union[str, ArrayBackend]] = None,
+        float_compute: str = "exact",
     ) -> "BatchSegmentationEngine":
         """Wrap an existing pipeline (shared preprocessing and scoring)."""
         if not isinstance(pipeline, SegmentationPipeline):
@@ -153,6 +208,8 @@ class BatchSegmentationEngine:
             tile_shape=tile_shape,
             auto_tile_pixels=auto_tile_pixels,
             executor=executor,
+            backend=backend,
+            float_compute=float_compute,
         )
         engine.pipeline = pipeline
         return engine
@@ -162,6 +219,20 @@ class BatchSegmentationEngine:
     def segmenter(self) -> BaseSegmenter:
         """The wrapped segmentation method."""
         return self.pipeline.segmenter
+
+    @property
+    def backend_invariant(self) -> bool:
+        """True when every result this engine produces is backend-independent.
+
+        Integer fast paths are bit-exact on every backend by contract, so the
+        engine's outputs depend on the backend only when the *float* kernel
+        was explicitly routed there (``float_compute="backend"``) on a backend
+        that does not guarantee bit-exact floats.  Cache keying relies on
+        this: invariant engines share warm cache entries across backends (and
+        across a mixed-backend fleet), so switching backends never cold-starts
+        the cache.
+        """
+        return self.float_compute == "exact" or self.backend.bit_exact_float
 
     def describe(self) -> Dict[str, Any]:
         """A JSON-friendly description of the engine configuration."""
@@ -173,6 +244,8 @@ class BatchSegmentationEngine:
                 "tile_shape": list(self.tile_shape),
                 "auto_tile_pixels": self.auto_tile_pixels,
                 "executor": self.executor.name,
+                "backend": self.backend.name,
+                "float_compute": self.float_compute,
             }
         )
         return info
@@ -192,7 +265,11 @@ class BatchSegmentationEngine:
             return False
         if self.tiling == "always":
             return True
-        return height * width >= self.auto_tile_pixels
+        # Backends that keep whole images resident (device memory, fused
+        # kernels) publish a cost hint raising the auto-tiling bar: splitting
+        # work the device would swallow in one launch only adds overhead.
+        scale = float(self.backend.cost_hints().get("tile_pixels_scale", 1.0))
+        return height * width >= self.auto_tile_pixels * max(scale, 1.0)
 
     def segment(self, image: np.ndarray) -> SegmentationResult:
         """Segment one image through the cheapest exact strategy.
@@ -215,9 +292,14 @@ class BatchSegmentationEngine:
             if hook is not None:
                 # The hook fills a caller-owned extras dict so concurrent
                 # map() workers sharing one segmenter never race on its
-                # internal _last_extras state.
+                # internal _last_extras state.  Backend-aware hooks get the
+                # engine's backend (integer kernels, bit-exact everywhere);
+                # older hooks without the keyword still work unchanged.
                 extras_out: Dict[str, Any] = {}
-                labels = hook(prepared, extras=extras_out)
+                if _hook_accepts_backend(getattr(hook, "__func__", hook)):
+                    labels = hook(prepared, extras=extras_out, backend=self.backend)
+                else:
+                    labels = hook(prepared, extras=extras_out)
                 if labels is not None:
                     extras = extras_out
                     fast_path = str(extras.get("fast_path", "lut"))
@@ -240,6 +322,7 @@ class BatchSegmentationEngine:
         elapsed = time.perf_counter() - start
         labels = np.asarray(labels).astype(np.int64, copy=False)
         extras["fast_path"] = fast_path
+        extras["backend"] = self.backend.name
         # Per-stage timing for trace spans: runtime_seconds stays label time
         # only (its historical meaning), prepare cost is reported separately.
         extras["prepare_seconds"] = prepare_seconds
@@ -356,5 +439,5 @@ class BatchSegmentationEngine:
         return (
             f"BatchSegmentationEngine(segmenter={self.segmenter.name!r}, "
             f"use_lut={self.use_lut}, tiling={self.tiling!r}, "
-            f"executor={self.executor.name!r})"
+            f"executor={self.executor.name!r}, backend={self.backend.name!r})"
         )

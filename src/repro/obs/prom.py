@@ -221,6 +221,19 @@ def render_prometheus(
             [({**base, "trace_id": str(exemplar["trace_id"])}, _num(exemplar, "seconds"))],
         )
 
+    # Active array backend(s): one info-style sample per backend serving
+    # traffic — a single service reports one, a mixed fleet several.
+    backends = metrics.get("backends")
+    if not isinstance(backends, (list, tuple)):
+        backends = [metrics.get("backend")] if metrics.get("backend") else []
+    if backends:
+        out.family(
+            "backend_info",
+            "gauge",
+            "Array backends actively serving (1 per active backend).",
+            [({**base, "backend": str(name)}, 1) for name in backends],
+        )
+
     cache = metrics.get("cache")
     if isinstance(cache, Mapping):
         _render_cache(out, base, cache)

@@ -16,10 +16,10 @@ for request/response traffic:
   (:class:`~repro.errors.DeadlineExceededError`) and graceful ``aclose()``.
 * :class:`HttpSegmentationServer` — the stdlib-only asyncio HTTP/1.1 front
   end over the async service (``POST /v1/segment``, ``GET /v1/metrics``,
-  draining-aware ``GET /healthz``) with every serve error mapped to a
-  precise status code, plus :class:`SegmentClient`, the blocking reference
-  client that raises those errors back as the library's own exceptions.
-  CLI: ``repro-segment serve --http HOST:PORT``.
+  ``GET /v1/capabilities``, draining-aware ``GET /healthz``) with every
+  serve error mapped to a precise status code, plus :class:`SegmentClient`,
+  the blocking reference client that raises those errors back as the
+  library's own exceptions.  CLI: ``repro-segment serve --http HOST:PORT``.
 * :class:`DiskResultCache` — a persistent, crash-safe, size-bounded on-disk
   cache tier (atomic writes, mtime-LRU eviction, multi-process safe) that
   stacks under the in-memory cache as :class:`TieredResultCache`, so warm
@@ -35,15 +35,21 @@ for request/response traffic:
   (kernel load balancing; single shared listener as the fallback), all
   sharing one disk-cache directory as their L2.  Staggered startup,
   heartbeat liveness, crash-restart with exponential backoff, fleet-wide
-  SIGTERM drain, and merged metrics/health across the workers.  Workers can
-  run the adaptive control loop (:class:`AdaptiveController`): batch size
-  and lane weights re-derived each tick from live telemetry, within bounds.
-  CLI: ``repro-segment serve --http HOST:PORT --workers N``.
-* :mod:`repro.serve.spool` — the job sources behind ``repro-segment serve``:
-  a watched spool directory or JSONL job lines (with optional per-job
-  priority and deadline), emitting a ``repro-serve-report/v1`` summary.
+  SIGTERM drain, and merged metrics/health across the workers.  Fleets may
+  mix array backends per worker (``backends=["torch", "numpy"]``) — integer
+  fast paths are bit-exact on every backend, so the mixed fleet serves
+  identical answers from one shared cache.  Workers can run the adaptive
+  control loop (:class:`AdaptiveController`): batch size and lane weights
+  re-derived each tick from live telemetry, within bounds.
+  CLI: ``repro-segment serve --http HOST:PORT --workers N [--backend ...]``.
+* the spool job sources behind ``repro-segment serve``: a watched spool
+  directory or JSONL job lines (with optional per-job priority and
+  deadline), emitting a ``repro-serve-report/v1`` summary.
 
-The streaming counterpart on the engine itself is
+This module is the serving layer's **only stable import surface**: every
+public name is re-exported here (lazily, via PEP 562, so ``import
+repro.serve`` stays cheap) and the ``repro.serve.<submodule>`` deep paths
+are deprecated shims.  The streaming counterpart on the engine itself is
 :meth:`repro.engine.BatchSegmentationEngine.map_stream`, which flows an
 arbitrarily large dataset through a bounded in-flight window.
 
@@ -61,60 +67,83 @@ Quick start
 True
 """
 
-from .aio import AsyncSegmentationService, Priority, TokenBucket
-from .batcher import AdaptiveConfig, AdaptiveController, MicroBatcher
-from .fleet import ServeFleet, WorkerSpec, merge_worker_metrics
-from .http import HttpSegmentationServer, status_for_exception
-from .http_client import HttpSegmentResult, SegmentClient
-from .cache import (
-    CacheStats,
-    ResultCache,
-    TieredCacheStats,
-    TieredResultCache,
-    config_digest,
-    image_digest,
-)
-from .diskcache import DiskCacheStats, DiskResultCache
-from .service import SegmentationService
-from .shmcache import SharedMemoryResultCache, ShmCacheStats
-from .spool import (
-    Job,
-    build_report,
-    iter_jsonl_jobs,
-    iter_spool_jobs,
-    run_jobs,
-    run_jobs_async,
-)
+from importlib import import_module
+from typing import TYPE_CHECKING
 
-__all__ = [
-    "SegmentationService",
-    "AsyncSegmentationService",
-    "HttpSegmentationServer",
-    "SegmentClient",
-    "HttpSegmentResult",
-    "status_for_exception",
-    "Priority",
-    "TokenBucket",
-    "MicroBatcher",
-    "AdaptiveConfig",
-    "AdaptiveController",
-    "ServeFleet",
-    "WorkerSpec",
-    "merge_worker_metrics",
-    "ResultCache",
-    "CacheStats",
-    "TieredResultCache",
-    "TieredCacheStats",
-    "DiskResultCache",
-    "DiskCacheStats",
-    "SharedMemoryResultCache",
-    "ShmCacheStats",
-    "image_digest",
-    "config_digest",
-    "Job",
-    "iter_spool_jobs",
-    "iter_jsonl_jobs",
-    "run_jobs",
-    "run_jobs_async",
-    "build_report",
-]
+#: Public name → private implementation module.  Names resolve on first
+#: attribute access (PEP 562), so importing :mod:`repro.serve` does not pay
+#: for asyncio, multiprocessing, or the HTTP stack until they are used.
+_EXPORTS = {
+    "SegmentationService": "_service",
+    "AsyncSegmentationService": "_aio",
+    "Priority": "_aio",
+    "TokenBucket": "_aio",
+    "MicroBatcher": "_batcher",
+    "AdaptiveConfig": "_batcher",
+    "AdaptiveController": "_batcher",
+    "ServeFleet": "_fleet",
+    "WorkerSpec": "_fleet",
+    "merge_worker_metrics": "_fleet",
+    "HttpSegmentationServer": "_http",
+    "status_for_exception": "_http",
+    "SegmentClient": "_http_client",
+    "HttpSegmentResult": "_http_client",
+    "ResultCache": "_cache",
+    "CacheStats": "_cache",
+    "TieredResultCache": "_cache",
+    "TieredCacheStats": "_cache",
+    "image_digest": "_cache",
+    "config_digest": "_cache",
+    "DiskResultCache": "_diskcache",
+    "DiskCacheStats": "_diskcache",
+    "SharedMemoryResultCache": "_shmcache",
+    "ShmCacheStats": "_shmcache",
+    "Job": "_spool",
+    "iter_spool_jobs": "_spool",
+    "iter_jsonl_jobs": "_spool",
+    "run_jobs": "_spool",
+    "run_jobs_async": "_spool",
+    "build_report": "_spool",
+}
+
+__all__ = list(_EXPORTS)
+
+
+def __getattr__(name: str):
+    module = _EXPORTS.get(name)
+    if module is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    value = getattr(import_module(f".{module}", __name__), name)
+    globals()[name] = value  # cache: next access skips this hook
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))
+
+
+if TYPE_CHECKING:  # pragma: no cover - static analysis only
+    from ._aio import AsyncSegmentationService, Priority, TokenBucket
+    from ._batcher import AdaptiveConfig, AdaptiveController, MicroBatcher
+    from ._cache import (
+        CacheStats,
+        ResultCache,
+        TieredCacheStats,
+        TieredResultCache,
+        config_digest,
+        image_digest,
+    )
+    from ._diskcache import DiskCacheStats, DiskResultCache
+    from ._fleet import ServeFleet, WorkerSpec, merge_worker_metrics
+    from ._http import HttpSegmentationServer, status_for_exception
+    from ._http_client import HttpSegmentResult, SegmentClient
+    from ._service import SegmentationService
+    from ._shmcache import SharedMemoryResultCache, ShmCacheStats
+    from ._spool import (
+        Job,
+        build_report,
+        iter_jsonl_jobs,
+        iter_spool_jobs,
+        run_jobs,
+        run_jobs_async,
+    )

@@ -34,7 +34,7 @@ class FakeClock:
 #: Wall-clock time is only legitimate where values are compared against file
 #: mtimes, which the OS stamps with the wall clock (the disk cache's LRU and
 #: lock staleness).  Everything else in the serve package must be monotonic.
-_WALL_CLOCK_EXEMPT = {"diskcache.py"}
+_WALL_CLOCK_EXEMPT = {"diskcache.py", "_diskcache.py"}
 
 
 def test_no_wall_clock_in_serve_request_paths():
