@@ -43,7 +43,7 @@ class CupyBackend(ArrayBackend):  # pragma: no cover - requires a CUDA host
             return False
         try:
             return int(cupy.cuda.runtime.getDeviceCount()) > 0
-        except Exception:  # noqa: BLE001 - any CUDA probe failure means "no device"
+        except Exception:  # reprolint: disable=RL004 availability probe: any failure means "no device"
             return False
 
     def describe(self) -> Dict[str, Any]:

@@ -368,7 +368,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
                 if os.path.exists(mask_path):
                     ground_truth = _load_binary_mask(mask_path)
             loaded.append((name, image, ground_truth))
-        except Exception as exc:  # noqa: BLE001 - batch isolation
+        except Exception as exc:  # reprolint: disable=RL004 surfaces as the image's report entry
             load_errors[name] = exc
 
     results = engine.map(

@@ -84,7 +84,7 @@ def _run_item(engine: "BatchSegmentationEngine", return_errors: bool, item):
         return engine.run(image, ground_truth, void_mask)
     try:
         return engine.run(image, ground_truth, void_mask)
-    except Exception as exc:  # noqa: BLE001 - batch isolation is the point
+    except Exception as exc:  # reprolint: disable=RL004 returned to the map(return_errors) caller
         return exc
 
 

@@ -100,7 +100,7 @@ class DynamicScheduler:
                     value = func(work.payload)
                     with lock:
                         results[work.index] = value
-                except BaseException as exc:  # noqa: BLE001 - re-raised below
+                except BaseException as exc:  # reprolint: disable=RL004 re-raised after the join
                     with lock:
                         errors.append(exc)
                 finally:

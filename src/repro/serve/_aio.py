@@ -895,7 +895,7 @@ class AsyncSegmentationService:
                         cache_hit,
                         coalesced,
                     )
-                except Exception as exc:  # noqa: BLE001 - scoring stays per-request
+                except Exception as exc:  # reprolint: disable=RL004 set on the request future below
                     outcomes.append((request, exc, cache_hit, coalesced, binary))
                     continue
                 if trace is not None:

@@ -709,6 +709,7 @@ class ServeFleet:
         self._restart_at: Dict[int, float] = {}
         self._restarts = 0
         self._scrape_failures = 0
+        self._monitor_errors = 0
         self._placeholder: Optional[socket.socket] = None
         self._listen_sock: Optional[socket.socket] = None
         self._monitor: Optional[threading.Thread] = None
@@ -859,11 +860,15 @@ class ServeFleet:
         while not self._stopping:
             try:
                 self._monitor_tick()
-            except Exception:  # noqa: BLE001 - supervision must never die
+            except Exception as exc:  # noqa: BLE001 - supervision must never die
                 # A transient failure (fd pressure during a respawn, a pipe
                 # racing closed) must not kill the monitor thread — losing it
                 # would silently disable crash-restart for the fleet's whole
-                # life.  Back off briefly and keep supervising.
+                # life.  Log it, count it, back off briefly, keep supervising.
+                self._monitor_errors += 1
+                get_logger().warning(
+                    "fleet.monitor_error", error=type(exc).__name__, detail=str(exc)
+                )
                 time.sleep(0.5)
 
     def _monitor_tick(self) -> None:
@@ -1111,6 +1116,7 @@ class ServeFleet:
             "ready": ready,
             "restarts": self._restarts,
             "scrape_failures": self._scrape_failures,
+            "monitor_errors": self._monitor_errors,
             "reuse_port": self.reuse_port,
             "host": self.host,
             "port": self.port,

@@ -247,6 +247,7 @@ class HttpSegmentationServer:
         self._requests = 0
         self._responses: Dict[int, int] = {}
         self._client_disconnects = 0
+        self._request_errors = 0
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -347,6 +348,7 @@ class HttpSegmentationServer:
             "open_connections": len(self._conn_tasks),
             "inflight": self._inflight,
             "client_disconnects": self._client_disconnects,
+            "request_errors": self._request_errors,
             "draining": self.draining,
         }
 
@@ -397,6 +399,15 @@ class HttpSegmentationServer:
                     except asyncio.CancelledError:
                         raise
                     except Exception as exc:  # noqa: BLE001 - a 500 beats a dropped conn
+                        # Unexpected dispatch failures must be visible to the
+                        # operator, not only to the client that got the 500.
+                        self._request_errors += 1
+                        get_logger().warning(
+                            "http.dispatch_error",
+                            path=request.path,
+                            error=type(exc).__name__,
+                            detail=str(exc),
+                        )
                         status, extra = status_for_exception(exc)
                         status, headers, body = self._json_response(
                             status, {"error": type(exc).__name__, "detail": str(exc)}
@@ -610,6 +621,7 @@ class HttpSegmentationServer:
                 if trace is not None:
                     trace.add("service.submit", submit_start, trace.clock())
             except Exception as exc:  # noqa: BLE001 - mapped to a status, never fatal
+                self._request_errors += 1
                 status, extra = status_for_exception(exc)
                 expected = isinstance(exc, (ServeError, ReproError, ValueError))
                 detail = str(exc) if expected else repr(exc)

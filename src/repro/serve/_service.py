@@ -125,7 +125,7 @@ def _segment_image(engine: BatchSegmentationEngine, image: np.ndarray):
     # are returned, not raised, to keep per-image isolation inside a batch.
     try:
         return engine.segment(image)
-    except Exception as exc:  # noqa: BLE001 - per-request isolation is the point
+    except Exception as exc:  # reprolint: disable=RL004 returned and set on the request future
         return exc
 
 

@@ -186,6 +186,13 @@ def _job_entry(job: Job, outcome: Any) -> Dict[str, Any]:
     return entry
 
 
+def _write_entry_file(path: str, entry: Dict[str, Any]) -> None:
+    """Write one per-job result file (sync: async callers run it off-loop)."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(entry, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
 def run_jobs(
     service: SegmentationService,
     jobs: Iterable[Job],
@@ -214,14 +221,12 @@ def run_jobs(
     def _finish(job: Job, future) -> None:
         try:
             outcome = future.result()
-        except Exception as exc:  # noqa: BLE001 - per-job isolation
+        except Exception as exc:  # reprolint: disable=RL004 error becomes the job's report entry
             outcome = exc
         entry = _job_entry(job, outcome)
         if out_dir is not None and "error" not in entry:
             path = os.path.join(out_dir, f"{job.output_name}.json")
-            with open(path, "w", encoding="utf-8") as fh:
-                json.dump(entry, fh, indent=2, sort_keys=True)
-                fh.write("\n")
+            _write_entry_file(path, entry)
             entry["result_file"] = path
         entries.append(entry)
 
@@ -231,7 +236,7 @@ def run_jobs(
             continue
         try:
             image = np.asarray(read_image(job.path))
-        except Exception as exc:  # noqa: BLE001 - per-job isolation
+        except Exception as exc:  # reprolint: disable=RL004 error becomes the job's report entry
             entries.append(_job_entry(job, exc))
             continue
         pending.append((job, service.submit(image)))
@@ -273,15 +278,14 @@ async def run_jobs_async(
     async def _finish(job: Job, task) -> None:
         try:
             outcome = await task
-        except Exception as exc:  # noqa: BLE001 - per-job isolation
+        except Exception as exc:  # reprolint: disable=RL004 error becomes the job's report entry
             outcome = exc
         entry = _job_entry(job, outcome)
         entry["priority"] = job.priority
         if out_dir is not None and "error" not in entry:
             path = os.path.join(out_dir, f"{job.output_name}.json")
-            with open(path, "w", encoding="utf-8") as fh:
-                json.dump(entry, fh, indent=2, sort_keys=True)
-                fh.write("\n")
+            # Off-loop: report writes must not stall concurrently awaited jobs.
+            await loop.run_in_executor(None, _write_entry_file, path, entry)
             entry["result_file"] = path
         entries.append(entry)
 
@@ -300,7 +304,7 @@ async def run_jobs_async(
             continue
         try:
             image = np.asarray(await loop.run_in_executor(None, read_image, job.path))
-        except Exception as exc:  # noqa: BLE001 - per-job isolation
+        except Exception as exc:  # reprolint: disable=RL004 error becomes the job's report entry
             entry = _job_entry(job, exc)
             entry["priority"] = job.priority
             entries.append(entry)

@@ -8,13 +8,13 @@ percentiles.  These tests pin that down with injected fake clocks and a
 source audit.
 """
 
+import sys
 import threading
 import time
 from pathlib import Path
 
 import pytest
 
-import repro.serve
 from repro.serve import MicroBatcher, ResultCache
 
 
@@ -31,21 +31,24 @@ class FakeClock:
         self.now += seconds
 
 
-#: Wall-clock time is only legitimate where values are compared against file
-#: mtimes, which the OS stamps with the wall clock (the disk cache's LRU and
-#: lock staleness).  Everything else in the serve package must be monotonic.
-_WALL_CLOCK_EXEMPT = {"diskcache.py", "_diskcache.py"}
+def test_no_wall_clock_on_the_serve_path():
+    """Reprolint rule RL002 is the single source of truth for this invariant.
 
+    The old textual ``time.time()`` audit lived here; it is now an AST rule
+    (which also catches naive ``datetime.now()``/``utcnow()`` and covers
+    ``repro.obs`` + the latency recorder) with the disk-cache modules
+    allowlisted because they legitimately compare against file mtimes.
+    """
+    repo_root = Path(__file__).resolve().parent.parent
+    sys.path.insert(0, str(repo_root))
+    try:
+        from tools.reprolint.engine import analyze_paths
+    finally:
+        sys.path.pop(0)
 
-def test_no_wall_clock_in_serve_request_paths():
-    serve_dir = Path(repro.serve.__file__).parent
-    offenders = []
-    for path in sorted(serve_dir.glob("*.py")):
-        if path.name in _WALL_CLOCK_EXEMPT:
-            continue
-        if "time.time()" in path.read_text(encoding="utf-8"):
-            offenders.append(path.name)
-    assert not offenders, f"wall-clock time.time() found in serve modules: {offenders}"
+    findings = analyze_paths(repo_root, rule_ids=["RL002"])
+    rendered = [f.render() for f in findings]
+    assert not rendered, "wall-clock reads on the serve path:\n" + "\n".join(rendered)
 
 
 def test_batcher_deadline_flush_follows_the_injected_clock():

@@ -1,28 +1,16 @@
 #!/usr/bin/env python
-"""Layering check: the serving layer must not reach into compute internals.
-
-The architecture is a strict stack (see README's "Architecture" section)::
-
-    repro.backend  ->  repro.engine  ->  repro.serve  ->  fleet / CLI
+"""Layering check — thin shim over reprolint rule RL001.
 
 The serving layer talks to the compute core exclusively through the
-:mod:`repro.engine` package surface — never ``repro.core.*`` directly and
-never an engine *submodule* (``repro.engine.engine``, ...).  This keeps the
-engine free to reorganise its internals without breaking the serving stack,
-and it is what makes the public-surface promise in ``repro/__init__.py``
-enforceable rather than aspirational.
+:mod:`repro.engine` package surface — never ``repro.core.*`` and never an
+engine submodule.  The detection logic lives in
+:mod:`tools.reprolint.rules.layering` (rule **RL001**) together with the
+rest of the repo's machine-checked invariants; this script survives only so
+existing invocations (CI snippets, muscle memory) keep working.
 
-This script walks every module under ``src/repro/serve/`` with ``ast`` and
-fails (exit 1) on:
+Prefer::
 
-* any import of ``repro.core`` or its submodules, and
-* any import of a ``repro.engine`` *submodule* (importing names from the
-  ``repro.engine`` package itself is the sanctioned route).
-
-Relative imports are resolved against the package layout, so ``from
-..engine import X`` (allowed) and ``from ..core.lut import Y`` (forbidden)
-are both seen.  CI runs this from the lint job; ``tests/test_layering.py``
-runs it in the tier-1 suite so a violation fails locally too.
+    python -m tools.reprolint --rules RL001
 
 Usage::
 
@@ -32,88 +20,22 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import ast
 import sys
 from pathlib import Path
-from typing import Iterator, List, Tuple
+from typing import List
 
-#: Module prefixes the serve layer must not import (exact module or any
-#: submodule).  ``repro.engine`` itself is NOT listed: the package surface
-#: is the sanctioned route; only its submodules are internal.
-FORBIDDEN_PREFIXES = ("repro.core",)
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(_REPO_ROOT) not in sys.path:
+    sys.path.insert(0, str(_REPO_ROOT))
 
-#: Packages whose *submodules* are internal even though the package surface
-#: is public: ``from repro.engine import X`` is fine, ``from
-#: repro.engine.engine import X`` is not.
-SURFACE_ONLY_PACKAGES = ("repro.engine",)
-
-
-def _module_name(path: Path, src_root: Path) -> str:
-    rel = path.relative_to(src_root).with_suffix("")
-    parts = list(rel.parts)
-    if parts[-1] == "__init__":
-        parts = parts[:-1]
-    return ".".join(parts)
-
-
-def _resolve_relative(module: str, level: int, importing_module: str) -> str:
-    """Absolute dotted name for a ``from ...module import`` statement."""
-    package_parts = importing_module.split(".")[:-1]  # containing package
-    if level > 1:
-        package_parts = package_parts[: len(package_parts) - (level - 1)]
-    base = ".".join(package_parts)
-    if module:
-        return f"{base}.{module}" if base else module
-    return base
-
-
-def _imported_modules(tree: ast.AST, importing_module: str) -> Iterator[Tuple[int, str]]:
-    for node in ast.walk(tree):
-        if isinstance(node, ast.Import):
-            for alias in node.names:
-                yield node.lineno, alias.name
-        elif isinstance(node, ast.ImportFrom):
-            if node.level:
-                yield node.lineno, _resolve_relative(
-                    node.module or "", node.level, importing_module
-                )
-            elif node.module:
-                yield node.lineno, node.module
-
-
-def _violations_in(path: Path, src_root: Path) -> List[str]:
-    importing_module = _module_name(path, src_root)
-    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
-    out = []
-    for lineno, target in _imported_modules(tree, importing_module):
-        for prefix in FORBIDDEN_PREFIXES:
-            if target == prefix or target.startswith(prefix + "."):
-                out.append(
-                    f"{path}:{lineno}: imports {target!r} — the serve layer must go "
-                    f"through the repro.engine surface, never repro.core"
-                )
-        for package in SURFACE_ONLY_PACKAGES:
-            if target.startswith(package + "."):
-                out.append(
-                    f"{path}:{lineno}: imports {target!r} — import from the "
-                    f"{package!r} package surface instead of its submodules"
-                )
-    return out
-
-
-def check_layering(src_root: Path) -> List[str]:
-    serve_dir = src_root / "repro" / "serve"
-    violations: List[str] = []
-    for path in sorted(serve_dir.rglob("*.py")):
-        violations.extend(_violations_in(path, src_root))
-    return violations
+from tools.reprolint.rules.layering import check_layering  # noqa: E402
 
 
 def main(argv: List[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--root",
-        default=str(Path(__file__).resolve().parent.parent / "src"),
+        default=str(_REPO_ROOT / "src"),
         help="source root containing the repro package (default: <repo>/src)",
     )
     args = parser.parse_args(argv)

@@ -1,0 +1,93 @@
+"""Baseline handling: grandfathered findings that may only ever shrink.
+
+The baseline is a committed JSON document (``tools/reprolint/baseline.json``)
+listing findings that predate a rule and are accepted until someone fixes
+them.  Matching is by ``(rule, path, message)`` with an occurrence count —
+line numbers are excluded on purpose, so editing unrelated code above a
+grandfathered finding does not churn the file.
+
+Two invariants keep the baseline honest:
+
+* a finding *not* in the baseline fails the run (new debt is rejected), and
+* a baseline entry whose finding no longer occurs ("stale") also fails the
+  run, forcing the entry's removal — the baseline can only shrink, never
+  silently accumulate dead weight.  ``--write-baseline`` regenerates it.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from .engine import META_RULE_ID, Finding
+
+SCHEMA = "reprolint-baseline/v1"
+
+BaselineKey = Tuple[str, str, str]
+
+
+def load(path: Path) -> Counter:
+    """``(rule, path, message) -> count`` from a baseline document.
+
+    A missing file is an empty baseline — the state before the first
+    ``--write-baseline`` run.
+    """
+    if not path.exists():
+        return Counter()
+    doc = json.loads(path.read_text(encoding="utf-8"))
+    if doc.get("schema") != SCHEMA:
+        raise ValueError(f"{path}: not a {SCHEMA} document (schema={doc.get('schema')!r})")
+    counts: Counter = Counter()
+    for entry in doc.get("findings", []):
+        key = (entry["rule"], entry["path"], entry["message"])
+        counts[key] += int(entry.get("count", 1))
+    return counts
+
+
+def write(path: Path, findings: Sequence[Finding]) -> None:
+    """Write the baseline that would make ``findings`` pass.
+
+    Engine diagnostics (``RL000``) are never baselined: a typoed suppression
+    or an unparseable file must be fixed, not grandfathered.
+    """
+    counts: Counter = Counter(
+        f.baseline_key for f in findings if f.rule != META_RULE_ID
+    )
+    entries = [
+        {"rule": rule, "path": rel, "message": message, "count": count}
+        for (rule, rel, message), count in sorted(counts.items())
+    ]
+    doc = {"schema": SCHEMA, "findings": entries}
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+
+
+def split(
+    findings: Sequence[Finding], baseline: Counter
+) -> Tuple[List[Finding], List[Finding], List[Dict[str, object]]]:
+    """Partition findings into ``(new, baselined)`` plus stale entries.
+
+    The first ``count`` occurrences of a baselined key are grandfathered;
+    any excess is new.  Baseline entries with fewer occurrences than their
+    count are returned as stale descriptors (with the shortfall) so the
+    caller can fail the run until the baseline is shrunk.
+    """
+    used: Counter = Counter()
+    new: List[Finding] = []
+    grandfathered: List[Finding] = []
+    for finding in findings:
+        key = finding.baseline_key
+        if finding.rule != META_RULE_ID and used[key] < baseline.get(key, 0):
+            used[key] += 1
+            grandfathered.append(finding)
+        else:
+            new.append(finding)
+    stale: List[Dict[str, object]] = []
+    for key, count in sorted(baseline.items()):
+        if used[key] < count:
+            rule, rel, message = key
+            stale.append(
+                {"rule": rule, "path": rel, "message": message, "count": count - used[key]}
+            )
+    return new, grandfathered, stale

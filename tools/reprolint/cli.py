@@ -1,0 +1,190 @@
+"""``python -m tools.reprolint`` — run the rules, report, gate.
+
+Exit codes: 0 clean (with the baseline applied), 1 findings or stale
+baseline entries, 2 usage errors.  ``--write-baseline`` regenerates the
+committed grandfather file; ``--no-baseline`` reports everything (the
+nightly job uses it to track grandfathered-debt counts over time).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from collections import Counter
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from . import baseline as baseline_mod
+from . import sarif as sarif_mod
+from .engine import (
+    Finding,
+    all_rules,
+    analyze_paths,
+    default_paths,
+    get_rules,
+    iter_python_files,
+    relpath,
+)
+
+REPORT_SCHEMA = "reprolint-report/v1"
+
+_DEFAULT_BASELINE = Path(__file__).resolve().parent / "baseline.json"
+
+
+def _repo_root() -> Path:
+    return Path(__file__).resolve().parent.parent.parent
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.reprolint",
+        description="repo-native static analysis for the serve stack's contracts",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files/directories to analyze (default: src/ tools/ benchmarks/ under --root)",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        help="repository root findings are reported relative to (default: this repo)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument("--output", type=Path, default=None, help="write the report to a file")
+    parser.add_argument(
+        "--rules",
+        default=None,
+        metavar="RL001,RL002,...",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help=f"baseline file of grandfathered findings (default: {_DEFAULT_BASELINE.name} "
+        f"next to the engine, when it exists)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline: report every finding (nightly debt tracking)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="regenerate the baseline from the current findings and exit 0",
+    )
+    parser.add_argument("--list-rules", action="store_true", help="print the rule table and exit")
+    return parser
+
+
+def _list_rules() -> str:
+    lines = []
+    for rule in all_rules():
+        lines.append(f"{rule.id}  {rule.severity:<7}  {rule.name}")
+        lines.append(f"       {rule.description}")
+    return "\n".join(lines)
+
+
+def _emit(text: str, output: Optional[Path]) -> None:
+    if output is None:
+        print(text)
+    else:
+        output.parent.mkdir(parents=True, exist_ok=True)
+        output.write_text(text + "\n", encoding="utf-8")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _parser().parse_args(argv)
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+
+    root = (args.root or _repo_root()).resolve()
+    paths = [p if p.is_absolute() else root / p for p in args.paths] or default_paths(root)
+    rule_ids = None
+    if args.rules:
+        rule_ids = [token.strip() for token in args.rules.split(",") if token.strip()]
+
+    started = time.monotonic()
+    try:
+        findings = analyze_paths(root, paths, rule_ids)
+        selected_rules = {rule.id for rule in get_rules(rule_ids)}
+    except KeyError as exc:
+        print(f"reprolint: {exc.args[0]}", file=sys.stderr)
+        return 2
+    elapsed = time.monotonic() - started
+
+    baseline_path = args.baseline or (_DEFAULT_BASELINE if _DEFAULT_BASELINE.exists() else None)
+    if args.write_baseline:
+        target = args.baseline or _DEFAULT_BASELINE
+        baseline_mod.write(target, findings)
+        print(f"reprolint: wrote {len(findings)} finding(s) to {target}")
+        return 0
+
+    baselined: List[Finding] = []
+    stale: List[dict] = []
+    if baseline_path is not None and not args.no_baseline:
+        counts = baseline_mod.load(baseline_path)
+        # Partial runs (a path subset, a rule subset) must not report the
+        # out-of-scope remainder of the baseline as stale — staleness is
+        # only meaningful for entries this run could have re-found.
+        analyzed = {relpath(path, root) for path in iter_python_files(paths)}
+        counts = Counter(
+            {
+                key: count
+                for key, count in counts.items()
+                if key[0] in selected_rules and key[1] in analyzed
+            }
+        )
+        findings, baselined, stale = baseline_mod.split(findings, counts)
+
+    if args.format == "sarif":
+        doc = sarif_mod.render(findings, all_rules(), baselined)
+        _emit(json.dumps(doc, indent=2), args.output)
+    elif args.format == "json":
+        doc = {
+            "schema": REPORT_SCHEMA,
+            "root": str(root),
+            "elapsed_seconds": round(elapsed, 3),
+            "counts": {
+                "new": len(findings),
+                "baselined": len(baselined),
+                "stale_baseline": len(stale),
+                "by_rule": dict(sorted(Counter(f.rule for f in findings).items())),
+            },
+            "findings": [f.to_dict() for f in findings],
+            "baselined": [f.to_dict() for f in baselined],
+            "stale_baseline": stale,
+        }
+        _emit(json.dumps(doc, indent=2), args.output)
+    else:
+        lines = [f.render() for f in findings]
+        for entry in stale:
+            lines.append(
+                f"{entry['path']}: stale baseline entry ({entry['rule']} ×{entry['count']}): "
+                f"{entry['message']} — the finding no longer occurs; shrink the baseline "
+                f"(--write-baseline)"
+            )
+        summary = (
+            f"reprolint: {len(findings)} finding(s), {len(baselined)} baselined, "
+            f"{len(stale)} stale baseline entr{'y' if len(stale) == 1 else 'ies'} "
+            f"({elapsed:.2f}s)"
+        )
+        _emit("\n".join(lines + [summary]) if lines else summary, args.output)
+
+    return 1 if findings or stale else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    raise SystemExit(main())

@@ -1,0 +1,318 @@
+"""The reprolint analysis engine: one AST parse per file, rules fan out.
+
+The engine owns everything rule-independent:
+
+* file discovery over the analysis roots (``src/``, ``tools/``,
+  ``benchmarks/`` by default),
+* one :func:`ast.parse` per file, shared by every rule through a
+  :class:`FileContext`,
+* the rule registry (:func:`register`, :func:`all_rules`),
+* inline ``# reprolint: disable=RULE[,RULE...]`` suppressions, honored only
+  on the exact line a finding points at — an unknown rule id inside a
+  suppression comment is itself a finding (:data:`META_RULE_ID`), so typos
+  cannot silently disable nothing.
+
+Baseline handling (grandfathered findings) lives in :mod:`.baseline`;
+output rendering lives in :mod:`.sarif` and the CLI.  Rules live under
+:mod:`tools.reprolint.rules`, one module per invariant.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+#: Rule id used for engine-level diagnostics (unparseable files, unknown rule
+#: names inside suppression comments).  Not suppressible and never baselined:
+#: these indicate the analysis itself is being subverted, not a code smell.
+META_RULE_ID = "RL000"
+
+_SUPPRESS_RE = re.compile(r"#\s*reprolint:\s*disable=([A-Za-z0-9_,]+)")
+
+_RULE_ID_RE = re.compile(r"^RL\d{3}$")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    severity: str  # "error" | "warning"
+    path: str  # repo-relative POSIX path
+    line: int
+    column: int
+    message: str
+
+    @property
+    def baseline_key(self) -> Tuple[str, str, str]:
+        """Identity used by the baseline: line numbers are deliberately
+        excluded so unrelated edits above a grandfathered finding do not
+        churn the baseline file."""
+        return (self.rule, self.path, self.message)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.column}: {self.rule} [{self.severity}] {self.message}"
+
+
+class FileContext:
+    """Everything a rule needs about one file: parsed once, shared by all."""
+
+    def __init__(self, path: Path, relpath: str, module: str, text: str, tree: ast.Module):
+        self.path = path
+        self.relpath = relpath
+        self.module = module
+        self.text = text
+        self.lines = text.splitlines()
+        self.tree = tree
+
+    @property
+    def filename(self) -> str:
+        return self.path.name
+
+    def finding(
+        self, rule: "Rule", node: ast.AST | int, message: str, column: Optional[int] = None
+    ) -> Finding:
+        if isinstance(node, int):
+            line, col = node, 1 if column is None else column
+        else:
+            line = getattr(node, "lineno", 1)
+            col = (getattr(node, "col_offset", 0) + 1) if column is None else column
+        return Finding(
+            rule=rule.id,
+            severity=rule.severity,
+            path=self.relpath,
+            line=line,
+            column=col,
+            message=message,
+        )
+
+
+class Rule:
+    """Base class for reprolint rules.
+
+    Subclasses set the class attributes and implement :meth:`check`; they are
+    added to the registry with the :func:`register` decorator.  ``applies_to``
+    scopes a rule to the modules whose contract it enforces — the engine still
+    parses every file once, but only fans out the rules that claim it.
+    """
+
+    id: str = ""
+    name: str = ""
+    severity: str = "error"
+    description: str = ""
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return True
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register(cls: type) -> type:
+    """Class decorator: instantiate and add a :class:`Rule` to the registry."""
+    rule = cls()
+    if not _RULE_ID_RE.match(rule.id) or rule.id == META_RULE_ID:
+        raise ValueError(f"invalid rule id {rule.id!r}")
+    if rule.severity not in ("error", "warning"):
+        raise ValueError(f"invalid severity {rule.severity!r} for {rule.id}")
+    if rule.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule.id}")
+    _REGISTRY[rule.id] = rule
+    return cls
+
+
+def all_rules() -> List[Rule]:
+    """Every registered rule, in id order (imports the rule modules)."""
+    from . import rules  # noqa: F401 - importing registers the rules
+
+    return [_REGISTRY[rid] for rid in sorted(_REGISTRY)]
+
+
+def get_rules(ids: Optional[Iterable[str]] = None) -> List[Rule]:
+    rules = all_rules()
+    if ids is None:
+        return rules
+    wanted = list(ids)
+    unknown = sorted(set(wanted) - {r.id for r in rules})
+    if unknown:
+        known = ", ".join(r.id for r in rules)
+        raise KeyError(f"unknown rule id(s) {', '.join(unknown)} (known: {known})")
+    return [r for r in rules if r.id in set(wanted)]
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None (calls, subscripts...)."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def module_name(path: Path, src_root: Path) -> str:
+    """Dotted module name of ``path`` relative to ``src_root``.
+
+    A leading ``src`` component is dropped, so files under ``<root>/src/repro``
+    get their import name (``repro...``) while ``tools/`` and ``benchmarks/``
+    files are named by their path (``tools.reprolint.engine``).
+    """
+    try:
+        rel = path.resolve().relative_to(src_root.resolve())
+    except ValueError:
+        return path.stem
+    parts = list(rel.with_suffix("").parts)
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def iter_python_files(paths: Sequence[Path]) -> List[Path]:
+    files: Set[Path] = set()
+    for path in paths:
+        if path.is_file() and path.suffix == ".py":
+            files.add(path.resolve())
+        elif path.is_dir():
+            for sub in path.rglob("*.py"):
+                if any(part.startswith(".") or part == "__pycache__" for part in sub.parts):
+                    continue
+                files.add(sub.resolve())
+    return sorted(files)
+
+
+def parse_suppressions(ctx: FileContext) -> Tuple[Dict[int, Set[str]], List[Finding]]:
+    """``line -> suppressed rule ids`` plus findings for unknown rule names.
+
+    Suppressions are honored on the flagged line only; the comment may carry
+    a free-form reason after the rule list::
+
+        except Exception:  # reprolint: disable=RL004 degrade-to-miss is the contract
+    """
+    # Fast textual prefilter; only files containing the pattern pay for a
+    # tokenize pass, which is what distinguishes a real comment from the
+    # pattern appearing inside a string/docstring (e.g. this module's docs).
+    if not any(_SUPPRESS_RE.search(line) for line in ctx.lines):
+        return {}, []
+    known = {rule.id for rule in all_rules()}
+    suppressed: Dict[int, Set[str]] = {}
+    meta: List[Finding] = []
+    for lineno, line in _comment_lines(ctx):
+        match = _SUPPRESS_RE.search(line)
+        if not match:
+            continue
+        ids = {token.strip() for token in match.group(1).split(",") if token.strip()}
+        for rule_id in sorted(ids):
+            if rule_id not in known:
+                meta.append(
+                    Finding(
+                        rule=META_RULE_ID,
+                        severity="error",
+                        path=ctx.relpath,
+                        line=lineno,
+                        column=line.index("#") + 1,
+                        message=(
+                            f"suppression names unknown rule {rule_id!r} — it disables "
+                            f"nothing (known rules: {', '.join(sorted(known))})"
+                        ),
+                    )
+                )
+        suppressed.setdefault(lineno, set()).update(ids & known)
+    return suppressed, meta
+
+
+def _comment_lines(ctx: FileContext) -> Iterator[Tuple[int, str]]:
+    """``(line, comment text)`` for every real comment token in the file."""
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(ctx.text).readline)
+        for token in tokens:
+            if token.type == tokenize.COMMENT:
+                yield token.start[0], token.string
+    except tokenize.TokenError:  # pragma: no cover - file already parsed
+        for lineno, line in enumerate(ctx.lines, start=1):
+            yield lineno, line
+
+
+def load_context(path: Path, root: Path) -> Tuple[Optional[FileContext], Optional[Finding]]:
+    rel = relpath(path, root)
+    text = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(text, filename=str(path))
+    except SyntaxError as exc:
+        return None, Finding(
+            rule=META_RULE_ID,
+            severity="error",
+            path=rel,
+            line=exc.lineno or 1,
+            column=exc.offset or 1,
+            message=f"file does not parse: {exc.msg}",
+        )
+    return FileContext(path, rel, module_name(path, root), text, tree), None
+
+
+def relpath(path: Path, root: Path) -> str:
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def default_paths(root: Path) -> List[Path]:
+    """The analysis roots: ``src/``, ``tools/``, ``benchmarks/`` where present."""
+    return [root / name for name in ("src", "tools", "benchmarks") if (root / name).exists()]
+
+
+def analyze_paths(
+    root: Path,
+    paths: Optional[Sequence[Path]] = None,
+    rule_ids: Optional[Iterable[str]] = None,
+) -> List[Finding]:
+    """Run the selected rules over every Python file under ``paths``.
+
+    Returns suppression-filtered findings (including :data:`META_RULE_ID`
+    diagnostics) sorted by location.  ``paths`` defaults to ``src/``,
+    ``tools/`` and ``benchmarks/`` under ``root``.
+    """
+    root = root.resolve()
+    if paths is None:
+        paths = default_paths(root)
+    rules = get_rules(rule_ids)
+    findings: List[Finding] = []
+    for path in iter_python_files(paths):
+        ctx, parse_error = load_context(path, root)
+        if ctx is None:
+            if parse_error is not None:
+                findings.append(parse_error)
+            continue
+        suppressed, meta = parse_suppressions(ctx)
+        findings.extend(meta)
+        for rule in rules:
+            if not rule.applies_to(ctx):
+                continue
+            for finding in rule.check(ctx):
+                if finding.rule in suppressed.get(finding.line, set()):
+                    continue
+                findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.column, f.rule))
+    return findings

@@ -1,0 +1,16 @@
+"""Rule modules — importing this package registers every rule.
+
+One module per invariant; each module documents *why* the contract exists
+(usually a bug the repo already paid for) next to the detection logic.
+"""
+
+from . import (  # noqa: F401 - imported for their registration side effect
+    async_blocking,
+    atomic_publish,
+    clocks,
+    exceptions,
+    layering,
+    locks,
+    serialization,
+    surface,
+)

@@ -1,0 +1,89 @@
+"""RL003 — no blocking calls inside ``async def`` bodies.
+
+The event-loop contract (ROADMAP PR 3: "the event loop never blocks") is
+what keeps HIGH-lane tail latency bounded: one synchronous sleep, file read,
+or subprocess call inside a coroutine stalls *every* in-flight request on
+the loop.  Blocking work belongs in ``loop.run_in_executor`` (passing the
+callable, not calling it) or behind the async equivalents.
+
+Nested *sync* ``def`` bodies inside a coroutine are exempt — they are
+usually exactly the executor thunks the fix calls for.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from ..engine import FileContext, Finding, Rule, dotted_name, register
+
+#: Dotted call names that block the thread (and with it, the whole loop).
+BLOCKING_CALLS = frozenset(
+    {
+        "time.sleep",
+        "open",
+        "os.system",
+        "os.popen",
+        "subprocess.run",
+        "subprocess.call",
+        "subprocess.check_call",
+        "subprocess.check_output",
+        "subprocess.Popen",
+        "socket.create_connection",
+        "urllib.request.urlopen",
+    }
+)
+
+#: Blocking method names on common objects (pathlib.Path I/O).
+BLOCKING_ATTRS = frozenset({"read_text", "write_text", "read_bytes", "write_bytes"})
+
+
+def _direct_statements(func: ast.AsyncFunctionDef) -> Iterator[ast.AST]:
+    """Walk a coroutine body without descending into nested function defs.
+
+    Nested ``async def``\\ s are visited when the outer walk reaches them as
+    tree nodes in their own right; nested sync ``def``\\ s run on an executor
+    thread by construction and are deliberately out of scope.
+    """
+    stack: List[ast.AST] = list(func.body)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+@register
+class AsyncBlockingRule(Rule):
+    id = "RL003"
+    name = "async-no-blocking-calls"
+    severity = "error"
+    description = (
+        "async def bodies must not call blocking primitives (time.sleep, open, "
+        "subprocess, sync sockets) — run them in an executor instead"
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.module == "repro" or ctx.module.startswith("repro.")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for func in ast.walk(ctx.tree):
+            if not isinstance(func, ast.AsyncFunctionDef):
+                continue
+            for node in _direct_statements(func):
+                if not isinstance(node, ast.Call):
+                    continue
+                name = dotted_name(node.func)
+                blocking = name in BLOCKING_CALLS
+                if not blocking and isinstance(node.func, ast.Attribute):
+                    blocking = node.func.attr in BLOCKING_ATTRS
+                    name = node.func.attr
+                if blocking:
+                    yield ctx.finding(
+                        self,
+                        node,
+                        f"blocking call {name}(...) inside 'async def {func.name}' stalls "
+                        f"the event loop — await loop.run_in_executor(...) or use the "
+                        f"async equivalent",
+                    )

@@ -1,0 +1,83 @@
+"""RL006 — cache entries are published atomically (write temp, ``os.replace``).
+
+The disk cache is shared by every worker in the fleet: a reader may open an
+entry at any byte offset of a concurrent write.  The contract (ROADMAP PR 3)
+is write-to-temp-then-``os.replace`` — the only atomic publish POSIX gives
+us.  This rule flags any function in a cache module that opens a file for
+writing (or uses ``Path.write_*``) without an ``os.replace``/``Path.replace``
+in the same function.
+
+``open(..., "x")`` is exempt: ``O_EXCL`` creation is itself atomic and is the
+basis of the lock-file protocol.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from ..engine import FileContext, Finding, Rule, dotted_name, register
+
+_WRITE_ATTRS = frozenset({"write_bytes", "write_text"})
+
+
+def _write_mode(node: ast.Call) -> str | None:
+    """The mode string of an ``open()`` call, if statically known."""
+    if dotted_name(node.func) not in ("open", "io.open", "os.fdopen"):
+        return None
+    mode_node: ast.AST | None = None
+    if len(node.args) >= 2:
+        mode_node = node.args[1]
+    for keyword in node.keywords:
+        if keyword.arg == "mode":
+            mode_node = keyword.value
+    if mode_node is None:
+        return "r"
+    if isinstance(mode_node, ast.Constant) and isinstance(mode_node.value, str):
+        return mode_node.value
+    return None  # dynamic mode: give it the benefit of the doubt
+
+
+@register
+class AtomicPublishRule(Rule):
+    id = "RL006"
+    name = "atomic-cache-publish"
+    severity = "error"
+    description = (
+        "functions in cache modules that open files for writing must publish "
+        "via os.replace (write temp, rename into place)"
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        if not (ctx.module == "repro.serve" or ctx.module.startswith("repro.serve.")):
+            return False
+        return "cache" in ctx.module.rsplit(".", 1)[-1]
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for func in ast.walk(ctx.tree):
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            writes: List[ast.Call] = []
+            has_replace = False
+            for node in ast.walk(func):
+                if not isinstance(node, ast.Call):
+                    continue
+                name = dotted_name(node.func)
+                if name in ("os.replace", "os.rename") or (
+                    isinstance(node.func, ast.Attribute) and node.func.attr == "replace"
+                ):
+                    has_replace = True
+                mode = _write_mode(node)
+                if mode is not None and any(flag in mode for flag in ("w", "a", "+")):
+                    writes.append(node)
+                elif isinstance(node.func, ast.Attribute) and node.func.attr in _WRITE_ATTRS:
+                    writes.append(node)
+            if has_replace:
+                continue
+            for call in writes:
+                yield ctx.finding(
+                    self,
+                    call,
+                    f"file written in cache module function {func.name!r} without an "
+                    f"os.replace publish — concurrent readers can observe a torn entry",
+                )

@@ -1,0 +1,101 @@
+"""RL004 — broad exception handlers must not swallow errors silently.
+
+``except Exception`` is sometimes the right tool (per-request isolation,
+degrade-to-miss cache reads, supervision loops) — but only when the error
+still leaves a trace: re-raised, attached to a future, logged through
+:class:`repro.obs.log.StructuredLogger`, or counted in a metric.  A broad
+handler that does none of these turns real failures into silence; PR 6's
+"swallowed client resets" bug is the canonical example.
+
+The handler body is accepted if it contains any of:
+
+* a ``raise`` (re-raise or translate),
+* an augmented assignment (counter increment, e.g. ``self._errors += 1``),
+* a call to a logging/counting method (``log/debug/info/warning/error/
+  exception/critical/emit/record/increment/inc``), or
+* a call to ``Future.set_exception`` (the error reaches the caller).
+
+Everything else is a finding — to be fixed, suppressed with a reason, or
+grandfathered in the baseline.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import FileContext, Finding, Rule, register
+
+BROAD_TYPES = frozenset({"Exception", "BaseException"})
+
+_HANDLED_ATTRS = frozenset(
+    {
+        "debug",
+        "info",
+        "warning",
+        "error",
+        "exception",
+        "critical",
+        "log",
+        "emit",
+        "record",
+        "increment",
+        "inc",
+        "set_exception",
+    }
+)
+
+
+def _broad_type_name(handler: ast.ExceptHandler) -> str | None:
+    if handler.type is None:
+        return ""  # bare except
+    types = handler.type.elts if isinstance(handler.type, ast.Tuple) else [handler.type]
+    for node in types:
+        if isinstance(node, ast.Name) and node.id in BROAD_TYPES:
+            return node.id
+        if isinstance(node, ast.Attribute) and node.attr in BROAD_TYPES:
+            return node.attr
+    return None
+
+
+def _handler_accounts_for_error(handler: ast.ExceptHandler) -> bool:
+    for node in ast.walk(ast.Module(body=handler.body, type_ignores=[])):
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, ast.AugAssign):
+            return True
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _HANDLED_ATTRS
+        ):
+            return True
+    return False
+
+
+@register
+class BroadExceptRule(Rule):
+    id = "RL004"
+    name = "no-silent-broad-except"
+    severity = "warning"
+    description = (
+        "bare/broad except handlers must re-raise, log via StructuredLogger, "
+        "attach the error to a future, or increment a counter"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for handler in ast.walk(ctx.tree):
+            if not isinstance(handler, ast.ExceptHandler):
+                continue
+            caught = _broad_type_name(handler)
+            if caught is None:
+                continue
+            if _handler_accounts_for_error(handler):
+                continue
+            label = "bare 'except:'" if caught == "" else f"broad 'except {caught}'"
+            yield ctx.finding(
+                self,
+                handler,
+                f"{label} neither re-raises, logs, sets a future exception, nor "
+                f"increments a counter — the error vanishes silently",
+            )

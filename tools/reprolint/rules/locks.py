@@ -1,0 +1,118 @@
+"""RL007 — lock discipline: scoped acquisition, never await under a sync lock.
+
+Two failure shapes the fleet has to be immune to:
+
+* a ``lock.acquire()`` with no ``try/finally`` release leaks the lock on any
+  exception between acquire and release — every later waiter deadlocks
+  (prefer ``with lock:``, which is what the whole codebase uses);
+* an ``await`` while *holding* a ``threading.Lock`` parks the coroutine with
+  the lock held — any other task (or executor thread) touching that lock
+  stalls the event loop, which is the one thing the serve layer promises
+  never happens.  Hold sync locks across straight-line code only, or use
+  ``asyncio.Lock``.
+
+Detection is name-based: an attribute/variable whose name contains ``lock``
+(case-insensitive) is treated as a lock, which matches this repo's naming
+convention everywhere (``_lock``, ``_write_lock``, ``_stats_lock``...).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from ..engine import FileContext, Finding, Rule, dotted_name, register
+
+
+def _is_lockish(name: str | None) -> bool:
+    return name is not None and "lock" in name.lower()
+
+
+def _released_names(func: ast.AST) -> Set[str]:
+    """Dotted names released inside any ``finally`` block of ``func``."""
+    released: Set[str] = set()
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Try) or not node.finalbody:
+            continue
+        for sub in ast.walk(ast.Module(body=node.finalbody, type_ignores=[])):
+            if (
+                isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Attribute)
+                and sub.func.attr == "release"
+            ):
+                name = dotted_name(sub.func.value)
+                if name is not None:
+                    released.add(name)
+    return released
+
+
+@register
+class LockDisciplineRule(Rule):
+    id = "RL007"
+    name = "lock-discipline"
+    severity = "error"
+    description = (
+        "locks are held via 'with' or try/finally-released acquire, and never "
+        "held across an await"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        yield from self._check_unscoped_acquires(ctx)
+        yield from self._check_awaits_under_sync_lock(ctx)
+
+    def _check_unscoped_acquires(self, ctx: FileContext) -> Iterator[Finding]:
+        functions = [
+            node
+            for node in ast.walk(ctx.tree)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        scopes = functions or [ctx.tree]
+        seen: Set[int] = set()
+        for scope in scopes:
+            released = _released_names(scope)
+            for node in ast.walk(scope):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "acquire"
+                    and id(node) not in seen
+                ):
+                    seen.add(id(node))
+                    target = dotted_name(node.func.value)
+                    if not _is_lockish(target):
+                        continue
+                    if target in released:
+                        continue
+                    yield ctx.finding(
+                        self,
+                        node,
+                        f"{target}.acquire() without a matching release in a finally "
+                        f"block — an exception leaks the lock; prefer 'with {target}:'",
+                    )
+
+    def _check_awaits_under_sync_lock(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.With):  # ast.AsyncWith (asyncio.Lock) is fine
+                continue
+            lock_name = None
+            for item in node.items:
+                expr = item.context_expr
+                if isinstance(expr, ast.Call):
+                    expr = expr.func
+                name = dotted_name(expr)
+                if _is_lockish(name):
+                    lock_name = name
+                    break
+            if lock_name is None:
+                continue
+            for sub in ast.walk(ast.Module(body=node.body, type_ignores=[])):
+                if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                    continue
+                if isinstance(sub, (ast.Await, ast.AsyncFor, ast.AsyncWith)):
+                    yield ctx.finding(
+                        self,
+                        sub,
+                        f"await while holding synchronous lock {lock_name!r} — the "
+                        f"coroutine parks with the lock held and can stall the loop; "
+                        f"release first or use asyncio.Lock",
+                    )

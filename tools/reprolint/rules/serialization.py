@@ -1,0 +1,84 @@
+"""RL005 — pickle/marshal are banned in cache, shared-memory, and IPC modules.
+
+The serve tiers share bytes across processes and restarts (disk ``.npz``
+entries, the shm ring, HTTP ``.npy`` transport).  The formats are pickle-free
+by contract: pickle deserialization executes arbitrary code, so one corrupt
+or adversarial cache entry would become code execution in every worker that
+reads it.  This rule bans the importers *and* requires every ``np.load`` /
+``np.save`` in the serve layer to pass an explicit ``allow_pickle=False``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import FileContext, Finding, Rule, dotted_name, register
+
+BANNED_MODULES = frozenset({"pickle", "cPickle", "marshal", "shelve", "dill"})
+
+_NP_IO_CALLS = frozenset({"np.load", "np.save", "numpy.load", "numpy.save"})
+
+
+@register
+class SerializationRule(Rule):
+    id = "RL005"
+    name = "no-pickle-in-cache-ipc"
+    severity = "error"
+    description = (
+        "cache/shm/IPC modules must not use pickle or marshal, and numpy "
+        "load/save must pass allow_pickle=False explicitly"
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.module == "repro.serve" or ctx.module.startswith("repro.serve.")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = alias.name.split(".")[0]
+                    if root in BANNED_MODULES:
+                        yield ctx.finding(
+                            self,
+                            node,
+                            f"import of {alias.name!r} in a cache/IPC module — the "
+                            f"shared formats are pickle-free by contract (npz/npy/JSON)",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module and node.module.split(".")[0] in BANNED_MODULES:
+                    yield ctx.finding(
+                        self,
+                        node,
+                        f"import from {node.module!r} in a cache/IPC module — the "
+                        f"shared formats are pickle-free by contract (npz/npy/JSON)",
+                    )
+            elif isinstance(node, ast.Call):
+                yield from self._check_call(ctx, node)
+
+    def _check_call(self, ctx: FileContext, node: ast.Call) -> Iterator[Finding]:
+        for keyword in node.keywords:
+            if (
+                keyword.arg == "allow_pickle"
+                and isinstance(keyword.value, ast.Constant)
+                and keyword.value.value is True
+            ):
+                yield ctx.finding(
+                    self, node, "allow_pickle=True re-enables pickle deserialization"
+                )
+                return
+        name = dotted_name(node.func)
+        if name in _NP_IO_CALLS:
+            explicit_false = any(
+                keyword.arg == "allow_pickle"
+                and isinstance(keyword.value, ast.Constant)
+                and keyword.value.value is False
+                for keyword in node.keywords
+            )
+            if not explicit_false:
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"{name}(...) without allow_pickle=False — be explicit so the "
+                    f"pickle-free contract survives numpy default changes",
+                )

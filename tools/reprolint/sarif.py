@@ -1,0 +1,117 @@
+"""SARIF 2.1.0 rendering (and a structural validator for CI/tests).
+
+The emitted document is the minimal conforming shape: one run, the tool's
+rule metadata under ``tool.driver.rules``, one result per finding with a
+physical location.  Grandfathered (baselined) findings ride along as
+suppressed results (``suppressions: [{kind: "external"}]``) so SARIF viewers
+show the whole picture while CI only fails on live results.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from .engine import META_RULE_ID, Finding, Rule
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+
+_LEVELS = {"error": "error", "warning": "warning"}
+
+
+def _result(finding: Finding, suppressed: bool) -> Dict[str, object]:
+    result: Dict[str, object] = {
+        "ruleId": finding.rule,
+        "level": _LEVELS.get(finding.severity, "warning"),
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": finding.path},
+                    "region": {"startLine": finding.line, "startColumn": finding.column},
+                }
+            }
+        ],
+    }
+    if suppressed:
+        result["suppressions"] = [{"kind": "external"}]
+    return result
+
+
+def render(
+    findings: Sequence[Finding],
+    rules: Sequence[Rule],
+    baselined: Sequence[Finding] = (),
+) -> Dict[str, object]:
+    rule_meta = [
+        {
+            "id": rule.id,
+            "name": rule.name,
+            "shortDescription": {"text": rule.description},
+            "defaultConfiguration": {"level": _LEVELS.get(rule.severity, "warning")},
+        }
+        for rule in rules
+    ]
+    rule_meta.append(
+        {
+            "id": META_RULE_ID,
+            "name": "reprolint-meta",
+            "shortDescription": {
+                "text": "engine diagnostics: unparseable files, unknown rules in suppressions"
+            },
+            "defaultConfiguration": {"level": "error"},
+        }
+    )
+    results: List[Dict[str, object]] = [_result(f, suppressed=False) for f in findings]
+    results.extend(_result(f, suppressed=True) for f in baselined)
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "reprolint",
+                        "informationUri": "https://example.invalid/reprolint",
+                        "rules": rule_meta,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def validate(doc: Dict[str, object]) -> None:
+    """Raise ``ValueError`` unless ``doc`` is structurally valid SARIF 2.1.0.
+
+    Not a full schema check (zero-dependency constraint), but pins every
+    field CI and the GitHub code-scanning importer actually consume.
+    """
+    if doc.get("version") != SARIF_VERSION:
+        raise ValueError(f"version must be {SARIF_VERSION!r}, got {doc.get('version')!r}")
+    runs = doc.get("runs")
+    if not isinstance(runs, list) or not runs:
+        raise ValueError("runs must be a non-empty list")
+    for run in runs:
+        driver = run.get("tool", {}).get("driver", {})
+        if not driver.get("name"):
+            raise ValueError("tool.driver.name is required")
+        rule_ids = {rule.get("id") for rule in driver.get("rules", [])}
+        results = run.get("results")
+        if not isinstance(results, list):
+            raise ValueError("results must be a list")
+        for result in results:
+            if result.get("ruleId") not in rule_ids:
+                raise ValueError(f"result ruleId {result.get('ruleId')!r} not in driver.rules")
+            if result.get("level") not in ("error", "warning", "note", "none"):
+                raise ValueError(f"invalid result level {result.get('level')!r}")
+            if not result.get("message", {}).get("text"):
+                raise ValueError("result message.text is required")
+            for location in result.get("locations", []):
+                physical = location.get("physicalLocation", {})
+                if not physical.get("artifactLocation", {}).get("uri"):
+                    raise ValueError("physicalLocation.artifactLocation.uri is required")
+                region = physical.get("region", {})
+                if not isinstance(region.get("startLine"), int) or region["startLine"] < 1:
+                    raise ValueError("region.startLine must be a positive integer")
