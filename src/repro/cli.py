@@ -240,6 +240,23 @@ def build_parser() -> argparse.ArgumentParser:
         "slots — labels stay bit-identical, so the mixed fleet shares one "
         "cache",
     )
+    srv.add_argument(
+        "--delta",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="dirty-tile incremental path for requests carrying a stream id "
+        "(X-Repro-Stream-Id): only tiles changed since the stream's previous "
+        "frame are re-segmented, bit-identical to a full recompute",
+    )
+    srv.add_argument(
+        "--delta-tile", type=int, default=0, metavar="PIXELS",
+        help="square delta-grid tile edge in pixels (0 = library default)",
+    )
+    srv.add_argument(
+        "--delta-streams", type=int, default=256, metavar="N",
+        help="temporal streams tracked per worker before the "
+        "least-recently-updated ancestor frame is dropped",
+    )
 
     met = sub.add_parser(
         "metrics",
@@ -615,6 +632,9 @@ def _build_worker_spec(args: argparse.Namespace, http_mode: bool):
         trace_sample_rate=args.trace_sample_rate,
         trace_ring=args.trace_ring,
         backend=(_parse_backend_names(getattr(args, "backend", None)) or [None])[0],
+        delta=args.delta,
+        delta_tile=max(0, int(args.delta_tile)),
+        delta_streams=max(1, int(args.delta_streams)),
     )
 
 
@@ -982,6 +1002,15 @@ def _format_metrics_table(snapshot: dict) -> str:
         )
     else:
         lines.append("adaptive     off")
+    delta = snapshot.get("delta")
+    if isinstance(delta, dict):
+        lines.append(
+            "delta        "
+            f"frames={num(delta.get('frames'))} "
+            f"tiles_reused={num(delta.get('tiles_reused'))} "
+            f"tiles_recomputed={num(delta.get('tiles_recomputed'))} "
+            f"reuse_ratio={float(delta.get('reuse_ratio') or 0.0):.3f}"
+        )
     trace = snapshot.get("trace")
     if isinstance(trace, dict):
         lines.append(

@@ -32,6 +32,14 @@ from ..core.lut import (
     unpack_rgb_codes,
 )
 from ..core.pipeline import PipelineResult, SegmentationPipeline
+from .delta import (
+    DEFAULT_DELTA_TILE_SHAPE,
+    DEFAULT_MAX_STREAMS,
+    DeltaStats,
+    DeltaStreamEngine,
+    StreamState,
+    StreamStateStore,
+)
 from .engine import (
     DEFAULT_AUTO_TILE_PIXELS,
     DEFAULT_STREAM_WINDOW,
@@ -41,6 +49,12 @@ from .engine import (
 
 __all__ = [
     "BatchSegmentationEngine",
+    "DeltaStreamEngine",
+    "DeltaStats",
+    "StreamState",
+    "StreamStateStore",
+    "DEFAULT_DELTA_TILE_SHAPE",
+    "DEFAULT_MAX_STREAMS",
     "PipelineResult",
     "SegmentationPipeline",
     "binarize_largest_background",

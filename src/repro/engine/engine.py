@@ -78,6 +78,15 @@ def _segment_tile(segmenter: BaseSegmenter, block: np.ndarray) -> np.ndarray:
     return segmenter.segment(block).labels
 
 
+def _count_segments(labels: np.ndarray) -> int:
+    # Distinct-label count via bincount when labels are small non-negative
+    # ints (O(N), where np.unique would sort the whole image).
+    flat = labels.ravel()
+    if flat.size and int(flat.min()) >= 0 and int(flat.max()) < 65536:
+        return int(np.count_nonzero(np.bincount(flat)))
+    return int(np.unique(flat).size)
+
+
 def _run_item(engine: "BatchSegmentationEngine", return_errors: bool, item):
     image, ground_truth, void_mask = item
     if not return_errors:
@@ -271,18 +280,20 @@ class BatchSegmentationEngine:
         scale = float(self.backend.cost_hints().get("tile_pixels_scale", 1.0))
         return height * width >= self.auto_tile_pixels * max(scale, 1.0)
 
-    def segment(self, image: np.ndarray) -> SegmentationResult:
-        """Segment one image through the cheapest exact strategy.
+    def _label_prepared(
+        self, prepared: np.ndarray
+    ) -> Tuple[np.ndarray, Dict[str, Any], str]:
+        """Run the cheapest exact strategy on an *already-prepared* array.
 
-        The returned :class:`~repro.base.SegmentationResult` carries
-        ``extras["fast_path"]`` (``"lut"``, ``"palette-lut"``, ``"tiled"`` or
-        ``"direct"``) so callers and reports can audit which path ran.
+        Returns ``(labels, extras, fast_path)``.  This is the strategy core
+        of :meth:`segment` — LUT hook, tiled matrix path, direct path —
+        without preprocessing or result packaging, exposed separately so the
+        delta path (:mod:`repro.engine.delta`) can re-segment individual
+        dirty tiles of a frame whose preprocessing already ran on the whole
+        image (``target_shape`` resizing is not tile-local, so preparing a
+        tile again would change the result).
         """
-        prepare_start = time.perf_counter()
-        prepared = self.pipeline._prepare(np.asarray(image))
-        prepare_seconds = time.perf_counter() - prepare_start
         segmenter = self.pipeline.segmenter
-        start = time.perf_counter()
         labels: Optional[np.ndarray] = None
         extras: Dict[str, Any] = {}
         fast_path = "direct"
@@ -319,25 +330,32 @@ class BatchSegmentationEngine:
             labels = inner.labels
             extras = dict(inner.extras)
 
-        elapsed = time.perf_counter() - start
         labels = np.asarray(labels).astype(np.int64, copy=False)
+        return labels, extras, fast_path
+
+    def segment(self, image: np.ndarray) -> SegmentationResult:
+        """Segment one image through the cheapest exact strategy.
+
+        The returned :class:`~repro.base.SegmentationResult` carries
+        ``extras["fast_path"]`` (``"lut"``, ``"palette-lut"``, ``"tiled"`` or
+        ``"direct"``) so callers and reports can audit which path ran.
+        """
+        prepare_start = time.perf_counter()
+        prepared = self.pipeline._prepare(np.asarray(image))
+        prepare_seconds = time.perf_counter() - prepare_start
+        start = time.perf_counter()
+        labels, extras, fast_path = self._label_prepared(prepared)
+        elapsed = time.perf_counter() - start
         extras["fast_path"] = fast_path
         extras["backend"] = self.backend.name
         # Per-stage timing for trace spans: runtime_seconds stays label time
         # only (its historical meaning), prepare cost is reported separately.
         extras["prepare_seconds"] = prepare_seconds
-        # Distinct-label count via bincount when labels are small non-negative
-        # ints (O(N), where np.unique would sort the whole image).
-        flat = labels.ravel()
-        if flat.size and int(flat.min()) >= 0 and int(flat.max()) < 65536:
-            num_segments = int(np.count_nonzero(np.bincount(flat)))
-        else:
-            num_segments = int(np.unique(flat).size)
         return SegmentationResult(
             labels=labels,
-            num_segments=num_segments,
+            num_segments=_count_segments(labels),
             runtime_seconds=elapsed,
-            method=segmenter.name,
+            method=self.pipeline.segmenter.name,
             extras=extras,
         )
 
@@ -388,6 +406,8 @@ class BatchSegmentationEngine:
         void_masks: Optional[Iterable[np.ndarray]] = None,
         window: int = DEFAULT_STREAM_WINDOW,
         return_errors: bool = False,
+        stream_id: Optional[str] = None,
+        delta_tile_shape: Optional[Tuple[int, int]] = None,
     ) -> Iterator[PipelineResult]:
         """Stream :meth:`map` results with a bounded in-flight window.
 
@@ -401,6 +421,18 @@ class BatchSegmentationEngine:
         yield exactly one item per image (a shorter or longer companion
         stream raises :class:`~repro.errors.ParameterError` at the point the
         mismatch is observed).  ``return_errors`` behaves as in :meth:`map`.
+
+        With a ``stream_id`` the images are treated as a *temporal* stream:
+        consecutive frames flow through the dirty-tile delta path
+        (:class:`~repro.engine.delta.DeltaStreamEngine`), so only tiles that
+        changed since the previous frame are re-segmented — bit-identical to
+        the full recompute, but far cheaper on slowly-changing streams.
+        Frames are processed strictly in input order (frame N+1 diffs
+        against frame N's committed state), and a failing frame under
+        ``return_errors`` yields its exception without poisoning the cached
+        ancestor — the next good frame diffs against the last good one.
+        ``delta_tile_shape`` overrides the delta grid (defaults to
+        :data:`~repro.engine.delta.DEFAULT_DELTA_TILE_SHAPE`).
         """
         if int(window) < 1:
             raise ParameterError("window must be >= 1")
@@ -424,6 +456,31 @@ class BatchSegmentationEngine:
                 raise ParameterError("ground_truths is longer than images")
             if void_iter is not None and next(void_iter, _EXHAUSTED) is not _EXHAUSTED:
                 raise ParameterError("void_masks is longer than images")
+
+        if stream_id is not None:
+            from .delta import DEFAULT_DELTA_TILE_SHAPE, DeltaStreamEngine
+
+            delta = DeltaStreamEngine(
+                self,
+                tile_shape=(
+                    delta_tile_shape
+                    if delta_tile_shape is not None
+                    else DEFAULT_DELTA_TILE_SHAPE
+                ),
+            )
+            # Temporal streams are inherently sequential — frame N+1 diffs
+            # against frame N — so the executor fan-out is skipped; the delta
+            # reuse is where the speedup comes from, not parallelism.
+            for image, ground_truth, void_mask in _triples():
+                try:
+                    result = delta.segment(image, stream_id)
+                    scored = self.pipeline.score(result, ground_truth, void_mask)
+                except Exception as exc:  # reprolint: disable=RL004 yielded to the map_stream(return_errors) caller
+                    if not return_errors:
+                        raise
+                    scored = exc
+                yield scored
+            return
 
         run = functools.partial(_run_item, self, bool(return_errors))
         triples = _triples()

@@ -205,6 +205,26 @@ def render_prometheus(
                 for lane, stats in lane_rows
             ],
         )
+        lane_delta_rows = [
+            (lane, stats["delta"])
+            for lane, stats in lane_rows
+            if isinstance(stats.get("delta"), Mapping)
+        ]
+        for key, name, help_text in (
+            ("frames", "lane_delta_frames_total", "Stream frames computed via the delta path."),
+            ("tiles_reused", "lane_delta_tiles_reused_total", "Delta tiles reused, not recomputed."),
+            (
+                "tiles_recomputed",
+                "lane_delta_tiles_recomputed_total",
+                "Delta tiles re-segmented because their content changed.",
+            ),
+        ):
+            out.family(
+                name,
+                "counter",
+                help_text,
+                [({**base, "lane": lane}, _num(delta, key)) for lane, delta in lane_delta_rows],
+            )
 
     out.histogram(
         "request_latency_seconds",
@@ -257,6 +277,31 @@ def render_prometheus(
             "gauge",
             "Current adaptive max batch size.",
             [(base, _num(adaptive, "batch_size"))],
+        )
+
+    delta = metrics.get("delta")
+    if isinstance(delta, Mapping):
+        for key, name, help_text in (
+            ("frames", "delta_frames_total", "Stream frames computed via the dirty-tile path."),
+            ("tiles_reused", "delta_tiles_reused_total", "Delta tiles reused, not recomputed."),
+            (
+                "tiles_recomputed",
+                "delta_tiles_recomputed_total",
+                "Delta tiles re-segmented because their content changed.",
+            ),
+        ):
+            out.family(name, "counter", help_text, [(base, _num(delta, key))])
+        out.family(
+            "delta_reuse_ratio",
+            "gauge",
+            "Reused tiles over all delta tiles processed.",
+            [(base, _num(delta, "reuse_ratio"))],
+        )
+        out.family(
+            "delta_streams",
+            "gauge",
+            "Temporal streams with a committed ancestor.",
+            [(base, _num(delta, "streams"))],
         )
 
     trace = metrics.get("trace")

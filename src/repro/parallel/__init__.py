@@ -19,7 +19,14 @@ the abstraction and its tests make the scaling path explicit).
 """
 
 from .executor import SerialExecutor, ThreadExecutor, ProcessExecutor, get_executor
-from .tiling import Tile, split_into_tiles, assemble_tiles, tile_map
+from .tiling import (
+    Tile,
+    split_into_tiles,
+    assemble_tiles,
+    tile_map,
+    tile_digest,
+    grid_digests,
+)
 from .chunking import iter_chunks, chunked_apply
 from .scheduler import StaticScheduler, DynamicScheduler, WorkItem
 
@@ -32,6 +39,8 @@ __all__ = [
     "split_into_tiles",
     "assemble_tiles",
     "tile_map",
+    "tile_digest",
+    "grid_digests",
     "iter_chunks",
     "chunked_apply",
     "StaticScheduler",

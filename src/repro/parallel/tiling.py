@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import dataclasses
 import functools
+import hashlib
 from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -19,7 +20,14 @@ import numpy as np
 from ..errors import ParallelError
 from .executor import BaseExecutor, SerialExecutor
 
-__all__ = ["Tile", "split_into_tiles", "assemble_tiles", "tile_map"]
+__all__ = [
+    "Tile",
+    "split_into_tiles",
+    "assemble_tiles",
+    "tile_map",
+    "tile_digest",
+    "grid_digests",
+]
 
 
 @dataclasses.dataclass
@@ -86,6 +94,38 @@ def assemble_tiles(
     if np.any(coverage != 1):
         raise ParallelError("tiles do not cover the output exactly once")
     return out
+
+
+def tile_digest(block: np.ndarray) -> str:
+    """Content digest of one tile block: dtype + shape + raw bytes (blake2b-128).
+
+    The recipe deliberately matches the serve layer's whole-image
+    ``image_digest`` (:mod:`repro.serve`), so tiles participate in the same
+    content-addressing scheme: two blocks receive equal digests iff they are
+    byte-identical in the same dtype and shape — exactly the condition under
+    which a pointwise segmenter produces identical labels for both.  The
+    delta path (:mod:`repro.engine.delta`) keys its dirty-tile comparison
+    and the per-tile cache entries on this digest.
+    """
+    arr = np.ascontiguousarray(block)
+    hasher = hashlib.blake2b(digest_size=16)
+    hasher.update(str(arr.dtype).encode("ascii"))
+    hasher.update(str(arr.shape).encode("ascii"))
+    hasher.update(arr.data if arr.size else b"")
+    return hasher.hexdigest()
+
+
+def grid_digests(image: np.ndarray, tile_shape: Tuple[int, int]) -> Tuple[List[Tile], Tuple[str, ...]]:
+    """Split ``image`` on a fixed grid and digest every tile.
+
+    Returns ``(tiles, digests)`` with one digest per tile in
+    :func:`split_into_tiles` order (row-major).  Because the grid is a pure
+    function of ``(image.shape, tile_shape)``, two frames of the same shape
+    tiled with the same ``tile_shape`` produce positionally comparable
+    digest tuples — the frame-to-frame comparison the delta path runs.
+    """
+    tiles = split_into_tiles(image, tile_shape)
+    return tiles, tuple(tile_digest(tile.data) for tile in tiles)
 
 
 def _apply_to_tile(func: Callable[[np.ndarray], np.ndarray], tile: Tile) -> np.ndarray:

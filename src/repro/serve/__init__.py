@@ -94,6 +94,8 @@ _EXPORTS = {
     "TieredCacheStats": "_cache",
     "image_digest": "_cache",
     "config_digest": "_cache",
+    "tile_key": "_cache",
+    "TileCacheAdapter": "_cache",
     "DiskResultCache": "_diskcache",
     "DiskCacheStats": "_diskcache",
     "SharedMemoryResultCache": "_shmcache",
@@ -130,8 +132,10 @@ if TYPE_CHECKING:  # pragma: no cover - static analysis only
         ResultCache,
         TieredCacheStats,
         TieredResultCache,
+        TileCacheAdapter,
         config_digest,
         image_digest,
+        tile_key,
     )
     from ._diskcache import DiskCacheStats, DiskResultCache
     from ._fleet import ServeFleet, WorkerSpec, merge_worker_metrics

@@ -50,7 +50,10 @@ import numpy as np
 
 from ..base import SegmentationResult
 from ..engine import (
+    DEFAULT_DELTA_TILE_SHAPE,
+    DEFAULT_MAX_STREAMS,
     BatchSegmentationEngine,
+    DeltaStreamEngine,
     PipelineResult,
     binarize_largest_background,
 )
@@ -65,7 +68,7 @@ from ..metrics.runtime import LatencyRecorder
 from ..obs.log import get_logger
 from ..obs.trace import Trace, Tracer
 from ._batcher import AdaptiveConfig, AdaptiveController
-from ._cache import CacheKey, ResultCache, config_digest, image_digest
+from ._cache import CacheKey, ResultCache, TileCacheAdapter, config_digest, image_digest
 from ._service import _engine_fingerprint, _segment_image
 
 __all__ = ["Priority", "TokenBucket", "AsyncSegmentationService", "DEFAULT_LANE_WEIGHTS"]
@@ -163,6 +166,7 @@ class _AsyncRequest:
         "future",
         "submitted_at",
         "trace",
+        "stream_id",
     )
 
     def __init__(
@@ -177,6 +181,7 @@ class _AsyncRequest:
         future,
         submitted_at,
         trace=None,
+        stream_id=None,
     ):
         self.image = image
         self.ground_truth = ground_truth
@@ -188,6 +193,7 @@ class _AsyncRequest:
         self.future = future
         self.submitted_at = submitted_at
         self.trace = trace
+        self.stream_id = stream_id
 
 
 def _score_request(
@@ -212,7 +218,17 @@ def _score_request(
 class _LaneState:
     """Queue + counters for one priority lane."""
 
-    __slots__ = ("queue", "submitted", "completed", "shed_admission", "shed_expired", "latency")
+    __slots__ = (
+        "queue",
+        "submitted",
+        "completed",
+        "shed_admission",
+        "shed_expired",
+        "latency",
+        "delta_frames",
+        "delta_tiles_reused",
+        "delta_tiles_recomputed",
+    )
 
     def __init__(self) -> None:
         self.queue: Deque[_AsyncRequest] = deque()
@@ -221,6 +237,9 @@ class _LaneState:
         self.shed_admission = 0
         self.shed_expired = 0
         self.latency = LatencyRecorder()
+        self.delta_frames = 0
+        self.delta_tiles_reused = 0
+        self.delta_tiles_recomputed = 0
 
 
 class AsyncSegmentationService:
@@ -271,6 +290,21 @@ class AsyncSegmentationService:
         per-request traces (the flight recorder).  Defaults to a tracer on
         the service clock at sample rate 1.0; pass
         ``Tracer(sample_rate=0.0)`` to disable tracing entirely.
+    delta:
+        Enable the dirty-tile incremental path for requests that carry a
+        ``stream_id`` (:class:`~repro.engine.DeltaStreamEngine`): only tiles
+        that changed since the stream's previous frame are re-segmented, the
+        rest are stitched from the cached ancestor — bit-identical to a full
+        recompute.  Requires a pointwise segmenter; otherwise stream
+        requests transparently take the normal path.  Per-tile label blocks
+        are additionally published through the service cache (all tiers), so
+        fleet workers share tiles.
+    delta_tile_shape:
+        ``(H, W)`` of the delta grid (default
+        :data:`~repro.engine.DEFAULT_DELTA_TILE_SHAPE`).
+    delta_max_streams:
+        Streams tracked before the least-recently-updated ancestor is
+        dropped (a dropped stream pays one full recompute, nothing else).
     """
 
     def __init__(
@@ -288,6 +322,9 @@ class AsyncSegmentationService:
         adaptive_config: Optional[AdaptiveConfig] = None,
         clock: Callable[[], float] = time.monotonic,
         tracer: Optional[Tracer] = None,
+        delta: bool = True,
+        delta_tile_shape: Optional[Tuple[int, int]] = None,
+        delta_max_streams: int = DEFAULT_MAX_STREAMS,
     ):
         if not isinstance(engine, BatchSegmentationEngine):
             raise ParameterError("engine must be a BatchSegmentationEngine instance")
@@ -361,6 +398,27 @@ class AsyncSegmentationService:
         self._latency = LatencyRecorder()
         self.tracer = tracer if tracer is not None else Tracer(clock=clock)
         self._cache_traced = bool(getattr(cache, "supports_trace", False))
+        # Dirty-tile incremental path for stream requests.  Built even for
+        # non-pointwise segmenters (it degrades to the full path itself);
+        # the per-tile cache hook rides the service cache so every tier —
+        # including a fleet's shared shm/disk tiers — carries tile entries.
+        self._delta: Optional[DeltaStreamEngine] = None
+        self._delta_frames = 0
+        self._delta_tiles_reused = 0
+        self._delta_tiles_recomputed = 0
+        if delta:
+            self._delta = DeltaStreamEngine(
+                engine,
+                tile_shape=(
+                    delta_tile_shape if delta_tile_shape is not None else DEFAULT_DELTA_TILE_SHAPE
+                ),
+                max_streams=delta_max_streams,
+                tile_cache=(
+                    TileCacheAdapter(self.cache, self._config_digest)
+                    if self.cache is not None
+                    else None
+                ),
+            )
         # Slowest-recent traced completion: the exemplar attached to the
         # Prometheus latency histogram.  Refreshed when a slower request
         # lands or the current exemplar grows stale (completions-based age,
@@ -497,6 +555,7 @@ class AsyncSegmentationService:
         client_id: Any = None,
         block: bool = True,
         trace: Optional[Trace] = None,
+        stream_id: Optional[str] = None,
     ) -> PipelineResult:
         """Segment one image and return its scored result.
 
@@ -514,6 +573,13 @@ class AsyncSegmentationService:
         ``trace`` threads an externally-owned :class:`~repro.obs.trace.Trace`
         (the HTTP edge's) through the request; without one the service's own
         tracer samples and records a trace end-to-end around the submit.
+
+        ``stream_id`` marks the image as one frame of a temporal stream
+        (the HTTP edge forwards ``X-Repro-Stream-Id`` here).  Frames of the
+        same stream take the dirty-tile delta path when the service was built
+        with ``delta=True``: unchanged tiles are stitched from the stream's
+        previous frame instead of recomputed — bit-identical results, large
+        throughput wins on slowly-changing streams.
         """
         owned = False
         if trace is None:
@@ -529,6 +595,7 @@ class AsyncSegmentationService:
                 client_id=client_id,
                 block=block,
                 trace=trace,
+                stream_id=stream_id,
             )
         start = trace.clock()
         try:
@@ -541,6 +608,7 @@ class AsyncSegmentationService:
                 client_id=client_id,
                 block=block,
                 trace=trace,
+                stream_id=stream_id,
             )
         except BaseException as exc:
             trace.annotate(error=type(exc).__name__)
@@ -561,6 +629,7 @@ class AsyncSegmentationService:
         client_id: Any,
         block: bool,
         trace: Optional[Trace],
+        stream_id: Optional[str] = None,
     ) -> PipelineResult:
         if self._closed:
             raise ServiceClosedError("cannot submit to a closed service")
@@ -593,6 +662,8 @@ class AsyncSegmentationService:
         self._admitting += 1
         if trace is not None:
             trace.annotate(priority=lane.name.lower())
+            if stream_id is not None:
+                trace.annotate(stream_id=str(stream_id))
         try:
             if self.cache is not None:
                 cached = await loop.run_in_executor(
@@ -663,6 +734,7 @@ class AsyncSegmentationService:
                 future=loop.create_future(),
                 submitted_at=now,
                 trace=trace,
+                stream_id=str(stream_id) if stream_id is not None else None,
             )
             self._requests += 1
             state.submitted += 1
@@ -903,13 +975,49 @@ class AsyncSegmentationService:
                 outcomes.append((request, result, cache_hit, coalesced, binary))
 
         remaining: List[CacheKey] = []
+        delta_keys: List[CacheKey] = []
         for group_key in order:
             cached = self._cache_get(group_key, groups[group_key][0].trace)
             if cached is not None:
                 segmentation, binary = cached
                 _emit(groups[group_key], segmentation, True, binary)
+            elif self._delta is not None and groups[group_key][0].stream_id is not None:
+                delta_keys.append(group_key)
             else:
                 remaining.append(group_key)
+
+        # Stream frames run the dirty-tile path sequentially: frame N+1 of a
+        # stream diffs against frame N's committed ancestor, so scattering
+        # frames of one stream across the executor would race the ancestor.
+        for group_key in delta_keys:
+            representative = groups[group_key][0]
+            compute_start = self._clock()
+            try:
+                outcome: Any = self._delta.segment(representative.image, representative.stream_id)
+            except Exception as exc:  # reprolint: disable=RL004 delivered on the request futures below
+                outcome = exc
+            compute_end = self._clock()
+            requests = groups[group_key]
+            if isinstance(outcome, Exception):
+                for request in requests:
+                    outcomes.append((request, outcome, False, False, None))
+                continue
+            delta_stats = outcome.extras.get("delta") or {}
+            for request in requests:
+                if request.trace is not None:
+                    request.trace.add(
+                        "engine.compute",
+                        compute_start,
+                        compute_end,
+                        strategy=str(outcome.extras.get("fast_path", "direct")),
+                        runtime_seconds=float(outcome.runtime_seconds),
+                        tiles_reused=int(delta_stats.get("tiles_reused", 0)),
+                        tiles_recomputed=int(delta_stats.get("tiles_recomputed", 0)),
+                    )
+            binary = binarize_largest_background(outcome.labels)
+            if self.cache is not None:
+                self.cache.put(group_key, (outcome, binary))
+            _emit(requests, outcome, False, binary)
 
         if remaining:
             representatives = [groups[group_key][0].image for group_key in remaining]
@@ -946,7 +1054,7 @@ class AsyncSegmentationService:
 
     def _resolve_outcomes(self, outcomes) -> None:
         now = self._clock()
-        for request, result, _, coalesced, _ in outcomes:
+        for request, result, cache_hit, coalesced, _ in outcomes:
             if request.future.done():
                 continue  # cancelled while computing; nothing to deliver
             if isinstance(result, BaseException):
@@ -956,6 +1064,21 @@ class AsyncSegmentationService:
             if coalesced:
                 self._coalesced += 1
             state = self._lanes[request.priority]
+            if not cache_hit and not coalesced:
+                # Freshly computed this batch (a whole-image cache hit may
+                # carry stale delta extras from the frame that produced it —
+                # counting those would double-book tiles).  Runs here, on the
+                # event loop thread, like every other counter mutation.
+                delta_stats = result.segmentation.extras.get("delta")
+                if delta_stats and request.stream_id is not None:
+                    reused = int(delta_stats.get("tiles_reused", 0))
+                    recomputed = int(delta_stats.get("tiles_recomputed", 0))
+                    state.delta_frames += 1
+                    state.delta_tiles_reused += reused
+                    state.delta_tiles_recomputed += recomputed
+                    self._delta_frames += 1
+                    self._delta_tiles_reused += reused
+                    self._delta_tiles_recomputed += recomputed
             self._record_completion(state, request.submitted_at, now=now, trace=request.trace)
             request.future.set_result(result)
 
@@ -1002,6 +1125,11 @@ class AsyncSegmentationService:
                 "weight": self.lane_weights[lane],
                 "latency_seconds": state.latency.summary(),
                 "latency_sketch": state.latency.sketch(),
+                "delta": {
+                    "frames": state.delta_frames,
+                    "tiles_reused": state.delta_tiles_reused,
+                    "tiles_recomputed": state.delta_tiles_recomputed,
+                },
             }
         cache_stats = None
         if self.cache is not None:
@@ -1030,6 +1158,7 @@ class AsyncSegmentationService:
             "ewma_request_seconds": self._ewma_request_seconds,
             "backend": self.engine.backend.name,
             "adaptive": self._adaptive_metrics(),
+            "delta": self._delta_metrics(),
             "cache": cache_stats,
             "trace": self.tracer.counters(),
             "latency_exemplar": (
@@ -1046,6 +1175,22 @@ class AsyncSegmentationService:
     def traces(self, slowest: int = 10) -> List[Dict[str, Any]]:
         """The slowest retained traces, slowest first."""
         return self.tracer.slowest(slowest)
+
+    def _delta_metrics(self) -> Optional[Dict[str, Any]]:
+        if self._delta is None:
+            return None
+        tiles = self._delta_tiles_reused + self._delta_tiles_recomputed
+        return {
+            "enabled": True,
+            "supported": self._delta.supports_delta,
+            "tile_shape": list(self._delta.tile_shape),
+            "streams": len(self._delta.store),
+            "max_streams": self._delta.store.max_streams,
+            "frames": self._delta_frames,
+            "tiles_reused": self._delta_tiles_reused,
+            "tiles_recomputed": self._delta_tiles_recomputed,
+            "reuse_ratio": self._delta_tiles_reused / tiles if tiles else 0.0,
+        }
 
     def _adaptive_metrics(self) -> Optional[Dict[str, Any]]:
         controller = self._adaptive
@@ -1094,6 +1239,7 @@ class AsyncSegmentationService:
             "backends": backend_status(),
             "float_compute": self.engine.float_compute,
             "config_digest": self._config_digest,
+            "delta_streams": self._delta is not None and self._delta.supports_delta,
         }
 
     def describe(self) -> Dict[str, Any]:
@@ -1109,6 +1255,7 @@ class AsyncSegmentationService:
             "client_burst": self.client_burst,
             "default_deadline": self.default_deadline,
             "adaptive": self._adaptive is not None,
+            "delta": self._delta.describe() if self._delta is not None else None,
             "cache": repr(self.cache) if self.cache is not None else None,
             "trace_sample_rate": self.tracer.sample_rate,
         }

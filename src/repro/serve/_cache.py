@@ -27,6 +27,7 @@ from typing import Any, Callable, Mapping, Optional, Tuple
 
 import numpy as np
 
+from ..base import SegmentationResult
 from ..errors import ParameterError
 
 __all__ = [
@@ -34,12 +35,19 @@ __all__ = [
     "ResultCache",
     "TieredCacheStats",
     "TieredResultCache",
+    "TileCacheAdapter",
     "image_digest",
     "config_digest",
+    "tile_key",
     "value_nbytes",
+    "TILE_KEY_PREFIX",
 ]
 
 CacheKey = Tuple[str, str]
+
+#: Namespace prefix distinguishing per-tile entries from whole-image ones in
+#: the shared key space (see :func:`tile_key`).
+TILE_KEY_PREFIX = "tile-"
 
 
 def image_digest(image: np.ndarray) -> str:
@@ -61,6 +69,69 @@ def config_digest(config: Mapping[str, Any]) -> str:
     """A digest of a JSON-friendly configuration mapping (order-insensitive)."""
     payload = json.dumps(dict(config), sort_keys=True, default=str)
     return hashlib.blake2b(payload.encode("utf-8"), digest_size=16).hexdigest()
+
+
+def tile_key(tile_digest: str, config: str) -> CacheKey:
+    """The cache key of one delta tile's label block.
+
+    **Per-tile key format.**  Whole-image entries use
+    ``(image_digest(image), config_digest)``; per-tile entries share the same
+    two-part key space but prefix the content digest:
+    ``("tile-" + tile_digest(block), config_digest)``, where ``tile_digest``
+    is :func:`repro.parallel.tiling.tile_digest` — the same
+    dtype + shape + raw-bytes blake2b-128 construction as
+    :func:`image_digest`, applied to the prepared tile block.  The prefix
+    keeps the two populations from colliding (a 64×64 tile and a 64×64 image
+    with equal bytes segment identically, but their cached payload shapes
+    differ), and because the disk tier renders keys as
+    ``{config_part}-{image_part}.npz`` the prefix is path-safe.
+    """
+    return (TILE_KEY_PREFIX + tile_digest, config)
+
+
+class TileCacheAdapter:
+    """Adapts a whole-image result cache into the delta engine's tile hook.
+
+    :class:`~repro.engine.delta.DeltaStreamEngine` wants a minimal
+    ``get(digest) -> labels | None`` / ``put(digest, labels)`` store.  This
+    adapter maps those onto any serve-side cache speaking the
+    ``get(key)``/``put(key, value)`` protocol (:class:`ResultCache`,
+    :class:`TieredResultCache`, the shm tier, ...), namespacing entries with
+    :func:`tile_key` and wrapping each label block as a
+    ``(SegmentationResult, binary)`` pair — the exact value shape every tier
+    (and both disk/shm serializers) already round-trips, so per-tile entries
+    ride the existing mem/shm/disk plumbing with zero serializer changes.
+    """
+
+    def __init__(self, cache: Any, config: str):
+        if not (callable(getattr(cache, "get", None)) and callable(getattr(cache, "put", None))):
+            raise ParameterError("cache must provide get(key) and put(key, value)")
+        self.cache = cache
+        self.config = str(config)
+
+    def get(self, tile_digest: str) -> Optional[np.ndarray]:
+        """The cached label block for a tile digest, or ``None``."""
+        value = self.cache.get(tile_key(tile_digest, self.config))
+        if value is None:
+            return None
+        result = value[0] if isinstance(value, (tuple, list)) else value
+        labels = getattr(result, "labels", None)
+        if not isinstance(labels, np.ndarray):
+            return None
+        return labels
+
+    def put(self, tile_digest: str, labels: np.ndarray) -> None:
+        """Publish one tile's label block to every cache tier."""
+        result = SegmentationResult(
+            labels=np.asarray(labels),
+            num_segments=0,
+            runtime_seconds=0.0,
+            method="delta-tile",
+            extras={"fast_path": "delta-tile"},
+        )
+        # The placeholder binary keeps the stored value shape identical to
+        # whole-image entries so the shm/disk serializers apply unchanged.
+        self.cache.put(tile_key(tile_digest, self.config), (result, np.zeros((1, 1), dtype=bool)))
 
 
 def value_nbytes(value: Any) -> int:

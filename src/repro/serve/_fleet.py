@@ -129,6 +129,14 @@ class WorkerSpec:
     #: kernel to the backend (tolerance-exact; splits the cache key).
     backend: Optional[str] = None
     float_compute: str = "exact"
+    #: Dirty-tile incremental path for temporal streams (requests carrying
+    #: ``X-Repro-Stream-Id``): only tiles changed since the stream's previous
+    #: frame are re-segmented, bit-identical to a full recompute.
+    #: ``delta_tile`` is the square grid edge in pixels (0 = library default)
+    #: and ``delta_streams`` bounds the per-worker ancestor LRU.
+    delta: bool = True
+    delta_tile: int = 0
+    delta_streams: int = 256
 
     @property
     def theta_used(self) -> Optional[float]:
@@ -199,6 +207,11 @@ class WorkerSpec:
             adaptive=self.adaptive,
             adaptive_config=self.adaptive_config,
             tracer=Tracer(sample_rate=self.trace_sample_rate, ring_size=self.trace_ring),
+            delta=self.delta,
+            delta_tile_shape=(
+                (int(self.delta_tile), int(self.delta_tile)) if self.delta_tile else None
+            ),
+            delta_max_streams=self.delta_streams,
         )
 
 
@@ -530,6 +543,8 @@ def merge_worker_metrics(snapshots: List[Dict[str, Any]]) -> Dict[str, Any]:
         per_worker = [lanes_doc.get(name) for lanes_doc in lane_maps]
         per_worker = [lane for lane in per_worker if isinstance(lane, dict)]
         lane_sketch = _merge_sketches_safe([lane.get("latency_sketch") for lane in per_worker])
+        lane_deltas = [lane.get("delta") for lane in per_worker]
+        lane_deltas = [d for d in lane_deltas if isinstance(d, dict)]
         lanes[name] = {
             "depth": sum(_as_int(lane.get("depth", 0)) for lane in per_worker),
             "submitted": sum(_as_int(lane.get("submitted", 0)) for lane in per_worker),
@@ -539,6 +554,10 @@ def merge_worker_metrics(snapshots: List[Dict[str, Any]]) -> Dict[str, Any]:
             "weight": max((_as_int(lane.get("weight", 0)) for lane in per_worker), default=0),
             "latency_seconds": summarize_sketch(lane_sketch),
             "latency_sketch": lane_sketch,
+            "delta": {
+                key: sum(_as_int(d.get(key, 0)) for d in lane_deltas)
+                for key in ("frames", "tiles_reused", "tiles_recomputed")
+            },
         }
     merged["lanes"] = lanes
 
@@ -556,6 +575,22 @@ def merge_worker_metrics(snapshots: List[Dict[str, Any]]) -> Dict[str, Any]:
         }
     else:
         merged["adaptive"] = None
+    deltas = [s.get("delta") for s in snapshots if isinstance(s.get("delta"), dict)]
+    if deltas:
+        tiles_reused = sum(_as_int(d.get("tiles_reused", 0)) for d in deltas)
+        tiles_recomputed = sum(_as_int(d.get("tiles_recomputed", 0)) for d in deltas)
+        tiles = tiles_reused + tiles_recomputed
+        merged["delta"] = {
+            "enabled": True,
+            "supported": any(bool(d.get("supported")) for d in deltas),
+            "streams": sum(_as_int(d.get("streams", 0)) for d in deltas),
+            "frames": sum(_as_int(d.get("frames", 0)) for d in deltas),
+            "tiles_reused": tiles_reused,
+            "tiles_recomputed": tiles_recomputed,
+            "reuse_ratio": tiles_reused / tiles if tiles else 0.0,
+        }
+    else:
+        merged["delta"] = None
     # Active backends across the fleet: a homogeneous fleet reports one name,
     # a mixed fleet all of them (answers are identical either way — integer
     # fast paths are bit-exact on every backend).

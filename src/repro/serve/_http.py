@@ -617,6 +617,11 @@ class HttpSegmentationServer:
                     client_id=options["client_id"],
                     block=False,
                     **({"trace": trace} if trace is not None else {}),
+                    **(
+                        {"stream_id": options["stream_id"]}
+                        if options.get("stream_id") is not None
+                        else {}
+                    ),
                 )
                 if trace is not None:
                     trace.add("service.submit", submit_start, trace.clock())
@@ -661,6 +666,7 @@ class HttpSegmentationServer:
             "priority": headers.get("x-repro-priority") or "normal",
             "deadline": None,
             "client_id": headers.get("x-repro-client"),
+            "stream_id": headers.get("x-repro-stream-id") or None,
         }
         deadline_ms: Any = headers.get("x-repro-deadline-ms")
         content_type = headers.get("content-type", "").partition(";")[0].strip().lower()
@@ -682,6 +688,8 @@ class HttpSegmentationServer:
                 options["priority"] = payload["priority"]
             if "client_id" in payload and payload["client_id"] is not None:
                 options["client_id"] = str(payload["client_id"])
+            if "stream_id" in payload and payload["stream_id"] is not None:
+                options["stream_id"] = str(payload["stream_id"])
             if "deadline_ms" in payload:
                 deadline_ms = payload["deadline_ms"]
         if not data:
@@ -708,6 +716,17 @@ class HttpSegmentationServer:
             "priority": str(options["priority"]).lower(),
             "metrics": {key: float(value) for key, value in result.metrics.items()},
         }
+        # Freshly-computed stream frames report their dirty-tile accounting;
+        # a whole-image cache hit's stored extras may predate this request's
+        # stream, so they are only echoed for non-hit responses.
+        delta = seg.extras.get("delta")
+        if delta and options.get("stream_id") is not None and not scalars["cache_hit"]:
+            scalars["delta"] = {
+                "tiles_total": int(delta.get("tiles_total", 0)),
+                "tiles_reused": int(delta.get("tiles_reused", 0)),
+                "tiles_recomputed": int(delta.get("tiles_recomputed", 0)),
+                "reuse_ratio": float(delta.get("reuse_ratio", 0.0)),
+            }
         accept = request.headers.get("accept", "").partition(";")[0].strip().lower()
         if accept == "application/x-npy":
             # Zero-copy body: the npy header bytes plus a memoryview straight

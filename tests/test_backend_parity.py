@@ -24,6 +24,10 @@ from repro.backend.numpy_backend import NumpyBackend
 from repro.engine import BatchSegmentationEngine
 from repro.errors import ParameterError
 
+# Hypothesis-heavy: CI runs this suite on one matrix leg (see pyproject's
+# `property` marker note); the torch backend job runs it unfiltered.
+pytestmark = pytest.mark.property
+
 BACKENDS = available_backends()
 
 _tables = hnp.arrays(

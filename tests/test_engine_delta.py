@@ -1,0 +1,285 @@
+"""Tests for dirty-tile incremental segmentation (``repro.engine.delta``)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.registry import get_segmenter
+from repro.core.grayscale_segmenter import IQFTGrayscaleSegmenter
+from repro.core.rgb_segmenter import IQFTSegmenter
+from repro.engine import BatchSegmentationEngine
+from repro.engine.delta import (
+    DEFAULT_DELTA_TILE_SHAPE,
+    DeltaStats,
+    DeltaStreamEngine,
+    StreamState,
+    StreamStateStore,
+)
+from repro.errors import ParameterError, ShapeError
+
+TILE = (8, 8)
+
+
+def _engine(**kwargs):
+    return BatchSegmentationEngine(IQFTSegmenter(thetas=np.pi), **kwargs)
+
+
+def _gray_engine(**kwargs):
+    return BatchSegmentationEngine(IQFTGrayscaleSegmenter(theta=2 * np.pi), **kwargs)
+
+
+def _frame(rng, shape=(24, 24, 3)):
+    return (rng.random(shape) * 255).astype(np.uint8)
+
+
+def _mutate(rng, frame, row=0, col=0, size=8):
+    out = frame.copy()
+    block = out[row : row + size, col : col + size]
+    block[...] = rng.integers(0, 256, size=block.shape, dtype=np.uint8)
+    return out
+
+
+# --------------------------------------------------------------------------- #
+# the core contract: bit-identity + reuse accounting
+# --------------------------------------------------------------------------- #
+def test_delta_segment_is_bit_identical_and_reuses_clean_tiles(rng):
+    engine = _engine()
+    delta = DeltaStreamEngine(_engine(), tile_shape=TILE)
+    frame = _frame(rng)
+
+    cold = delta.segment(frame, "cam")
+    assert np.array_equal(cold.labels, engine.segment(frame).labels)
+    stats = cold.extras["delta"]
+    assert stats["had_ancestor"] is False
+    assert stats["tiles_reused"] == 0
+    assert stats["tiles_recomputed"] == 9  # 24x24 on an 8px grid
+    assert cold.extras["fast_path"] == "delta-cold"
+
+    warm_frame = _mutate(rng, frame)  # exactly one grid tile redrawn
+    warm = delta.segment(warm_frame, "cam")
+    assert np.array_equal(warm.labels, engine.segment(warm_frame).labels)
+    stats = warm.extras["delta"]
+    assert stats["had_ancestor"] is True
+    assert stats["tiles_reused"] == 8
+    assert stats["tiles_recomputed"] == 1
+    assert stats["tiles_total"] == 9
+    assert stats["reuse_ratio"] == pytest.approx(8 / 9)
+    assert warm.extras["fast_path"] == "delta"
+    assert warm.extras["stream_id"] == "cam"
+    assert warm.num_segments == engine.segment(warm_frame).num_segments
+
+
+def test_identical_frame_reuses_every_tile(rng):
+    delta = DeltaStreamEngine(_engine(), tile_shape=TILE)
+    frame = _frame(rng)
+    delta.segment(frame, "cam")
+    again = delta.segment(frame, "cam")
+    stats = again.extras["delta"]
+    assert stats["tiles_reused"] == stats["tiles_total"] == 9
+    assert stats["tiles_recomputed"] == 0
+
+
+def test_streams_are_isolated_from_each_other(rng):
+    engine = _engine()
+    delta = DeltaStreamEngine(_engine(), tile_shape=TILE)
+    a0, b0 = _frame(rng), _frame(rng)
+    delta.segment(a0, "a")
+    delta.segment(b0, "b")
+    a1 = _mutate(rng, a0)
+    result = delta.segment(a1, "a")
+    assert np.array_equal(result.labels, engine.segment(a1).labels)
+    assert result.extras["delta"]["tiles_reused"] == 8  # diffed against a0, not b0
+
+
+def test_geometry_change_degrades_to_full_recompute(rng):
+    engine = _engine()
+    delta = DeltaStreamEngine(_engine(), tile_shape=TILE)
+    delta.segment(_frame(rng, (24, 24, 3)), "cam")
+    bigger = _frame(rng, (32, 24, 3))
+    result = delta.segment(bigger, "cam")
+    assert np.array_equal(result.labels, engine.segment(bigger).labels)
+    stats = result.extras["delta"]
+    assert stats["had_ancestor"] is False
+    assert stats["tiles_reused"] == 0
+
+
+def test_ragged_frames_not_divisible_by_tile_grid(rng):
+    engine = _engine()
+    delta = DeltaStreamEngine(_engine(), tile_shape=(10, 10))
+    frame = _frame(rng, (23, 17, 3))
+    delta.segment(frame, "cam")
+    nxt = _mutate(rng, frame, size=5)
+    result = delta.segment(nxt, "cam")
+    assert np.array_equal(result.labels, engine.segment(nxt).labels)
+    assert result.extras["delta"]["tiles_reused"] > 0
+
+
+def test_forget_drops_the_ancestor(rng):
+    delta = DeltaStreamEngine(_engine(), tile_shape=TILE)
+    frame = _frame(rng)
+    delta.segment(frame, "cam")
+    assert delta.forget("cam") is True
+    assert delta.forget("cam") is False
+    result = delta.segment(frame, "cam")
+    assert result.extras["delta"]["had_ancestor"] is False
+
+
+def test_non_pointwise_segmenter_degrades_transparently(rng):
+    engine = BatchSegmentationEngine(get_segmenter("otsu"))
+    delta = DeltaStreamEngine(engine, tile_shape=TILE)
+    assert delta.supports_delta is False
+    frame = (rng.random((24, 24)) * 255).astype(np.uint8)
+    result = delta.segment(frame, "cam")
+    assert np.array_equal(result.labels, engine.segment(frame).labels)
+    assert result.extras["delta"] == DeltaStats(0, 0, 0, False).as_dict()
+    assert len(delta.store) == 0  # nothing committed on the fallback path
+
+
+def test_describe_reports_configuration(rng):
+    delta = DeltaStreamEngine(_engine(), tile_shape=TILE, max_streams=7)
+    delta.segment(_frame(rng), "cam")
+    doc = delta.describe()
+    assert doc == {
+        "tile_shape": [8, 8],
+        "max_streams": 7,
+        "streams": 1,
+        "supports_delta": True,
+        "tile_cache": False,
+    }
+
+
+# --------------------------------------------------------------------------- #
+# the cross-stream tile cache hook
+# --------------------------------------------------------------------------- #
+class DictTileCache:
+    def __init__(self):
+        self.data = {}
+        self.gets = 0
+        self.puts = 0
+
+    def get(self, digest):
+        self.gets += 1
+        return self.data.get(digest)
+
+    def put(self, digest, labels):
+        self.puts += 1
+        self.data[digest] = np.asarray(labels).copy()
+
+
+def test_tile_cache_serves_tiles_across_engines(rng):
+    cache = DictTileCache()
+    frame = _frame(rng)
+    first = DeltaStreamEngine(_engine(), tile_shape=TILE, tile_cache=cache)
+    first.segment(frame, "cam")
+    assert cache.puts == 9
+
+    # A second engine with an empty stream store (another worker, in serve
+    # terms) still reuses every tile through the shared cache.
+    second = DeltaStreamEngine(_engine(), tile_shape=TILE, tile_cache=cache)
+    result = second.segment(frame, "other-stream")
+    stats = result.extras["delta"]
+    assert stats["tiles_reused"] == 9
+    assert stats["tiles_recomputed"] == 0
+    assert np.array_equal(result.labels, _engine().segment(frame).labels)
+
+
+def test_tile_cache_protocol_is_validated():
+    with pytest.raises(ParameterError):
+        DeltaStreamEngine(_engine(), tile_cache=object())
+
+
+# --------------------------------------------------------------------------- #
+# constructor validation + the state store
+# --------------------------------------------------------------------------- #
+def test_constructor_rejects_bad_parameters():
+    with pytest.raises(ParameterError):
+        DeltaStreamEngine("not-an-engine")
+    with pytest.raises(ParameterError):
+        DeltaStreamEngine(_engine(), tile_shape=(0, 8))
+    with pytest.raises(ParameterError):
+        StreamStateStore(max_streams=0)
+
+
+def test_default_tile_shape_is_the_module_constant():
+    assert DeltaStreamEngine(_engine()).tile_shape == DEFAULT_DELTA_TILE_SHAPE
+
+
+def test_stream_state_store_is_a_bounded_lru():
+    store = StreamStateStore(max_streams=2)
+
+    def state():
+        return StreamState(
+            frame_shape=(8, 8),
+            frame_dtype="uint8",
+            tile_shape=TILE,
+            digests=("d",),
+            labels=np.zeros((8, 8), dtype=np.int64),
+        )
+
+    store.put("a", state())
+    store.put("b", state())
+    assert store.get("a") is not None  # touch: "a" becomes most recent
+    store.put("c", state())  # evicts "b", the least recently used
+    assert "b" not in store
+    assert "a" in store and "c" in store
+    assert len(store) == 2
+    store.clear()
+    assert len(store) == 0
+
+
+# --------------------------------------------------------------------------- #
+# map_stream(stream_id=...): ordering + error isolation
+# --------------------------------------------------------------------------- #
+def test_map_stream_with_stream_id_matches_map(rng):
+    base = _frame(rng, (20, 20))
+    frames = [base]
+    for _ in range(5):
+        frames.append(_mutate(rng, frames[-1], size=4))
+    engine = _gray_engine()
+    streamed = list(
+        engine.map_stream(iter(frames), stream_id="cam", delta_tile_shape=(4, 4))
+    )
+    batched = engine.map(frames)
+    assert len(streamed) == len(batched)
+    for stream_result, batch_result in zip(streamed, batched):
+        assert np.array_equal(stream_result.labels, batch_result.labels)
+
+
+def test_map_stream_out_of_order_frames_stay_bit_identical(rng):
+    """A frame diffs against whatever ancestor is committed — any order is exact."""
+    base = _frame(rng, (20, 20))
+    ordered = [base]
+    for _ in range(4):
+        ordered.append(_mutate(rng, ordered[-1], size=4))
+    shuffled = [ordered[i] for i in (2, 0, 4, 1, 3)]
+    engine = _gray_engine()
+    results = list(
+        engine.map_stream(iter(shuffled), stream_id="cam", delta_tile_shape=(4, 4))
+    )
+    for frame, result in zip(shuffled, results):
+        assert np.array_equal(result.labels, engine.segment(frame).labels)
+
+
+def test_map_stream_corrupt_frame_does_not_poison_the_ancestor(rng):
+    base = _frame(rng, (24, 24, 3))
+    good_next = _mutate(rng, base)
+    corrupt = _frame(rng, (24, 24))  # 2-D input to an RGB method
+    engine = _engine()
+    results = list(
+        engine.map_stream(
+            iter([base, corrupt, good_next]),
+            stream_id="cam",
+            delta_tile_shape=TILE,
+            return_errors=True,
+        )
+    )
+    assert not isinstance(results[0], Exception)
+    assert isinstance(results[1], ShapeError)
+    assert not isinstance(results[2], Exception)
+    # the frame after the corrupt one still diffs against `base` — exactly
+    assert np.array_equal(results[2].labels, engine.segment(good_next).labels)
+
+
+def test_map_stream_corrupt_frame_raises_without_return_errors(rng):
+    frames = [_frame(rng, (24, 24, 3)), _frame(rng, (24, 24))]
+    with pytest.raises(ShapeError):
+        list(_engine().map_stream(iter(frames), stream_id="cam"))

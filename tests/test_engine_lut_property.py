@@ -8,11 +8,16 @@ images across the paper's angle regimes θ ∈ {π/2, π, 2π, 4π}.
 """
 
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 from hypothesis.extra import numpy as hnp
 
 from repro import BatchSegmentationEngine, IQFTGrayscaleSegmenter, IQFTSegmenter
+
+# Hypothesis-heavy: CI runs this suite on one matrix leg (see pyproject's
+# `property` marker note).
+pytestmark = pytest.mark.property
 
 _THETAS = (np.pi / 2, np.pi, 2 * np.pi, 4 * np.pi)
 

@@ -21,8 +21,18 @@ from ..engine import FileContext, Finding, Rule, dotted_name, register
 
 #: Modules on the serve path (prefix match).  Wider than the old audit: the
 #: observability layer and the latency recorder feed serve metrics, so a
-#: wall clock there distorts the same percentiles.
-SERVE_PATH_PREFIXES = ("repro.serve", "repro.obs", "repro.metrics.runtime")
+#: wall clock there distorts the same percentiles.  The delta-stream engine
+#: and the correlated-replay load generator are included too: both time
+#: frames (runtime_seconds, inter-arrival pacing) and both feed the same
+#: serve metrics, so a wall-clock step there corrupts reuse/throughput
+#: numbers the benchmark tripwire gates on.
+SERVE_PATH_PREFIXES = (
+    "repro.serve",
+    "repro.obs",
+    "repro.metrics.runtime",
+    "repro.engine.delta",
+    "benchmarks.loadgen",
+)
 
 #: Wall clock is legitimate where values are compared against file mtimes.
 ALLOWLISTED_MODULES = frozenset({"repro.serve.diskcache", "repro.serve._diskcache"})
